@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cross-pattern sensitivity (Section 4.2, closing experiment): run the
+ * FFT and BT traces on the network generated for CG-16 and compare
+ * against their natively generated networks.
+ *
+ * Paper shape: FFT transplants onto the CG network almost freely
+ * (<2% degradation) because its row/column exchanges resemble CG's
+ * reduce pattern, while BT degrades markedly (~20%) — generated
+ * networks tolerate moderate pattern drift but are not general.
+ */
+
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+topo::BuiltNetwork
+designFor(const trace::Trace &tr)
+{
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome =
+        core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    const auto plan = topo::planFloor(outcome.design);
+    return topo::buildFromDesign(outcome.design, plan);
+}
+
+} // namespace
+
+int
+main()
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 3;
+
+    const auto cgTrace = trace::generateCG(cfg);
+    const auto fftTrace = trace::generateFFT(cfg);
+    const auto cgNet = designFor(cgTrace);
+
+    std::printf("=== Cross-pattern sensitivity: foreign traces on the "
+                "CG-16 network ===\n\n");
+    std::printf("%-18s %14s %14s %10s\n", "workload", "native cycles",
+                "on CG net", "degraded");
+
+    // FFT on the CG network vs its own network.
+    {
+        const auto native = designFor(fftTrace);
+        const auto rn =
+            sim::runTrace(fftTrace, *native.topo, *native.routing);
+        const auto rx =
+            sim::runTrace(fftTrace, *cgNet.topo, *cgNet.routing);
+        std::printf("%-18s %14lld %14lld %9.1f%%\n", "FFT-16",
+                    static_cast<long long>(rn.execTime),
+                    static_cast<long long>(rx.execTime),
+                    100.0 * (static_cast<double>(rx.execTime) /
+                                 static_cast<double>(rn.execTime) -
+                             1.0));
+    }
+
+    // BT runs on 16 ranks too for this experiment (the paper used its
+    // BT trace unchanged; our generator needs a square count, so this
+    // reproduction uses the 16-rank 4x4 BT).
+    {
+        const auto btTrace = trace::generateBT(cfg);
+        const auto native = designFor(btTrace);
+        const auto rn =
+            sim::runTrace(btTrace, *native.topo, *native.routing);
+        const auto rx =
+            sim::runTrace(btTrace, *cgNet.topo, *cgNet.routing);
+        std::printf("%-18s %14lld %14lld %9.1f%%\n", "BT-16",
+                    static_cast<long long>(rn.execTime),
+                    static_cast<long long>(rx.execTime),
+                    100.0 * (static_cast<double>(rx.execTime) /
+                                 static_cast<double>(rn.execTime) -
+                             1.0));
+    }
+
+    // Mesh reference for the BT-on-CG comparison ("only slightly worse
+    // than mesh").
+    {
+        const auto btTrace = trace::generateBT(cfg);
+        const auto mesh = topo::buildMesh(16);
+        const auto rm =
+            sim::runTrace(btTrace, *mesh.topo, *mesh.routing);
+        const auto rx =
+            sim::runTrace(btTrace, *cgNet.topo, *cgNet.routing);
+        std::printf("%-18s %14lld %14lld %9.1f%%  (BT: CG net vs "
+                    "mesh)\n",
+                    "BT-16 mesh ref", static_cast<long long>(rm.execTime),
+                    static_cast<long long>(rx.execTime),
+                    100.0 * (static_cast<double>(rx.execTime) /
+                                 static_cast<double>(rm.execTime) -
+                             1.0));
+    }
+
+    std::printf("\npaper shape: FFT degrades little on the CG network; "
+                "BT degrades much more,\nending near (slightly worse "
+                "than) the mesh.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 1 reproduction: the communication pattern extracted from the
+ * CG benchmark on 16 processors.
+ *
+ * Prints the timed messages of one CG iteration (ideal replay) and the
+ * resulting potential contention periods — the three cliques of the
+ * paper's Figure 1: two row-reduce exchanges and the matrix transpose
+ * with its silent diagonal. Node numbering below is 0-based (the
+ * paper's figure is 1-based).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+int
+main()
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    cfg.skew = 0.05;
+    const auto tr = trace::generateCG(cfg);
+
+    std::printf("=== Figure 1: CG-16 communication pattern ===\n\n");
+
+    // Timed view (Definition 2): the dashed arrows of Figure 1.
+    const auto pattern = trace::idealReplay(tr);
+    auto msgs = pattern.messages();
+    std::sort(msgs.begin(), msgs.end(),
+              [](const core::Message &a, const core::Message &b) {
+                  if (a.tStart != b.tStart)
+                      return a.tStart < b.tStart;
+                  return a.comm() < b.comm();
+              });
+    std::printf("%zu timed messages (showing first 12):\n",
+                msgs.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(12, msgs.size());
+         ++i) {
+        std::printf("  (%2u -> %2u)  start %8.1f  finish %8.1f  "
+                    "(%zu bytes, call %u)\n",
+                    msgs[i].src, msgs[i].dst, msgs[i].tStart,
+                    msgs[i].tFinish,
+                    static_cast<std::size_t>(msgs[i].bytes),
+                    msgs[i].callId);
+    }
+
+    // Contention periods via the paper's by-call extraction.
+    auto cliques = trace::analyzeByCall(tr);
+    const auto removed = cliques.reduceToMaximum();
+    std::printf("\ncontention periods: %zu distinct (%zu dominated "
+                "sub-periods removed)\n\n",
+                cliques.numCliques(), removed);
+    for (std::size_t i = 0; i < cliques.numCliques(); ++i) {
+        const auto &k = cliques.cliques()[i];
+        std::printf("Contention Period %zu (%zu comms): {", i + 1,
+                    k.size());
+        bool first = true;
+        for (const auto id : k.comms) {
+            const auto &c = cliques.comm(id);
+            std::printf("%s(%u,%u)", first ? "" : ", ", c.src, c.dst);
+            first = false;
+        }
+        std::printf("}\n");
+    }
+
+    // Paper check: period sizes 16, 16 and 12 (partial permutation).
+    std::vector<std::size_t> sizes;
+    for (const auto &k : cliques.cliques())
+        sizes.push_back(k.size());
+    std::sort(sizes.begin(), sizes.end());
+    const bool match =
+        sizes == std::vector<std::size_t>{12, 16, 16};
+    std::printf("\npaper shape (two full 16-permutations + one "
+                "12-comm partial transpose): %s\n",
+                match ? "REPRODUCED" : "MISMATCH");
+    return match ? 0 : 1;
+}

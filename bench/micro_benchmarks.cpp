@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot paths:
+ * coloring algorithms, contention-period extraction, Fast_Color, and
+ * raw simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/comm_pattern.hpp"
+#include "core/design_network.hpp"
+#include "graph/clique.hpp"
+#include "graph/coloring.hpp"
+#include "sim/network.hpp"
+#include "topo/builders.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+graph::Ugraph
+randomGraph(std::size_t n, double p, std::uint64_t seed)
+{
+    Rng rng(seed);
+    graph::Ugraph g(n);
+    for (graph::NodeId a = 0; a < n; ++a) {
+        for (graph::NodeId b = a + 1; b < n; ++b) {
+            if (rng.chance(p))
+                g.addEdge(a, b);
+        }
+    }
+    return g;
+}
+
+void
+BM_GreedyColoring(benchmark::State &state)
+{
+    const auto g = randomGraph(static_cast<std::size_t>(state.range(0)),
+                               0.3, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::greedyColoring(g));
+}
+BENCHMARK(BM_GreedyColoring)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_DsaturColoring(benchmark::State &state)
+{
+    const auto g = randomGraph(static_cast<std::size_t>(state.range(0)),
+                               0.3, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::dsaturColoring(g));
+}
+BENCHMARK(BM_DsaturColoring)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_ExactColoring(benchmark::State &state)
+{
+    const auto g = randomGraph(static_cast<std::size_t>(state.range(0)),
+                               0.3, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graph::exactColoring(g, 500'000, nullptr));
+    }
+}
+BENCHMARK(BM_ExactColoring)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_MaximalCliques(benchmark::State &state)
+{
+    const auto g = randomGraph(static_cast<std::size_t>(state.range(0)),
+                               0.4, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::maximalCliques(g));
+}
+BENCHMARK(BM_MaximalCliques)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_CliqueExtraction(benchmark::State &state)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = static_cast<std::uint32_t>(state.range(0));
+    const auto tr = trace::generateCG(cfg);
+    const auto pattern = trace::idealReplay(tr);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pattern.extractCliqueSet());
+}
+BENCHMARK(BM_CliqueExtraction)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_FastColor(benchmark::State &state)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    const auto tr = trace::generateBT(
+        [] {
+            trace::NasConfig c;
+            c.ranks = 16;
+            c.iterations = 1;
+            return c;
+        }());
+    auto ks = trace::analyzeByCall(tr);
+    ks.reduceToMaximum();
+    core::DesignNetwork net(ks);
+    Rng rng(1);
+    const auto sj = net.splitSwitch(0, rng);
+    const core::PipeKey key(0, sj);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.fastColor(key));
+    (void)cfg;
+}
+BENCHMARK(BM_FastColor);
+
+void
+BM_SimulatorCycles(benchmark::State &state)
+{
+    const auto built = topo::buildMesh(16);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Network net(*built.topo, *built.routing, sim::SimConfig{});
+        for (core::ProcId p = 0; p < 16; ++p) {
+            net.enqueue(p, static_cast<core::ProcId>(15 - p), 1024, 0,
+                        0);
+        }
+        state.ResumeTiming();
+        sim::Cycle now = 0;
+        while (!net.idle())
+            net.step(++now);
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_SimulatorCycles);
+
+void
+BM_TraceReplayIdeal(benchmark::State &state)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 2;
+    const auto tr = trace::generateFFT(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace::idealReplay(tr));
+}
+BENCHMARK(BM_TraceReplayIdeal);
+
+} // namespace
+
+BENCHMARK_MAIN();

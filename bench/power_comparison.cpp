@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Power/energy comparison — the paper's named future-work extension
+ * ("this work can be extended to include other important optimization
+ * criteria such as power to produce power-efficient on-chip
+ * networks").
+ *
+ * Replays every benchmark on the four network families and accounts
+ * energy with the activity-based model of topo/power.hpp: generated
+ * networks should win on leakage (fewer switches, less wire) and on
+ * wire energy (traffic concentrated on short, dedicated links), while
+ * the torus pays for its doubled wire.
+ */
+
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+int
+main()
+{
+    std::printf("Energy per run (activity-based model, arbitrary "
+                "units), normalized to mesh = 1.00.\n\n");
+    std::printf("%-5s | %-9s | %12s %12s %12s | %8s\n", "bench",
+                "network", "dynamic", "leakage", "total", "vs mesh");
+
+    for (const auto bench : trace::kAllBenchmarks) {
+        const std::uint32_t ranks = trace::largeConfigRanks(bench);
+        trace::NasConfig cfg;
+        cfg.ranks = ranks;
+        cfg.iterations = 2;
+        const auto tr = trace::generateBenchmark(bench, cfg);
+
+        core::MethodologyConfig mcfg;
+        mcfg.partitioner.constraints.maxDegree = 5;
+        const auto outcome =
+            core::runMethodology(trace::analyzeByCall(tr), mcfg);
+        const auto plan = topo::planFloor(outcome.design);
+
+        const auto generated =
+            topo::buildFromDesign(outcome.design, plan);
+        const auto crossbar = topo::buildCrossbar(ranks);
+        const auto mesh = topo::buildMesh(ranks);
+        const auto torus = topo::buildTorus(ranks);
+
+        struct Row
+        {
+            const char *name;
+            const topo::BuiltNetwork *net;
+        };
+        const Row rows[] = {{"mesh", &mesh},
+                            {"torus", &torus},
+                            {"crossbar", &crossbar},
+                            {"generated", &generated}};
+
+        double meshTotal = 0.0;
+        for (const auto &row : rows) {
+            const auto res =
+                sim::runTrace(tr, *row.net->topo, *row.net->routing);
+            const auto energy = topo::computeEnergy(
+                *row.net->topo, res.linkFlits, res.execTime);
+            if (meshTotal == 0.0)
+                meshTotal = energy.total();
+            std::printf("%-5s | %-9s | %12.0f %12.0f %12.0f | %7.2fx\n",
+                        trace::benchmarkName(bench).c_str(), row.name,
+                        energy.dynamic(), energy.leakage(),
+                        energy.total(), energy.total() / meshTotal);
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "expected shape: the generated CG network wins outright (~0.7x "
+        "mesh: localized\ntraffic on short dedicated links); for "
+        "near-neighbor patterns (BT/SP/MG) the mesh\nis already the "
+        "dynamic-energy optimum and generated networks pay ~5-12%% in "
+        "hop\ncount while winning on leakage; torus pays doubled wire "
+        "leakage; the crossbar's\n2-hop paths set the dynamic lower "
+        "bound but do not scale.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multi-application workload design — the robust answer to the paper's
+ * cross-pattern experiment: instead of transplanting a foreign trace
+ * onto a single-application network (Section 4.2, up to ~20-30%
+ * degradation for BT on CG), design once for the *union* of the
+ * applications' contention periods.
+ *
+ * Reports, for the CG+FFT-16 pair:
+ *  - resources of the merged-workload network vs the per-application
+ *    networks and the mesh, and
+ *  - each application's performance on the merged network vs its
+ *    native network (should be near-native: the merged network is
+ *    contention-free for both by construction).
+ */
+
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "core/workload.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+struct Designed
+{
+    core::DesignOutcome outcome;
+    topo::Floorplan plan;
+    topo::BuiltNetwork net;
+};
+
+Designed
+design(const core::CliqueSet &ks)
+{
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    Designed d{core::runMethodology(ks, mcfg), {}, {}};
+    d.plan = topo::planFloor(d.outcome.design);
+    d.net = topo::buildFromDesign(d.outcome.design, d.plan);
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 3;
+    const auto cgTrace = trace::generateCG(cfg);
+    const auto fftTrace = trace::generateFFT(cfg);
+
+    const auto cgCliques = trace::analyzeByCall(cgTrace);
+    const auto fftCliques = trace::analyzeByCall(fftTrace);
+    const auto merged =
+        core::mergeCliqueSets({cgCliques, fftCliques});
+
+    std::printf("=== Workload design: CG-16 + FFT-16 ===\n\n");
+    std::printf("contention periods: CG %zu, FFT %zu, merged %zu\n",
+                cgCliques.numCliques(), fftCliques.numCliques(),
+                merged.numCliques());
+
+    const auto cgOnly = design(cgCliques);
+    const auto fftOnly = design(fftCliques);
+    const auto both = design(merged);
+
+    const auto [meshSw, meshLk] = topo::meshAreas(16);
+    std::printf("\n%-14s %9s %9s %12s\n", "design", "switches",
+                "links", "Theorem 1");
+    auto row = [&](const char *name, const Designed &d) {
+        std::printf("%-14s %9u %9u %12s\n", name, d.plan.switchArea,
+                    d.plan.linkArea + d.plan.procLinkArea,
+                    d.outcome.violations.empty() ? "holds"
+                                                 : "VIOLATED");
+    };
+    row("CG only", cgOnly);
+    row("FFT only", fftOnly);
+    row("merged", both);
+    std::printf("%-14s %9u %9u %12s\n", "mesh", meshSw, meshLk, "no");
+
+    // Cover checks: the merged set must dominate both inputs.
+    std::printf("\nmerged covers CG: %s, covers FFT: %s\n",
+                core::coveredBy(cgCliques, merged) ? "yes" : "NO",
+                core::coveredBy(fftCliques, merged) ? "yes" : "NO");
+
+    // Performance of each application on its native vs merged network.
+    std::printf("\n%-10s %14s %14s %10s\n", "workload", "native",
+                "merged net", "delta");
+    auto perf = [&](const char *name, const trace::Trace &tr,
+                    const Designed &native) {
+        const auto rn =
+            sim::runTrace(tr, *native.net.topo, *native.net.routing);
+        const auto rm =
+            sim::runTrace(tr, *both.net.topo, *both.net.routing);
+        std::printf("%-10s %14lld %14lld %9.1f%%\n", name,
+                    static_cast<long long>(rn.execTime),
+                    static_cast<long long>(rm.execTime),
+                    100.0 * (static_cast<double>(rm.execTime) /
+                                 static_cast<double>(rn.execTime) -
+                             1.0));
+    };
+    perf("CG-16", cgTrace, cgOnly);
+    perf("FFT-16", fftTrace, fftOnly);
+
+    std::printf("\nexpected shape: merged network costs more than "
+                "either single-app network but\nserves both within a "
+                "few percent of native — unlike the cross-pattern "
+                "transplant.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compare every topology on one benchmark.
+ *
+ * Usage:
+ *   compare_topologies [BT|CG|FFT|MG|SP] [ranks] [iterations]
+ *
+ * Runs the chosen benchmark trace on crossbar, mesh, folded torus and
+ * the methodology-generated network, reporting execution time,
+ * communication time, average packet latency and resource areas — the
+ * per-benchmark slice of the paper's Figures 7 and 8.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/methodology.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+int
+main(int argc, char **argv)
+{
+    const auto bench = trace::benchmarkFromName(argc > 1 ? argv[1] : "CG");
+    trace::NasConfig cfg;
+    cfg.ranks = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                         : trace::largeConfigRanks(bench);
+    cfg.iterations =
+        argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 3;
+
+    const auto tr = trace::generateBenchmark(bench, cfg);
+    std::printf("%s on %u ranks: %zu messages, %.1f KB payload, %u "
+                "call sites\n",
+                tr.name().c_str(), cfg.ranks, tr.numSends(),
+                static_cast<double>(tr.totalSendBytes()) / 1024.0,
+                tr.numCalls());
+
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome =
+        core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    const auto plan = topo::planFloor(outcome.design);
+    std::printf("generated: %s\n", outcome.summary().c_str());
+
+    const auto generated = topo::buildFromDesign(outcome.design, plan);
+    const auto crossbar = topo::buildCrossbar(cfg.ranks);
+    const auto mesh = topo::buildMesh(cfg.ranks);
+    const auto torus = topo::buildTorus(cfg.ranks);
+
+    const auto [meshSw, meshLk] = topo::meshAreas(cfg.ranks);
+    const auto [torusSw, torusLk] = topo::torusAreas(cfg.ranks);
+
+    struct Row
+    {
+        const char *name;
+        const topo::BuiltNetwork *net;
+        std::uint32_t switchArea;
+        std::uint32_t linkArea;
+    };
+    const Row rows[] = {
+        {"crossbar", &crossbar, 1, cfg.ranks},
+        {"mesh", &mesh, meshSw, meshLk},
+        {"torus", &torus, torusSw, torusLk},
+        {"generated", &generated, plan.switchArea,
+         plan.linkArea + plan.procLinkArea},
+    };
+
+    std::printf("\n%-10s %12s %12s %10s %9s %9s %9s\n", "network",
+                "exec cycles", "comm cycles", "pkt lat", "sw area",
+                "lnk area", "deadlk");
+    double baseline = 0.0;
+    for (const auto &row : rows) {
+        const auto res = sim::runTrace(tr, *row.net->topo,
+                                       *row.net->routing);
+        if (baseline == 0.0)
+            baseline = static_cast<double>(res.execTime);
+        std::printf("%-10s %12lld %12.0f %10.1f %9u %9u %9u\n",
+                    row.name, static_cast<long long>(res.execTime),
+                    res.commTimeMean(), res.avgPacketLatency,
+                    row.switchArea, row.linkArea,
+                    res.deadlockRecoveries);
+    }
+    std::printf("\n(first row = non-blocking crossbar reference)\n");
+    return 0;
+}

@@ -1,0 +1,183 @@
+#include "comm_pattern.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+void
+CommPattern::addMessage(const Message &m)
+{
+    if (m.src >= _numProcs || m.dst >= _numProcs)
+        panic("CommPattern: message ", m, " references proc >= ", _numProcs);
+    if (m.tFinish < m.tStart)
+        panic("CommPattern: message ", m, " finishes before it starts");
+    _messages.push_back(m);
+}
+
+namespace {
+
+/** Sweep event: message start or finish. Starts sort before finishes at
+ * equal times because the paper's intervals are closed. */
+struct SweepEvent
+{
+    double time;
+    bool isStart;
+    std::size_t msg;
+
+    bool
+    operator<(const SweepEvent &o) const
+    {
+        if (time != o.time)
+            return time < o.time;
+        if (isStart != o.isStart)
+            return isStart; // starts first
+        return msg < o.msg;
+    }
+};
+
+std::vector<SweepEvent>
+buildEvents(const std::vector<Message> &messages)
+{
+    std::vector<SweepEvent> events;
+    events.reserve(messages.size() * 2);
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        events.push_back(SweepEvent{messages[i].tStart, true, i});
+        events.push_back(SweepEvent{messages[i].tFinish, false, i});
+    }
+    std::sort(events.begin(), events.end());
+    return events;
+}
+
+} // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+CommPattern::overlapRelation() const
+{
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    std::set<std::size_t> active;
+    for (const auto &ev : buildEvents(_messages)) {
+        if (ev.isStart) {
+            for (const std::size_t other : active) {
+                pairs.emplace_back(std::min(other, ev.msg),
+                                   std::max(other, ev.msg));
+            }
+            active.insert(ev.msg);
+        } else {
+            active.erase(ev.msg);
+        }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    return pairs;
+}
+
+std::vector<std::array<ProcId, 4>>
+CommPattern::contentionSet() const
+{
+    // Distinct 4-tuples over *different* communications; a communication
+    // never conflicts with itself in the path model (it is one path).
+    std::set<std::array<ProcId, 4>> tuples;
+    for (const auto &[i, j] : overlapRelation()) {
+        const Comm a = _messages[i].comm();
+        const Comm b = _messages[j].comm();
+        if (a == b)
+            continue;
+        tuples.insert({a.src, a.dst, b.src, b.dst});
+        tuples.insert({b.src, b.dst, a.src, a.dst});
+    }
+    return {tuples.begin(), tuples.end()};
+}
+
+CliqueSet
+CommPattern::extractCliqueSet(bool reduce_to_maximum) const
+{
+    CliqueSet result(_numProcs);
+
+    // Sweep: the maximal sets of simultaneously active messages are the
+    // potential contention periods. A snapshot is taken each time a
+    // finish event is about to shrink an active set that has grown since
+    // the last snapshot; this enumerates exactly the maximal cliques of
+    // the interval overlap graph.
+    std::set<std::size_t> active;
+    bool grown = false;
+    const auto events = buildEvents(_messages);
+    auto snapshot = [&]() {
+        std::vector<Comm> comms;
+        comms.reserve(active.size());
+        for (const std::size_t i : active)
+            comms.push_back(_messages[i].comm());
+        result.addClique(comms);
+    };
+    for (const auto &ev : events) {
+        if (ev.isStart) {
+            active.insert(ev.msg);
+            grown = true;
+        } else {
+            if (grown) {
+                snapshot();
+                grown = false;
+            }
+            active.erase(ev.msg);
+        }
+    }
+
+    if (reduce_to_maximum)
+        result.reduceToMaximum();
+    return result;
+}
+
+CliqueSet
+CommPattern::cliqueSetByCall(bool reduce_to_maximum) const
+{
+    CliqueSet result(_numProcs);
+    std::map<std::uint32_t, std::vector<Comm>> byCall;
+    for (const auto &m : _messages)
+        byCall[m.callId].push_back(m.comm());
+    for (const auto &[call, comms] : byCall)
+        result.addClique(comms);
+    if (reduce_to_maximum)
+        result.reduceToMaximum();
+    return result;
+}
+
+std::uint64_t
+CommPattern::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : _messages)
+        total += m.bytes;
+    return total;
+}
+
+std::pair<double, double>
+CommPattern::timeSpan() const
+{
+    if (_messages.empty())
+        return {0.0, 0.0};
+    double lo = _messages.front().tStart;
+    double hi = _messages.front().tFinish;
+    for (const auto &m : _messages) {
+        lo = std::min(lo, m.tStart);
+        hi = std::max(hi, m.tFinish);
+    }
+    return {lo, hi};
+}
+
+std::string
+CommPattern::toString() const
+{
+    std::ostringstream oss;
+    oss << "CommPattern(" << _numProcs << " procs, " << _messages.size()
+        << " messages)\n";
+    for (const auto &m : _messages)
+        oss << "  " << m << " bytes=" << m.bytes << " call=" << m.callId
+            << "\n";
+    return oss.str();
+}
+
+} // namespace minnoc::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Communication patterns and the time-conflict model (paper Section 2.2).
+ *
+ * A CommPattern is the set of timed messages an application exchanges
+ * (Definition 2). From it we derive:
+ *  - the overlap relation O over message pairs (Definition 3),
+ *  - the potential communication contention set C (Definition 4),
+ *  - the communication clique set K of contention periods (Definition 5),
+ *    via a sweep over message start/finish events, and
+ *  - the communication maximum clique set (dominated cliques removed).
+ */
+
+#ifndef MINNOC_CORE_COMM_PATTERN_HPP
+#define MINNOC_CORE_COMM_PATTERN_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "clique_set.hpp"
+#include "message.hpp"
+#include "types.hpp"
+
+namespace minnoc::core {
+
+/**
+ * The set of all messages passed between processes, plus derivation of
+ * the time-conflict model sets.
+ */
+class CommPattern
+{
+  public:
+    CommPattern() = default;
+
+    /** @param num_procs number of processors (end-nodes) in the system */
+    explicit CommPattern(std::uint32_t num_procs) : _numProcs(num_procs) {}
+
+    /** Append one message. Source/destination must be < numProcs. */
+    void addMessage(const Message &m);
+
+    const std::vector<Message> &messages() const { return _messages; }
+    std::size_t numMessages() const { return _messages.size(); }
+    std::uint32_t numProcs() const { return _numProcs; }
+
+    /**
+     * The overlap relation O (Definition 3) as index pairs (i < j) of
+     * messages whose [T_s, T_f] intervals intersect. Quadratic output in
+     * the worst case; computed with a sweep so non-overlapping pairs
+     * cost nothing.
+     */
+    std::vector<std::pair<std::size_t, std::size_t>> overlapRelation() const;
+
+    /**
+     * The potential communication contention set C (Definition 4): the
+     * distinct 4-tuples (s1, d1, s2, d2) of potentially colliding
+     * message pairs. Symmetric closure included.
+     */
+    std::vector<std::array<ProcId, 4>> contentionSet() const;
+
+    /**
+     * Extract the communication clique set K (Definition 5): one clique
+     * per potential contention period, i.e. per maximal set of messages
+     * simultaneously in flight. Duplicate cliques collapse.
+     *
+     * @param reduce_to_maximum when true, also remove cliques dominated
+     *        by a superset clique (the "maximum clique set").
+     */
+    CliqueSet extractCliqueSet(bool reduce_to_maximum = true) const;
+
+    /**
+     * The paper's trace-analyzer shortcut: assume messages from the same
+     * communication library call (equal callId) are synchronized, each
+     * call forming exactly one contention period, regardless of the
+     * recorded times. Duplicate patterns collapse.
+     */
+    CliqueSet cliqueSetByCall(bool reduce_to_maximum = true) const;
+
+    /** Total bytes over all messages. */
+    std::uint64_t totalBytes() const;
+
+    /** Earliest start / latest finish over all messages (0,0 if empty). */
+    std::pair<double, double> timeSpan() const;
+
+    /** Human-readable listing. */
+    std::string toString() const;
+
+  private:
+    std::uint32_t _numProcs = 0;
+    std::vector<Message> _messages;
+};
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_COMM_PATTERN_HPP

@@ -1,0 +1,143 @@
+#include "design_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+void
+saveDesign(const FinalizedDesign &design, std::ostream &os)
+{
+    os << "minnoc-design 1 " << design.numProcs << ' '
+       << design.numSwitches << '\n';
+    if (design.unidirectional)
+        os << "unidirectional 1\n";
+    for (ProcId p = 0; p < design.numProcs; ++p)
+        os << "home " << p << ' ' << design.procHome[p] << '\n';
+    for (CommId c = 0; c < design.comms.size(); ++c) {
+        os << "comm " << c << ' ' << design.comms[c].src << ' '
+           << design.comms[c].dst << '\n';
+        os << "route " << c << ' ' << design.routes[c].size();
+        for (const auto s : design.routes[c])
+            os << ' ' << s;
+        os << '\n';
+    }
+    for (const auto &pipe : design.pipes) {
+        os << "pipe " << pipe.key.a << ' ' << pipe.key.b << ' '
+           << pipe.links << ' ' << pipe.linksFwd << ' ' << pipe.linksBwd
+           << ' ' << (pipe.connectivityOnly ? 1 : 0) << '\n';
+        for (const auto &[c, link] : pipe.fwdLink) {
+            os << "fwd " << pipe.key.a << ' ' << pipe.key.b << ' ' << c
+               << ' ' << link << '\n';
+        }
+        for (const auto &[c, link] : pipe.bwdLink) {
+            os << "bwd " << pipe.key.a << ' ' << pipe.key.b << ' ' << c
+               << ' ' << link << '\n';
+        }
+    }
+    os << "end\n";
+}
+
+FinalizedDesign
+loadDesign(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    FinalizedDesign d;
+    if (!(is >> magic >> version) || magic != "minnoc-design")
+        fatal("loadDesign: bad header");
+    if (version != 1)
+        fatal("loadDesign: unsupported version ", version);
+    if (!(is >> d.numProcs >> d.numSwitches))
+        fatal("loadDesign: bad counts");
+    d.procHome.assign(d.numProcs, kNoSwitch);
+    d.switchProcs.assign(d.numSwitches, {});
+
+    auto pipeAt = [&d](SwitchId a, SwitchId b) -> FinalizedPipe & {
+        const PipeKey key(a, b);
+        for (auto &p : d.pipes) {
+            if (p.key == key)
+                return p;
+        }
+        fatal("loadDesign: link record for unknown pipe S", a, "-S", b);
+    };
+
+    std::string tag;
+    while (is >> tag) {
+        if (tag == "end")
+            break;
+        if (tag == "home") {
+            ProcId p;
+            SwitchId s;
+            if (!(is >> p >> s) || p >= d.numProcs ||
+                s >= d.numSwitches)
+                fatal("loadDesign: bad home record");
+            d.procHome[p] = s;
+            d.switchProcs[s].push_back(p);
+        } else if (tag == "comm") {
+            CommId id;
+            ProcId src, dst;
+            if (!(is >> id >> src >> dst))
+                fatal("loadDesign: bad comm record");
+            if (id != d.comms.size())
+                fatal("loadDesign: comm records out of order");
+            d.comms.emplace_back(src, dst);
+        } else if (tag == "route") {
+            CommId id;
+            std::size_t len;
+            if (!(is >> id >> len) || id != d.routes.size())
+                fatal("loadDesign: bad route record");
+            std::vector<SwitchId> route(len);
+            for (auto &s : route) {
+                if (!(is >> s) || s >= d.numSwitches)
+                    fatal("loadDesign: bad route hop");
+            }
+            d.routes.push_back(std::move(route));
+        } else if (tag == "unidirectional") {
+            int flag;
+            if (!(is >> flag))
+                fatal("loadDesign: bad unidirectional record");
+            d.unidirectional = flag != 0;
+        } else if (tag == "pipe") {
+            FinalizedPipe pipe;
+            SwitchId a, b;
+            int conn;
+            if (!(is >> a >> b >> pipe.links >> pipe.linksFwd >>
+                  pipe.linksBwd >> conn))
+                fatal("loadDesign: bad pipe record");
+            pipe.key = PipeKey(a, b);
+            pipe.connectivityOnly = conn != 0;
+            d.pipes.push_back(std::move(pipe));
+        } else if (tag == "fwd" || tag == "bwd") {
+            SwitchId a, b;
+            CommId c;
+            std::uint32_t link;
+            if (!(is >> a >> b >> c >> link))
+                fatal("loadDesign: bad ", tag, " record");
+            auto &pipe = pipeAt(a, b);
+            (tag == "fwd" ? pipe.fwdLink : pipe.bwdLink)[c] = link;
+        } else {
+            fatal("loadDesign: unknown record '", tag, "'");
+        }
+    }
+    if (tag != "end")
+        fatal("loadDesign: missing end record");
+
+    // Sanity: every proc homed, pipes sorted (saveDesign keeps order).
+    for (ProcId p = 0; p < d.numProcs; ++p) {
+        if (d.procHome[p] == kNoSwitch)
+            fatal("loadDesign: processor ", p, " has no home switch");
+    }
+    std::sort(d.pipes.begin(), d.pipes.end(),
+              [](const FinalizedPipe &x, const FinalizedPipe &y) {
+                  return x.key < y.key;
+              });
+    if (d.comms.size() != d.routes.size())
+        fatal("loadDesign: comm/route count mismatch");
+    return d;
+}
+
+} // namespace minnoc::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Text serialization of finalized designs.
+ *
+ * A FinalizedDesign is the methodology's durable artifact — the thing a
+ * team would check into their chip repository. This module gives it a
+ * stable, human-readable text format so designs can be produced once
+ * (e.g. by the CLI) and consumed by floorplanning, simulation or
+ * downstream tooling without re-running the synthesis.
+ */
+
+#ifndef MINNOC_CORE_DESIGN_IO_HPP
+#define MINNOC_CORE_DESIGN_IO_HPP
+
+#include <iosfwd>
+
+#include "finalize.hpp"
+
+namespace minnoc::core {
+
+/** Write @p design to @p os in the text format below. */
+void saveDesign(const FinalizedDesign &design, std::ostream &os);
+
+/**
+ * Parse a design previously written by saveDesign. Calls fatal() on
+ * malformed input (this is an end-user file format).
+ *
+ * Format (one record per line):
+ *   minnoc-design 1 <numProcs> <numSwitches>
+ *   home <proc> <switch>                  (numProcs lines)
+ *   comm <id> <src> <dst>
+ *   route <commId> <len> <s0> ... <sk>
+ *   pipe <a> <b> <links> <connectivityOnly>
+ *   fwd <a> <b> <commId> <linkIndex>
+ *   bwd <a> <b> <commId> <linkIndex>
+ *   end
+ */
+FinalizedDesign loadDesign(std::istream &is);
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_DESIGN_IO_HPP

@@ -1,0 +1,341 @@
+#include "design_network.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+DesignNetwork::DesignNetwork(const CliqueSet &cliques)
+    : _cliques(&cliques)
+{
+    const std::uint32_t procs = cliques.numProcs();
+    if (procs == 0)
+        panic("DesignNetwork: clique set has zero processors");
+
+    // One megaswitch holding every processor.
+    _switchProcs.emplace_back();
+    _switchProcs[0].reserve(procs);
+    for (ProcId p = 0; p < procs; ++p)
+        _switchProcs[0].push_back(p);
+    _home.assign(procs, 0);
+
+    // Every communication routes trivially inside the megaswitch.
+    _routes.assign(cliques.numComms(), std::vector<SwitchId>{0});
+
+    _procComms.assign(procs, {});
+    for (CommId c = 0; c < cliques.numComms(); ++c) {
+        const Comm &comm = cliques.comm(c);
+        if (comm.src >= procs || comm.dst >= procs)
+            panic("DesignNetwork: comm ", comm, " outside proc range");
+        _procComms[comm.src].push_back(c);
+        if (comm.dst != comm.src)
+            _procComms[comm.dst].push_back(c);
+    }
+}
+
+const std::vector<ProcId> &
+DesignNetwork::procsOf(SwitchId s) const
+{
+    if (s >= _switchProcs.size())
+        panic("DesignNetwork::procsOf: bad switch ", s);
+    return _switchProcs[s];
+}
+
+const std::vector<SwitchId> &
+DesignNetwork::route(CommId c) const
+{
+    if (c >= _routes.size())
+        panic("DesignNetwork::route: bad comm ", c);
+    return _routes[c];
+}
+
+std::vector<SwitchId>
+DesignNetwork::normalized(std::vector<SwitchId> r)
+{
+    // Routes must be simple paths: collapse repeats AND excise loops
+    // (endpoint re-anchoring after processor moves can make a route
+    // revisit a switch; everything between the two visits is a loop
+    // that wastes links and could double-cross a pipe).
+    std::vector<SwitchId> out;
+    out.reserve(r.size());
+    for (const SwitchId s : r) {
+        const auto it = std::find(out.begin(), out.end(), s);
+        if (it != out.end()) {
+            out.erase(it + 1, out.end());
+        } else {
+            out.push_back(s);
+        }
+    }
+    return out;
+}
+
+void
+DesignNetwork::addRouteToPipes(CommId c, const std::vector<SwitchId> &r)
+{
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+        const SwitchId from = r[i];
+        const SwitchId to = r[i + 1];
+        Pipe &p = _pipes[PipeKey(from, to)];
+        auto &dir = (from < to) ? p.fwd : p.bwd;
+        if (!dir.insert(c).second)
+            panic("DesignNetwork: comm ", c, " crosses pipe ", from, "-",
+                  to, " twice in one direction");
+    }
+}
+
+void
+DesignNetwork::removeRouteFromPipes(CommId c, const std::vector<SwitchId> &r)
+{
+    for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+        const SwitchId from = r[i];
+        const SwitchId to = r[i + 1];
+        const auto it = _pipes.find(PipeKey(from, to));
+        if (it == _pipes.end())
+            panic("DesignNetwork: route segment on missing pipe");
+        auto &dir = (from < to) ? it->second.fwd : it->second.bwd;
+        if (dir.erase(c) != 1)
+            panic("DesignNetwork: comm ", c, " missing from pipe set");
+        if (it->second.empty())
+            _pipes.erase(it);
+    }
+}
+
+void
+DesignNetwork::setRoute(CommId c, std::vector<SwitchId> r)
+{
+    r = normalized(std::move(r));
+    const Comm &comm = _cliques->comm(c);
+    if (r.empty() || r.front() != _home[comm.src] ||
+        r.back() != _home[comm.dst]) {
+        panic("DesignNetwork::setRoute: route endpoints do not match "
+              "processor homes for comm ", comm);
+    }
+    removeRouteFromPipes(c, _routes[c]);
+    _routes[c] = std::move(r);
+    addRouteToPipes(c, _routes[c]);
+}
+
+std::vector<PipeKey>
+DesignNetwork::pipes() const
+{
+    std::vector<PipeKey> keys;
+    keys.reserve(_pipes.size());
+    for (const auto &[key, pipe] : _pipes)
+        keys.push_back(key);
+    return keys;
+}
+
+std::vector<PipeKey>
+DesignNetwork::pipesOf(SwitchId s) const
+{
+    std::vector<PipeKey> keys;
+    for (const auto &[key, pipe] : _pipes) {
+        if (key.a == s || key.b == s)
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+const Pipe &
+DesignNetwork::pipe(const PipeKey &key) const
+{
+    static const Pipe kEmpty;
+    const auto it = _pipes.find(key);
+    return it == _pipes.end() ? kEmpty : it->second;
+}
+
+std::uint32_t
+DesignNetwork::fastColorSet(const std::set<CommId> &comms) const
+{
+    std::uint32_t best = 0;
+    for (const auto &k : _cliques->cliques()) {
+        std::uint32_t common = 0;
+        // k.comms is sorted; comms is an ordered set: merge-count.
+        auto it = comms.begin();
+        for (const CommId c : k.comms) {
+            while (it != comms.end() && *it < c)
+                ++it;
+            if (it == comms.end())
+                break;
+            if (*it == c)
+                ++common;
+        }
+        best = std::max(best, common);
+    }
+    return best;
+}
+
+std::uint32_t
+DesignNetwork::fastColor(const PipeKey &key) const
+{
+    const Pipe &p = pipe(key);
+    return std::max(fastColorSet(p.fwd), fastColorSet(p.bwd));
+}
+
+std::uint32_t
+DesignNetwork::estimatedDegree(SwitchId s) const
+{
+    std::uint32_t degree =
+        static_cast<std::uint32_t>(procsOf(s).size());
+    for (const auto &key : pipesOf(s))
+        degree += fastColor(key);
+    return degree;
+}
+
+std::uint32_t
+DesignNetwork::totalEstimatedLinks() const
+{
+    std::uint32_t total = 0;
+    for (const auto &[key, pipe] : _pipes)
+        total += fastColor(key);
+    return total;
+}
+
+SwitchId
+DesignNetwork::splitSwitch(SwitchId s, Rng &rng)
+{
+    if (s >= _switchProcs.size())
+        panic("DesignNetwork::splitSwitch: bad switch ", s);
+    if (_switchProcs[s].size() < 2)
+        panic("DesignNetwork::splitSwitch: switch ", s,
+              " has fewer than two processors");
+
+    // Copy before emplace_back: growing _switchProcs invalidates
+    // references into it.
+    std::vector<ProcId> pool = _switchProcs[s];
+    const auto t = static_cast<SwitchId>(_switchProcs.size());
+    _switchProcs.emplace_back();
+
+    // Randomly pick half of the processors to move to the new switch.
+    rng.shuffle(pool);
+    const std::size_t moveCount = pool.size() / 2;
+    for (std::size_t i = 0; i < moveCount; ++i)
+        moveProc(pool[i], t);
+    return t;
+}
+
+const std::vector<CommId> &
+DesignNetwork::commsOf(ProcId p) const
+{
+    if (p >= _procComms.size())
+        panic("DesignNetwork::commsOf: bad proc ", p);
+    return _procComms[p];
+}
+
+void
+DesignNetwork::recomputeEndpoints(CommId c)
+{
+    const Comm &comm = _cliques->comm(c);
+    const auto &old = _routes[c];
+
+    // Preserve the interior of the route; re-anchor the endpoints at the
+    // (possibly new) home switches. This is the "direct path" rule: a
+    // moved endpoint connects straight to the next switch on the path.
+    std::vector<SwitchId> next;
+    next.push_back(_home[comm.src]);
+    for (std::size_t i = 1; i + 1 < old.size(); ++i)
+        next.push_back(old[i]);
+    next.push_back(_home[comm.dst]);
+
+    removeRouteFromPipes(c, _routes[c]);
+    _routes[c] = normalized(std::move(next));
+    addRouteToPipes(c, _routes[c]);
+}
+
+void
+DesignNetwork::moveProc(ProcId p, SwitchId to)
+{
+    if (p >= _home.size())
+        panic("DesignNetwork::moveProc: bad proc ", p);
+    if (to >= _switchProcs.size())
+        panic("DesignNetwork::moveProc: bad switch ", to);
+    const SwitchId from = _home[p];
+    if (from == to)
+        return;
+
+    auto &fromProcs = _switchProcs[from];
+    const auto it = std::find(fromProcs.begin(), fromProcs.end(), p);
+    if (it == fromProcs.end())
+        panic("DesignNetwork::moveProc: proc ", p, " not on switch ", from);
+    fromProcs.erase(it);
+    auto &toProcs = _switchProcs[to];
+    toProcs.insert(std::upper_bound(toProcs.begin(), toProcs.end(), p), p);
+    _home[p] = to;
+
+    for (const CommId c : _procComms[p])
+        recomputeEndpoints(c);
+}
+
+void
+DesignNetwork::checkInvariants() const
+{
+    // Homes and switch membership agree.
+    std::vector<std::size_t> seen(_home.size(), 0);
+    for (SwitchId s = 0; s < _switchProcs.size(); ++s) {
+        for (const ProcId p : _switchProcs[s]) {
+            if (_home.at(p) != s)
+                panic("invariant: proc ", p, " home mismatch");
+            ++seen[p];
+        }
+        if (!std::is_sorted(_switchProcs[s].begin(), _switchProcs[s].end()))
+            panic("invariant: switch proc list not sorted");
+    }
+    for (ProcId p = 0; p < seen.size(); ++p) {
+        if (seen[p] != 1)
+            panic("invariant: proc ", p, " attached ", seen[p], " times");
+    }
+
+    // Routes anchored at homes, normalized, and mirrored in pipes.
+    std::map<PipeKey, Pipe> rebuilt;
+    for (CommId c = 0; c < _routes.size(); ++c) {
+        const auto &r = _routes[c];
+        const Comm &comm = _cliques->comm(c);
+        if (r.empty() || r.front() != _home[comm.src] ||
+            r.back() != _home[comm.dst]) {
+            panic("invariant: route of comm ", comm, " not anchored");
+        }
+        for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+            if (r[i] == r[i + 1])
+                panic("invariant: route has immediate repeat");
+            Pipe &p = rebuilt[PipeKey(r[i], r[i + 1])];
+            ((r[i] < r[i + 1]) ? p.fwd : p.bwd).insert(c);
+        }
+    }
+    if (rebuilt.size() != _pipes.size())
+        panic("invariant: pipe map size mismatch");
+    for (const auto &[key, pipe] : _pipes) {
+        const auto it = rebuilt.find(key);
+        if (it == rebuilt.end() || it->second.fwd != pipe.fwd ||
+            it->second.bwd != pipe.bwd) {
+            panic("invariant: pipe comm sets out of sync");
+        }
+    }
+}
+
+std::string
+DesignNetwork::toString() const
+{
+    std::ostringstream oss;
+    oss << "DesignNetwork(" << numSwitches() << " switches, "
+        << _pipes.size() << " pipes, est links " << totalEstimatedLinks()
+        << ")\n";
+    for (SwitchId s = 0; s < _switchProcs.size(); ++s) {
+        oss << "  S" << s << ": procs {";
+        for (std::size_t i = 0; i < _switchProcs[s].size(); ++i) {
+            if (i)
+                oss << ", ";
+            oss << _switchProcs[s][i];
+        }
+        oss << "} est degree " << estimatedDegree(s) << "\n";
+    }
+    for (const auto &[key, pipe] : _pipes) {
+        oss << "  pipe S" << key.a << "-S" << key.b << ": "
+            << pipe.fwd.size() << " fwd, " << pipe.bwd.size()
+            << " bwd, est links " << fastColor(key) << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace minnoc::core

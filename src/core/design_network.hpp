@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Design-time network state for the partitioning methodology (Section 3).
+ *
+ * A DesignNetwork tracks, during recursive bisection:
+ *  - the set of switches and the processors attached to each,
+ *  - one deterministic source-based route (a switch sequence) per
+ *    distinct communication (Definition 6 at pipe granularity), and
+ *  - the pipes between switches, each holding the two directional sets
+ *    of communications routed through it.
+ *
+ * Link-count estimates use the paper's Fast_Color procedure: the width a
+ * pipe needs per direction is lower-bounded by the largest intersection
+ * of any communication clique with the pipe's directional comm set, and
+ * a full-duplex pipe needs the max of its two directions.
+ */
+
+#ifndef MINNOC_CORE_DESIGN_NETWORK_HPP
+#define MINNOC_CORE_DESIGN_NETWORK_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clique_set.hpp"
+#include "types.hpp"
+#include "util/rng.hpp"
+
+namespace minnoc::core {
+
+/** Canonical pipe key: unordered switch pair stored with a < b. */
+struct PipeKey
+{
+    SwitchId a = kNoSwitch;
+    SwitchId b = kNoSwitch;
+
+    PipeKey() = default;
+
+    PipeKey(SwitchId x, SwitchId y)
+        : a(x < y ? x : y), b(x < y ? y : x)
+    {
+    }
+
+    bool operator==(const PipeKey &o) const = default;
+    auto operator<=>(const PipeKey &o) const = default;
+};
+
+/**
+ * A pipe: the bundle of links between two switches, characterized by the
+ * two opposing sets of communications that traverse it (Section 3.1).
+ * "Forward" is the canonical a -> b direction.
+ */
+struct Pipe
+{
+    std::set<CommId> fwd;
+    std::set<CommId> bwd;
+
+    bool empty() const { return fwd.empty() && bwd.empty(); }
+};
+
+/**
+ * Mutable partitioning state: switches, processor homes, routes, pipes.
+ *
+ * Starts as a single megaswitch connecting every processor (every route
+ * is the trivial one-switch path) and is refined by splitSwitch /
+ * moveProc / setRoute, which keep pipe comm sets incrementally correct.
+ */
+class DesignNetwork
+{
+  public:
+    /**
+     * Build the initial megaswitch network.
+     * @param cliques the communication (maximum) clique set; the network
+     *        keeps a reference, so it must outlive this object.
+     */
+    explicit DesignNetwork(const CliqueSet &cliques);
+
+    const CliqueSet &cliques() const { return *_cliques; }
+
+    std::size_t numSwitches() const { return _switchProcs.size(); }
+    std::uint32_t numProcs() const { return _cliques->numProcs(); }
+
+    /** Processors attached to switch @p s (sorted). */
+    const std::vector<ProcId> &procsOf(SwitchId s) const;
+
+    /** Home switch of processor @p p. */
+    SwitchId homeOf(ProcId p) const { return _home.at(p); }
+
+    /** Current route (switch sequence) of communication @p c. */
+    const std::vector<SwitchId> &route(CommId c) const;
+
+    /**
+     * Replace the route of @p c. The route must start at the source's
+     * home switch, end at the destination's home switch, and contain no
+     * immediate repetitions; pipe sets are updated incrementally.
+     */
+    void setRoute(CommId c, std::vector<SwitchId> r);
+
+    /** All currently non-empty pipes (sorted by key). */
+    std::vector<PipeKey> pipes() const;
+
+    /** Non-empty pipes incident to switch @p s. */
+    std::vector<PipeKey> pipesOf(SwitchId s) const;
+
+    /** The pipe record for @p key (empty record if absent). */
+    const Pipe &pipe(const PipeKey &key) const;
+
+    /**
+     * Fast_Color (Section 3.3): lower-bound estimate of the number of
+     * full-duplex links pipe @p key needs, i.e. the max over cliques K
+     * and directions dir of |K intersect C_dir(pipe)|.
+     */
+    std::uint32_t fastColor(const PipeKey &key) const;
+
+    /** Fast_Color of an explicit directional comm set. */
+    std::uint32_t fastColorSet(const std::set<CommId> &comms) const;
+
+    /**
+     * Estimated switch degree: attached processors plus the estimated
+     * link count of every incident pipe.
+     */
+    std::uint32_t estimatedDegree(SwitchId s) const;
+
+    /** Sum of fastColor over all pipes: the partitioning objective. */
+    std::uint32_t totalEstimatedLinks() const;
+
+    /**
+     * Split switch @p s: create a new switch, move half of s's
+     * processors to it (random choice via @p rng), and recompute the
+     * direct routes of every communication touching the moved
+     * processors. Transit communications keep routing through @p s.
+     * @return the id of the new switch.
+     */
+    SwitchId splitSwitch(SwitchId s, Rng &rng);
+
+    /**
+     * Move processor @p p to switch @p to, recomputing the direct routes
+     * of all communications with an endpoint at @p p (the interior of
+     * each route is preserved; only the endpoint switch changes).
+     */
+    void moveProc(ProcId p, SwitchId to);
+
+    /** Communications with source or destination attached to @p p. */
+    const std::vector<CommId> &commsOf(ProcId p) const;
+
+    /** Validate all internal invariants; panics on violation (tests). */
+    void checkInvariants() const;
+
+    /** Human-readable dump. */
+    std::string toString() const;
+
+  private:
+    void addRouteToPipes(CommId c, const std::vector<SwitchId> &r);
+    void removeRouteFromPipes(CommId c, const std::vector<SwitchId> &r);
+    void recomputeEndpoints(CommId c);
+    static std::vector<SwitchId> normalized(std::vector<SwitchId> r);
+
+    const CliqueSet *_cliques;
+    std::vector<std::vector<ProcId>> _switchProcs;
+    std::vector<SwitchId> _home;              // per proc
+    std::vector<std::vector<SwitchId>> _routes; // per comm
+    std::vector<std::vector<CommId>> _procComms; // per proc
+    std::map<PipeKey, Pipe> _pipes;
+};
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_DESIGN_NETWORK_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Timed messages (paper Definition 2).
+ *
+ * Each message m carries its source S(m), destination D(m), start time
+ * T_s(m) at which it leaves the source, and finish time T_f(m) at which
+ * it is completely absorbed by the destination. Times are real-valued;
+ * the unit is up to the producer (the synthetic trace generators use
+ * cycles).
+ */
+
+#ifndef MINNOC_CORE_MESSAGE_HPP
+#define MINNOC_CORE_MESSAGE_HPP
+
+#include <cstdint>
+#include <ostream>
+
+#include "types.hpp"
+
+namespace minnoc::core {
+
+/** One timed message instance of a communication. */
+struct Message
+{
+    ProcId src = kNoProc;
+    ProcId dst = kNoProc;
+    double tStart = 0.0;
+    double tFinish = 0.0;
+    std::uint64_t bytes = 0;
+    /** Library-call site that produced this message (analyzer grouping). */
+    std::uint32_t callId = 0;
+
+    Message() = default;
+
+    Message(ProcId s, ProcId d, double ts, double tf, std::uint64_t b = 0,
+            std::uint32_t call = 0)
+        : src(s), dst(d), tStart(ts), tFinish(tf), bytes(b), callId(call)
+    {
+    }
+
+    /** The communication (s, d) this message instantiates. */
+    Comm comm() const { return Comm(src, dst); }
+
+    /**
+     * Paper Definition 3: two messages potentially collide iff their
+     * active intervals [T_s, T_f] overlap (closed intervals).
+     */
+    bool
+    overlaps(const Message &other) const
+    {
+        return tStart <= other.tFinish && other.tStart <= tFinish;
+    }
+
+    bool operator==(const Message &o) const = default;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Message &m)
+{
+    return os << m.comm() << '[' << m.tStart << ',' << m.tFinish << ']';
+}
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_MESSAGE_HPP

@@ -1,0 +1,318 @@
+#include "methodology.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "route_optimizer.hpp"
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+std::string
+DesignOutcome::summary() const
+{
+    std::ostringstream oss;
+    oss << "switches=" << design.numSwitches
+        << " links=" << design.totalLinks()
+        << " constraintsMet=" << constraintsMet
+        << " violations=" << violations.size() << " rounds=" << rounds;
+    return oss.str();
+}
+
+namespace {
+
+/** Exact-degree constraint check over a finalized design. */
+std::vector<SwitchId>
+exactViolators(const FinalizedDesign &design, const DesignConstraints &dc)
+{
+    std::vector<SwitchId> bad;
+    for (SwitchId s = 0; s < design.numSwitches; ++s) {
+        const auto procs =
+            static_cast<std::uint32_t>(design.switchProcs[s].size());
+        if (!dc.satisfied(design.switchDegree(s), procs))
+            bad.push_back(s);
+    }
+    return bad;
+}
+
+/** One partition/finalize attempt plus its final network state. */
+struct SeedResult
+{
+    DesignOutcome outcome;
+    DesignNetwork net;
+};
+
+/** One partition/finalize attempt from a single seed. */
+SeedResult
+runOnce(const CliqueSet &cliques, const MethodologyConfig &config,
+        std::uint64_t seed)
+{
+    DesignOutcome outcome;
+    DesignNetwork net(cliques);
+    PartitionerConfig pcfg = config.partitioner;
+    pcfg.seed = seed;
+    if (config.finalize.unidirectional)
+        pcfg.unidirectionalCost = true;
+    Rng rng(seed);
+
+    for (std::uint32_t round = 0; round < config.maxRounds; ++round) {
+        outcome.rounds = round + 1;
+
+        // Phase 1: partition under Fast_Color estimates.
+        auto pr = partitionNetwork(net, pcfg, rng);
+        outcome.history.insert(outcome.history.end(), pr.history.begin(),
+                               pr.history.end());
+
+        // Phase 2: finalize with formal coloring.
+        outcome.design = finalizeDesign(net, config.finalize);
+        outcome.history.push_back(PartitionStep{
+            PartitionStep::Kind::Finalize, kNoSwitch, kNoSwitch, kNoProc,
+            outcome.design.totalLinks(), "finalize"});
+
+        // Phase 3: re-check constraints against exact link counts.
+        const auto bad =
+            exactViolators(outcome.design, pcfg.constraints);
+        if (bad.empty()) {
+            outcome.constraintsMet = pr.feasible;
+
+            // Polish: guarded quality refinement. Processor swaps plus
+            // consolidation can shave links, but only a re-finalized,
+            // still-feasible design is accepted; otherwise roll back.
+            DesignNetwork snapshot = net;
+            for (int polish = 0; polish < 3; ++polish) {
+                const bool swapped =
+                    refineProcSwaps(net, pcfg.constraints, rng, 2);
+                const auto cs = consolidateRoutes(
+                    net, pcfg.consolidatePasses,
+                    pcfg.constraints.maxDegree, &rng,
+                    pcfg.unidirectionalCost);
+                if (!swapped && cs.committedMoves == 0)
+                    break;
+                auto polished = finalizeDesign(net, config.finalize);
+                const auto measure = [](const FinalizedDesign &d) {
+                    return d.unidirectional ? d.totalChannels()
+                                            : 2 * d.totalLinks();
+                };
+                if (exactViolators(polished, pcfg.constraints).empty() &&
+                    measure(polished) < measure(outcome.design)) {
+                    outcome.design = std::move(polished);
+                    snapshot = net;
+                } else {
+                    net = snapshot;
+                    break;
+                }
+            }
+            break;
+        }
+
+        // Split the first exact violator that still has >= 2 procs and
+        // loop; when none is splittable, spread traffic harder (the
+        // exact chromatic numbers can exceed the Fast_Color estimates,
+        // so repair against a tightened budget) and re-finalize.
+        SwitchId splitTarget = kNoSwitch;
+        for (const SwitchId s : bad) {
+            if (net.procsOf(s).size() >= 2) {
+                splitTarget = s;
+                break;
+            }
+        }
+        if (splitTarget == kNoSwitch) {
+            const std::uint32_t tightened =
+                pcfg.constraints.maxDegree > 1
+                    ? pcfg.constraints.maxDegree - 1
+                    : 1;
+            const auto rs = repairDegrees(net, tightened, 4, &rng);
+            outcome.constraintsMet = false;
+            if (rs.committedMoves == 0)
+                break; // stuck for good from this seed
+            continue;
+        }
+        PartitionResult forced;
+        splitAndSettle(net, pcfg, rng, splitTarget, forced);
+        outcome.history.insert(outcome.history.end(),
+                               forced.history.begin(),
+                               forced.history.end());
+        outcome.constraintsMet = false; // until a clean round completes
+    }
+
+    return SeedResult{std::move(outcome), std::move(net)};
+}
+
+/** Estimate-level constraint violations (mirror of the partitioner's). */
+bool
+estimatesSatisfied(const DesignNetwork &net, const DesignConstraints &dc)
+{
+    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
+        const auto procs =
+            static_cast<std::uint32_t>(net.procsOf(s).size());
+        if (!dc.satisfied(net.estimatedDegree(s), procs))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Switch-merge polish: the recursive-bisection loop tends to over-split
+ * dense patterns down to one processor per switch even when pairs of
+ * switches would fit the degree budget together (the paper's generated
+ * networks share switches between processors). Try merging switch
+ * pairs, re-consolidating routes, and keep any merge whose finalized
+ * design still meets the constraints with at most one extra link.
+ */
+void
+mergeSwitches(DesignNetwork &net, DesignOutcome &outcome,
+              const MethodologyConfig &config,
+              const PartitionerConfig &pcfg, Rng &rng)
+{
+    const auto &dc = pcfg.constraints;
+    // Merging shares switches but lengthens some routes; cap the total
+    // hop growth so resource savings do not silently buy latency.
+    auto totalHops = [](const FinalizedDesign &d) {
+        std::size_t hops = 0;
+        for (const auto &r : d.routes)
+            hops += r.size() - 1;
+        return hops;
+    };
+    const std::size_t hopBudget =
+        totalHops(outcome.design) + totalHops(outcome.design) / 4;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        const auto numSwitches =
+            static_cast<SwitchId>(net.numSwitches());
+        for (SwitchId s = 0; s < numSwitches && !improved; ++s) {
+            if (net.procsOf(s).empty())
+                continue;
+            for (SwitchId t = s + 1; t < numSwitches && !improved;
+                 ++t) {
+                if (net.procsOf(t).empty())
+                    continue;
+                const auto combinedProcs = net.procsOf(s).size() +
+                                           net.procsOf(t).size();
+                // A merged switch needs at least one link if anything
+                // leaves it; quick infeasibility filter.
+                if (combinedProcs + 1 > dc.maxDegree)
+                    continue;
+
+                DesignNetwork snapshot = net;
+                const std::vector<ProcId> procs = net.procsOf(t);
+                for (const ProcId p : procs)
+                    net.moveProc(p, s);
+                consolidateRoutes(net, pcfg.consolidatePasses,
+                                  dc.maxDegree, &rng,
+                                  pcfg.unidirectionalCost);
+                if (estimatesSatisfied(net, dc)) {
+                    auto merged = finalizeDesign(net, config.finalize);
+                    const auto linkBudget =
+                        (merged.unidirectional
+                             ? outcome.design.totalChannels()
+                             : 2 * outcome.design.totalLinks()) +
+                        2;
+                    const auto mergedLinks =
+                        merged.unidirectional
+                            ? merged.totalChannels()
+                            : 2 * merged.totalLinks();
+                    if (exactViolators(merged, dc).empty() &&
+                        merged.numSwitches <
+                            outcome.design.numSwitches &&
+                        mergedLinks <= linkBudget &&
+                        totalHops(merged) <= hopBudget) {
+                        outcome.design = std::move(merged);
+                        improved = true;
+                        break;
+                    }
+                }
+                net = std::move(snapshot);
+            }
+        }
+    }
+}
+
+/** Total exact-degree violation of a finalized design. */
+std::uint64_t
+exactViolation(const FinalizedDesign &d, const DesignConstraints &dc)
+{
+    std::uint64_t total = 0;
+    for (SwitchId s = 0; s < d.numSwitches; ++s) {
+        const auto deg = d.switchDegree(s);
+        if (deg > dc.maxDegree)
+            total += deg - dc.maxDegree;
+    }
+    return total;
+}
+
+/** True when @p a is a strictly better design than @p b. */
+bool
+betterThan(const DesignOutcome &a, const DesignOutcome &b,
+           const DesignConstraints &dc)
+{
+    if (a.constraintsMet != b.constraintsMet)
+        return a.constraintsMet;
+    if (!a.constraintsMet) {
+        // Both infeasible: closer to feasible wins.
+        const auto va = exactViolation(a.design, dc);
+        const auto vb = exactViolation(b.design, dc);
+        if (va != vb)
+            return va < vb;
+    }
+    // Unidirectional designs compete on channel count; duplex designs
+    // on full-duplex link count.
+    const auto linksA = a.design.unidirectional
+                            ? a.design.totalChannels()
+                            : 2 * a.design.totalLinks();
+    const auto linksB = b.design.unidirectional
+                            ? b.design.totalChannels()
+                            : 2 * b.design.totalLinks();
+    if (linksA != linksB)
+        return linksA < linksB;
+    return a.design.numSwitches < b.design.numSwitches;
+}
+
+} // namespace
+
+DesignOutcome
+runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
+{
+    // Work on a private copy so the (optional) maximum-clique reduction
+    // does not mutate the caller's set.
+    CliqueSet cliques = cliquesIn;
+    if (config.reduceCliques)
+        cliques.reduceToMaximum();
+
+    const std::uint32_t attempts = std::max(1u, config.restarts);
+    DesignOutcome best;
+    std::optional<DesignNetwork> bestNet;
+    for (std::uint32_t i = 0; i < attempts; ++i) {
+        auto result =
+            runOnce(cliques, config, config.partitioner.seed + i);
+        if (!bestNet ||
+            betterThan(result.outcome, best,
+                       config.partitioner.constraints)) {
+            best = std::move(result.outcome);
+            bestNet.emplace(std::move(result.net));
+        }
+        if (best.constraintsMet && i + 1 >= std::min(attempts, 4u)) {
+            // Feasible and we have sampled a few seeds: good enough.
+            break;
+        }
+    }
+    if (!best.constraintsMet) {
+        warn("methodology: no seed met the design constraints after ",
+             attempts, " restarts; returning best effort");
+    }
+
+    // Switch-merge polish on the winner (see mergeSwitches).
+    if (best.constraintsMet && config.mergeSwitches && bestNet) {
+        PartitionerConfig pcfg = config.partitioner;
+        if (config.finalize.unidirectional)
+            pcfg.unidirectionalCost = true;
+        Rng rng(config.partitioner.seed ^ 0x5bd1e995);
+        mergeSwitches(*bestNet, best, config, pcfg, rng);
+    }
+
+    // Theorem-1 verification of the final design.
+    best.violations = checkContentionFree(best.design, cliques);
+    return best;
+}
+
+} // namespace minnoc::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Top-level design methodology driver (paper Section 3).
+ *
+ * Ties the pieces together: communication clique set -> recursive
+ * bisection partitioning (Fast_Color estimates) -> formal coloring
+ * finalization -> re-partitioning if exact colors re-violate the design
+ * constraints -> Theorem-1 verification.
+ */
+
+#ifndef MINNOC_CORE_METHODOLOGY_HPP
+#define MINNOC_CORE_METHODOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clique_set.hpp"
+#include "finalize.hpp"
+#include "partitioner.hpp"
+#include "verify.hpp"
+
+namespace minnoc::core {
+
+/** Configuration of a full methodology run. */
+struct MethodologyConfig
+{
+    PartitionerConfig partitioner;
+    FinalizeConfig finalize;
+
+    /**
+     * Maximum number of partition/finalize rounds: finalization can
+     * reveal that exact colors exceed the Fast_Color estimates, in which
+     * case the violating switches are split further and the design is
+     * re-finalized (paper Appendix, steps 2-3).
+     */
+    std::uint32_t maxRounds = 8;
+
+    /**
+     * Reduce the clique set to the communication maximum clique set
+     * before partitioning (paper: yes; exposed for ablation).
+     */
+    bool reduceCliques = true;
+
+    /**
+     * Random restarts: the partitioner is greedy and seed-sensitive, so
+     * the driver runs it from several seeds (seed, seed+1, ...) and
+     * keeps the best design — feasibility first, then fewest links,
+     * then fewest switches. The paper's simulated-annealing framing
+     * implies the same kind of stochastic search.
+     */
+    std::uint32_t restarts = 16;
+
+    /**
+     * After restart selection, try merging switch pairs whose combined
+     * load still fits the degree budget (the bisection loop otherwise
+     * over-splits dense patterns to one processor per switch). Merges
+     * are finalization-checked and accepted only at <= 1 extra link.
+     */
+    bool mergeSwitches = true;
+};
+
+/** Everything a methodology run produces. */
+struct DesignOutcome
+{
+    FinalizedDesign design;
+    /** True if the finalized design satisfies the constraints. */
+    bool constraintsMet = false;
+    /** Theorem-1 violations (empty = provably contention-free). */
+    std::vector<ContentionViolation> violations;
+    /** Number of partition/finalize rounds used. */
+    std::uint32_t rounds = 0;
+    /** Concatenated partitioning history across rounds. */
+    std::vector<PartitionStep> history;
+
+    /** One-line summary for logs and benches. */
+    std::string summary() const;
+};
+
+/**
+ * Run the full methodology on a clique set.
+ *
+ * @param cliques the communication clique set (copied internally when
+ *        reduction is requested)
+ * @param config knobs for every stage
+ * @return the finalized design plus verification results
+ */
+DesignOutcome runMethodology(const CliqueSet &cliques,
+                             const MethodologyConfig &config = {});
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_METHODOLOGY_HPP

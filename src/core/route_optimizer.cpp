@@ -1,0 +1,584 @@
+#include "route_optimizer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+namespace {
+
+/** Sum of Fast_Color estimates over a set of pipes. */
+std::uint32_t
+pipesCost(const DesignNetwork &net, const std::vector<PipeKey> &keys)
+{
+    std::uint32_t total = 0;
+    for (const auto &k : keys)
+        total += net.fastColor(k);
+    return total;
+}
+
+/**
+ * Attempt one route edit on @p c: replace the route's segment between
+ * positions pos and pos+1 with the given middle switch inserted (detour)
+ * or drop the switch at @p pos (straighten, middle == kNoSwitch).
+ * Commits only if the summed estimate over affected pipes decreases.
+ * @return links saved (0 when rejected).
+ */
+std::uint32_t
+tryEdit(DesignNetwork &net, CommId c, std::size_t pos, SwitchId middle)
+{
+    const std::vector<SwitchId> oldRoute = net.route(c);
+    std::vector<SwitchId> newRoute = oldRoute;
+
+    if (middle != kNoSwitch) {
+        // Detour: (a, b) -> (a, middle, b). Skip if middle already on
+        // the route; routes must stay simple.
+        if (std::find(oldRoute.begin(), oldRoute.end(), middle) !=
+            oldRoute.end()) {
+            return 0;
+        }
+        newRoute.insert(newRoute.begin() +
+                            static_cast<std::ptrdiff_t>(pos) + 1,
+                        middle);
+    } else {
+        // Straighten: (a, x, b) -> (a, b); pos indexes x. Endpoints are
+        // pinned by the processor homes, so only interior removal.
+        if (pos == 0 || pos + 1 >= oldRoute.size())
+            return 0;
+        if (oldRoute[pos - 1] == oldRoute[pos + 1])
+            return 0; // would create an immediate repeat
+        newRoute.erase(newRoute.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+
+    // Affected pipes: every adjacency that differs between the routes.
+    std::vector<PipeKey> affected;
+    auto collect = [&affected](const std::vector<SwitchId> &r) {
+        for (std::size_t i = 0; i + 1 < r.size(); ++i)
+            affected.emplace_back(r[i], r[i + 1]);
+    };
+    collect(oldRoute);
+    collect(newRoute);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+
+    const std::uint32_t before = pipesCost(net, affected);
+    net.setRoute(c, newRoute);
+    const std::uint32_t after = pipesCost(net, affected);
+    if (after < before)
+        return before - after;
+    net.setRoute(c, oldRoute);
+    return 0;
+}
+
+/**
+ * One Best_Route direction: for every pipe P(s, k) incident to @p s with
+ * k != sibling, try detouring each of its communications through the
+ * sibling, and try straightening existing detours through the sibling.
+ */
+void
+optimizePipesOf(DesignNetwork &net, SwitchId s, SwitchId sibling,
+                RouteOptStats &stats)
+{
+    for (const auto &key : net.pipesOf(s)) {
+        const SwitchId other = (key.a == s) ? key.b : key.a;
+        if (other == sibling)
+            continue;
+
+        // Snapshot the comm ids first: edits mutate the pipe sets.
+        std::vector<CommId> comms;
+        const Pipe &p = net.pipe(key);
+        comms.insert(comms.end(), p.fwd.begin(), p.fwd.end());
+        comms.insert(comms.end(), p.bwd.begin(), p.bwd.end());
+        std::sort(comms.begin(), comms.end());
+        comms.erase(std::unique(comms.begin(), comms.end()), comms.end());
+
+        for (const CommId c : comms) {
+            const auto &r = net.route(c);
+            // Find an adjacency (s, other) or (other, s) in the route.
+            for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+                const bool hits = (r[i] == s && r[i + 1] == other) ||
+                                  (r[i] == other && r[i + 1] == s);
+                if (!hits)
+                    continue;
+                ++stats.triedMoves;
+                const std::uint32_t saved = tryEdit(net, c, i, sibling);
+                if (saved) {
+                    ++stats.committedMoves;
+                    stats.linksSaved += saved;
+                }
+                break; // route changed or not; re-scan on next pass
+            }
+        }
+    }
+
+    // Straightening pass: remove detours through the sibling that no
+    // longer pay for themselves.
+    for (const auto &key : net.pipesOf(sibling)) {
+        std::vector<CommId> comms;
+        const Pipe &p = net.pipe(key);
+        comms.insert(comms.end(), p.fwd.begin(), p.fwd.end());
+        comms.insert(comms.end(), p.bwd.begin(), p.bwd.end());
+        for (const CommId c : comms) {
+            const auto &r = net.route(c);
+            for (std::size_t i = 1; i + 1 < r.size(); ++i) {
+                if (r[i] != sibling)
+                    continue;
+                ++stats.triedMoves;
+                const std::uint32_t saved = tryEdit(net, c, i, kNoSwitch);
+                if (saved) {
+                    ++stats.committedMoves;
+                    stats.linksSaved += saved;
+                }
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+RouteOptStats
+bestRoute(DesignNetwork &net, SwitchId si, SwitchId sj)
+{
+    RouteOptStats stats;
+    if (si == sj)
+        panic("bestRoute: si == sj");
+    optimizePipesOf(net, si, sj, stats);
+    optimizePipesOf(net, sj, si, stats);
+    return stats;
+}
+
+namespace {
+
+/** Total degree violation over all switches. */
+std::uint64_t
+degreeViolation(const DesignNetwork &net, std::uint32_t max_degree)
+{
+    std::uint64_t total = 0;
+    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
+        const auto d = net.estimatedDegree(s);
+        if (d > max_degree)
+            total += d - max_degree;
+    }
+    return total;
+}
+
+/** Per-pipe baseline for pricing one communication's reroute. */
+struct PipeBaseline
+{
+    std::set<CommId> fwd; ///< forward comms with the victim removed
+    std::set<CommId> bwd; ///< backward comms with the victim removed
+    std::uint32_t fcFwd = 0;
+    std::uint32_t fcBwd = 0;
+
+    /** Duplex width: a full-duplex bundle serves both directions. */
+    std::uint32_t width() const { return std::max(fcFwd, fcBwd); }
+
+    /** Channel count under unidirectional provisioning. */
+    std::uint32_t channels() const { return fcFwd + fcBwd; }
+};
+
+/**
+ * One consolidation attempt for a single communication. When the
+ * opposite-direction communication exists and currently mirrors c's
+ * route, the two are priced and rerouted as a joint full-duplex pair —
+ * otherwise removing only one of them never shrinks the shared pipe
+ * (its width is the max of the two directions) and no move would ever
+ * look profitable.
+ */
+bool
+consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
+               bool uni_cost)
+{
+    const std::vector<SwitchId> oldRoute = net.route(c);
+    if (oldRoute.size() < 2)
+        return false; // intra-switch: nothing to optimize
+    const SwitchId src = oldRoute.front();
+    const SwitchId dst = oldRoute.back();
+
+    // Pair with the reverse communication when it mirrors this route.
+    const CliqueSet &cliques = net.cliques();
+    CommId rev = cliques.findComm(cliques.comm(c).reversed());
+    if (rev == c)
+        rev = CliqueSet::kNoComm;
+    if (rev != CliqueSet::kNoComm) {
+        std::vector<SwitchId> mirrored(net.route(rev).rbegin(),
+                                       net.route(rev).rend());
+        if (mirrored != oldRoute)
+            rev = CliqueSet::kNoComm; // asymmetric: treat c alone
+    }
+
+    // Snapshot every existing pipe with c (and its paired reverse)
+    // removed: the baseline network candidate paths are priced against.
+    // Pipes are full-duplex bundles: width = max of the directional
+    // needs, so a hop riding the empty reverse direction of a busy pipe
+    // is free.
+    std::map<PipeKey, PipeBaseline> base;
+    for (const auto &key : net.pipes()) {
+        const Pipe &p = net.pipe(key);
+        PipeBaseline pb;
+        pb.fwd = p.fwd;
+        pb.bwd = p.bwd;
+        pb.fwd.erase(c);
+        pb.bwd.erase(c);
+        if (rev != CliqueSet::kNoComm) {
+            pb.fwd.erase(rev);
+            pb.bwd.erase(rev);
+        }
+        pb.fcFwd = net.fastColorSet(pb.fwd);
+        pb.fcBwd = net.fastColorSet(pb.bwd);
+        base.emplace(key, std::move(pb));
+    }
+
+    // Switches already at or beyond the degree budget: hops touching
+    // them are penalized so traffic drains away from hubs instead of
+    // piling onto them (total-links greed would otherwise happily grow
+    // one giant hub switch).
+    std::vector<bool> overloaded(net.numSwitches(), false);
+    if (max_degree) {
+        for (SwitchId s = 0; s < net.numSwitches(); ++s)
+            overloaded[s] = net.estimatedDegree(s) > max_degree;
+    }
+
+    // Marginal link cost of sending c across hop (u, v) — and, when
+    // paired, the reverse communication across (v, u).
+    auto hopCost = [&](SwitchId u, SwitchId v) -> std::uint32_t {
+        const auto it = base.find(PipeKey(u, v));
+        if (it == base.end())
+            return static_cast<std::uint32_t>(-1); // pipe absent
+        const PipeBaseline &pb = it->second;
+        const bool forward = u < v;
+        auto with = forward ? pb.fwd : pb.bwd;
+        with.insert(c);
+        std::uint32_t fcWith = net.fastColorSet(with);
+        std::uint32_t fcOther = forward ? pb.fcBwd : pb.fcFwd;
+        if (rev != CliqueSet::kNoComm) {
+            auto other = forward ? pb.bwd : pb.fwd;
+            other.insert(rev);
+            fcOther = net.fastColorSet(other);
+        }
+        if (uni_cost)
+            return fcWith + fcOther - pb.channels();
+        return std::max(fcWith, fcOther) - pb.width();
+    };
+
+    // Weighted hop price: links dominate, overloaded endpoints repel,
+    // hop count breaks ties.
+    constexpr std::uint64_t kLink = 1024;
+    constexpr std::uint64_t kOverload = 64;
+    constexpr std::uint64_t kHop = 1;
+    auto hopPrice = [&](SwitchId u, SwitchId v) -> std::uint64_t {
+        const auto links = hopCost(u, v);
+        if (links == static_cast<std::uint32_t>(-1))
+            return static_cast<std::uint64_t>(-1) / 4; // pipe absent
+        std::uint64_t price = static_cast<std::uint64_t>(links) * kLink +
+                              kHop;
+        if (max_degree)
+            price += kOverload * (overloaded[u] + overloaded[v]);
+        return price;
+    };
+
+    std::uint64_t currentCost = 0;
+    for (std::size_t i = 0; i + 1 < oldRoute.size(); ++i)
+        currentCost += hopPrice(oldRoute[i], oldRoute[i + 1]);
+
+    // Dijkstra over existing pipes from src's switch to dst's switch.
+    std::map<SwitchId, std::uint64_t> dist;
+    std::map<SwitchId, SwitchId> parent;
+    std::set<std::pair<std::uint64_t, SwitchId>> frontier;
+    dist[src] = 0;
+    frontier.insert({0, src});
+    while (!frontier.empty()) {
+        const auto [d, v] = *frontier.begin();
+        frontier.erase(frontier.begin());
+        if (v == dst)
+            break;
+        if (d > dist[v])
+            continue;
+        for (const auto &[key, pb] : base) {
+            SwitchId w = kNoSwitch;
+            if (key.a == v)
+                w = key.b;
+            else if (key.b == v)
+                w = key.a;
+            else
+                continue;
+            const std::uint64_t nd = d + hopPrice(v, w);
+            const auto it = dist.find(w);
+            if (it == dist.end() || nd < it->second) {
+                if (it != dist.end())
+                    frontier.erase({it->second, w});
+                dist[w] = nd;
+                parent[w] = v;
+                frontier.insert({nd, w});
+            }
+        }
+    }
+    const auto dit = dist.find(dst);
+    if (dit == dist.end() || dit->second >= currentCost)
+        return false;
+
+    // Reconstruct and commit the cheaper path (both directions when
+    // paired). With a degree budget in force, revert any commit that
+    // worsens the total degree violation — link savings must not undo
+    // repairDegrees' spreading.
+    std::vector<SwitchId> path{dst};
+    while (path.back() != src)
+        path.push_back(parent.at(path.back()));
+    std::reverse(path.begin(), path.end());
+    if (path == oldRoute)
+        return false;
+    const std::uint64_t violBefore =
+        max_degree ? degreeViolation(net, max_degree) : 0;
+    const std::vector<SwitchId> oldRev =
+        rev != CliqueSet::kNoComm ? net.route(rev)
+                                  : std::vector<SwitchId>{};
+    net.setRoute(c, path);
+    if (rev != CliqueSet::kNoComm) {
+        net.setRoute(rev,
+                     std::vector<SwitchId>(path.rbegin(), path.rend()));
+    }
+    if (max_degree && degreeViolation(net, max_degree) > violBefore) {
+        net.setRoute(c, oldRoute);
+        if (rev != CliqueSet::kNoComm)
+            net.setRoute(rev, oldRev);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Propose an alternative route for @p c (and commit its mirrored pair
+ * when applicable) that avoids overloaded switches, then keep it only
+ * if the global (violation, links) measure improves.
+ */
+bool
+repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
+{
+    const std::vector<SwitchId> oldRoute = net.route(c);
+    if (oldRoute.size() < 2)
+        return false;
+    const SwitchId src = oldRoute.front();
+    const SwitchId dst = oldRoute.back();
+
+    std::vector<bool> overloaded(net.numSwitches(), false);
+    bool touches = false;
+    for (SwitchId s = 0; s < net.numSwitches(); ++s)
+        overloaded[s] = net.estimatedDegree(s) > max_degree;
+    for (const SwitchId s : oldRoute)
+        touches |= overloaded[s];
+    if (!touches)
+        return false;
+
+    // Pair with the mirrored reverse comm (full-duplex pipes).
+    const CliqueSet &cliques = net.cliques();
+    CommId rev = cliques.findComm(cliques.comm(c).reversed());
+    if (rev == c)
+        rev = CliqueSet::kNoComm;
+    if (rev != CliqueSet::kNoComm) {
+        std::vector<SwitchId> mirrored(net.route(rev).rbegin(),
+                                       net.route(rev).rend());
+        if (mirrored != oldRoute)
+            rev = CliqueSet::kNoComm;
+    }
+
+    // Spare degree per switch (for pricing new pipes).
+    std::vector<std::int64_t> spare(net.numSwitches(), 0);
+    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
+        spare[s] = static_cast<std::int64_t>(max_degree) -
+                   static_cast<std::int64_t>(net.estimatedDegree(s));
+    }
+
+    // Baseline pipe state with the victim pair removed, so candidate
+    // hops can be priced by their marginal width contribution (riding
+    // an existing link conflict-free is much cheaper than widening).
+    std::map<PipeKey, PipeBaseline> base;
+    for (const auto &key : net.pipes()) {
+        const Pipe &p = net.pipe(key);
+        PipeBaseline pb;
+        pb.fwd = p.fwd;
+        pb.bwd = p.bwd;
+        pb.fwd.erase(c);
+        pb.bwd.erase(c);
+        if (rev != CliqueSet::kNoComm) {
+            pb.fwd.erase(rev);
+            pb.bwd.erase(rev);
+        }
+        pb.fcFwd = net.fastColorSet(pb.fwd);
+        pb.fcBwd = net.fastColorSet(pb.bwd);
+        base.emplace(key, std::move(pb));
+    }
+
+    // Dijkstra proposal: width widening is expensive, overloaded
+    // interiors are avoided hard, a new pipe is allowed when both ends
+    // have spare degree.
+    constexpr std::uint64_t kAvoid = 1ull << 20;
+    constexpr std::uint64_t kLink = 1024;
+    constexpr std::uint64_t kNewPipe = 512;
+    constexpr std::uint64_t kHop = 1;
+    auto price = [&](SwitchId u, SwitchId v) -> std::uint64_t {
+        std::uint64_t p = kHop;
+        const auto it = base.find(PipeKey(u, v));
+        if (it == base.end()) {
+            // New pipe: one fresh link, both endpoints must afford it.
+            if (spare[u] < 1 || spare[v] < 1)
+                return static_cast<std::uint64_t>(-1) / 8;
+            p += kLink + kNewPipe;
+        } else {
+            const PipeBaseline &pb = it->second;
+            const bool forward = u < v;
+            auto with = forward ? pb.fwd : pb.bwd;
+            with.insert(c);
+            std::uint32_t fcWith = net.fastColorSet(with);
+            std::uint32_t fcOther = forward ? pb.fcBwd : pb.fcFwd;
+            if (rev != CliqueSet::kNoComm) {
+                auto other = forward ? pb.bwd : pb.fwd;
+                other.insert(rev);
+                fcOther = net.fastColorSet(other);
+            }
+            const std::uint32_t widen =
+                std::max(fcWith, fcOther) - pb.width();
+            p += static_cast<std::uint64_t>(widen) * kLink;
+            // Widening a pipe consumes endpoint degree too.
+            if (widen && (spare[u] < 1 || spare[v] < 1) &&
+                !(overloaded[u] || overloaded[v])) {
+                p += kNewPipe;
+            }
+        }
+        if (v != dst && overloaded[v])
+            p += kAvoid;
+        if (u != src && overloaded[u])
+            p += kAvoid;
+        return p;
+    };
+
+    std::map<SwitchId, std::uint64_t> dist;
+    std::map<SwitchId, SwitchId> parent;
+    std::set<std::pair<std::uint64_t, SwitchId>> frontier;
+    dist[src] = 0;
+    frontier.insert({0, src});
+    while (!frontier.empty()) {
+        const auto [d, v] = *frontier.begin();
+        frontier.erase(frontier.begin());
+        if (v == dst)
+            break;
+        if (d > dist[v])
+            continue;
+        for (SwitchId w = 0; w < net.numSwitches(); ++w) {
+            if (w == v)
+                continue;
+            const std::uint64_t nd = d + price(v, w);
+            const auto it = dist.find(w);
+            if (it == dist.end() || nd < it->second) {
+                if (it != dist.end())
+                    frontier.erase({it->second, w});
+                dist[w] = nd;
+                parent[w] = v;
+                frontier.insert({nd, w});
+            }
+        }
+    }
+    if (!dist.count(dst))
+        return false;
+    std::vector<SwitchId> path{dst};
+    while (path.back() != src)
+        path.push_back(parent.at(path.back()));
+    std::reverse(path.begin(), path.end());
+    if (path == oldRoute)
+        return false;
+
+    // Trial apply; accept only if (violation, links) improves.
+    const std::uint64_t violBefore = degreeViolation(net, max_degree);
+    const std::uint32_t linksBefore = net.totalEstimatedLinks();
+    const std::vector<SwitchId> oldRev =
+        rev != CliqueSet::kNoComm ? net.route(rev)
+                                  : std::vector<SwitchId>{};
+    net.setRoute(c, path);
+    if (rev != CliqueSet::kNoComm) {
+        net.setRoute(rev,
+                     std::vector<SwitchId>(path.rbegin(), path.rend()));
+    }
+    const std::uint64_t violAfter = degreeViolation(net, max_degree);
+    const std::uint32_t linksAfter = net.totalEstimatedLinks();
+    // Feasibility buys link slack: shedding a violation is worth up to
+    // one extra link (consolidation claws links back afterwards).
+    const bool accept =
+        (violAfter < violBefore && linksAfter <= linksBefore + 1) ||
+        (violAfter == violBefore && linksAfter < linksBefore);
+    if (!accept) {
+        net.setRoute(c, oldRoute);
+        if (rev != CliqueSet::kNoComm)
+            net.setRoute(rev, oldRev);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+RouteOptStats
+repairDegrees(DesignNetwork &net, std::uint32_t max_degree,
+              std::uint32_t max_passes, Rng *rng)
+{
+    RouteOptStats stats;
+    const auto numComms =
+        static_cast<CommId>(net.cliques().numComms());
+    std::vector<CommId> order(numComms);
+    for (CommId c = 0; c < numComms; ++c)
+        order[c] = c;
+    for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+        if (degreeViolation(net, max_degree) == 0)
+            break;
+        if (rng)
+            rng->shuffle(order);
+        bool changed = false;
+        for (const CommId c : order) {
+            ++stats.triedMoves;
+            if (repairOne(net, c, max_degree)) {
+                ++stats.committedMoves;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return stats;
+}
+
+RouteOptStats
+consolidateRoutes(DesignNetwork &net, std::uint32_t max_passes,
+                  std::uint32_t max_degree, Rng *rng, bool uni_cost)
+{
+    RouteOptStats stats;
+    const auto numComms =
+        static_cast<CommId>(net.cliques().numComms());
+    std::vector<CommId> order(numComms);
+    for (CommId c = 0; c < numComms; ++c)
+        order[c] = c;
+    for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+        const std::uint32_t before = net.totalEstimatedLinks();
+        if (rng)
+            rng->shuffle(order);
+        bool changed = false;
+        for (const CommId c : order) {
+            ++stats.triedMoves;
+            if (consolidateOne(net, c, max_degree, uni_cost)) {
+                ++stats.committedMoves;
+                changed = true;
+            }
+        }
+        const std::uint32_t after = net.totalEstimatedLinks();
+        stats.linksSaved += before > after ? before - after : 0;
+        if (!changed)
+            break;
+    }
+    return stats;
+}
+
+} // namespace minnoc::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental identifier types for the contention model.
+ *
+ * A "communication" in the paper is a source-destination processor pair
+ * (s, d); messages are timed instances of communications. Pairs are
+ * packed into 64-bit keys so sets of communications hash and compare
+ * cheaply throughout the methodology.
+ */
+
+#ifndef MINNOC_CORE_TYPES_HPP
+#define MINNOC_CORE_TYPES_HPP
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace minnoc::core {
+
+/** Processor (end-node) identifier; dense in [0, numProcs). */
+using ProcId = std::uint32_t;
+
+/** Switch identifier within a design-time network. */
+using SwitchId = std::uint32_t;
+
+/** Sentinel values. */
+constexpr ProcId kNoProc = static_cast<ProcId>(-1);
+constexpr SwitchId kNoSwitch = static_cast<SwitchId>(-1);
+
+/**
+ * A communication: an ordered (source, destination) processor pair.
+ * Value type with total order (src-major) for deterministic set layout.
+ */
+struct Comm
+{
+    ProcId src = kNoProc;
+    ProcId dst = kNoProc;
+
+    Comm() = default;
+    Comm(ProcId s, ProcId d) : src(s), dst(d) {}
+
+    /** Pack into a single comparable/hashable 64-bit key. */
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(src) << 32) | dst;
+    }
+
+    /** Rebuild from a packed key. */
+    static Comm
+    fromKey(std::uint64_t k)
+    {
+        return Comm(static_cast<ProcId>(k >> 32),
+                    static_cast<ProcId>(k & 0xffffffffULL));
+    }
+
+    /** The opposite-direction communication (d, s). */
+    Comm reversed() const { return Comm(dst, src); }
+
+    bool operator==(const Comm &o) const = default;
+    auto operator<=>(const Comm &o) const = default;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Comm &c)
+{
+    return os << '(' << c.src << ',' << c.dst << ')';
+}
+
+} // namespace minnoc::core
+
+namespace std {
+
+/** Hash support so Comm can key unordered containers. */
+template <>
+struct hash<minnoc::core::Comm>
+{
+    size_t
+    operator()(const minnoc::core::Comm &c) const noexcept
+    {
+        // splitmix64-style finalizer over the packed key.
+        uint64_t z = c.key() + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace std
+
+#endif // MINNOC_CORE_TYPES_HPP

@@ -1,0 +1,84 @@
+#include "verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+std::string
+ContentionViolation::toString(const CliqueSet &cliques) const
+{
+    std::ostringstream oss;
+    oss << "comms " << cliques.comm(a) << " and " << cliques.comm(b)
+        << " share link " << link << " of pipe S" << pipe.a << "-S"
+        << pipe.b << (forward ? " (fwd)" : " (bwd)");
+    return oss.str();
+}
+
+namespace {
+
+/** Directed channel identity: pipe + direction + link index. */
+struct Channel
+{
+    PipeKey pipe;
+    bool forward;
+    std::uint32_t link;
+
+    auto operator<=>(const Channel &o) const = default;
+};
+
+/** Occupancy map: channel -> comms assigned to it. */
+std::map<Channel, std::vector<CommId>>
+channelOccupancy(const FinalizedDesign &design)
+{
+    std::map<Channel, std::vector<CommId>> occ;
+    for (const auto &p : design.pipes) {
+        for (const auto &[c, link] : p.fwdLink)
+            occ[Channel{p.key, true, link}].push_back(c);
+        for (const auto &[c, link] : p.bwdLink)
+            occ[Channel{p.key, false, link}].push_back(c);
+    }
+    return occ;
+}
+
+} // namespace
+
+std::vector<std::pair<CommId, CommId>>
+resourceConflictSet(const FinalizedDesign &design)
+{
+    std::vector<std::pair<CommId, CommId>> pairs;
+    for (const auto &[channel, comms] : channelOccupancy(design)) {
+        for (std::size_t i = 0; i < comms.size(); ++i) {
+            for (std::size_t j = i + 1; j < comms.size(); ++j) {
+                pairs.emplace_back(std::min(comms[i], comms[j]),
+                                   std::max(comms[i], comms[j]));
+            }
+        }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    return pairs;
+}
+
+std::vector<ContentionViolation>
+checkContentionFree(const FinalizedDesign &design, const CliqueSet &cliques)
+{
+    std::vector<ContentionViolation> violations;
+    for (const auto &[channel, comms] : channelOccupancy(design)) {
+        for (std::size_t i = 0; i < comms.size(); ++i) {
+            for (std::size_t j = i + 1; j < comms.size(); ++j) {
+                if (cliques.contend(comms[i], comms[j])) {
+                    violations.push_back(ContentionViolation{
+                        comms[i], comms[j], channel.pipe, channel.forward,
+                        channel.link});
+                }
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace minnoc::core

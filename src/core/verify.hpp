@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Theorem 1 verifier (paper Section 2.4).
+ *
+ * A finalized design is contention-free for its clique set iff the
+ * intersection of the potential communication contention set C and the
+ * network resource conflict set R is empty. At link granularity: no two
+ * communications that co-occur in a contention clique may be assigned
+ * the same physical link channel (pipe, direction, link index).
+ */
+
+#ifndef MINNOC_CORE_VERIFY_HPP
+#define MINNOC_CORE_VERIFY_HPP
+
+#include <string>
+#include <vector>
+
+#include "clique_set.hpp"
+#include "finalize.hpp"
+
+namespace minnoc::core {
+
+/** One Theorem-1 violation: two contending comms sharing a channel. */
+struct ContentionViolation
+{
+    CommId a = 0;
+    CommId b = 0;
+    PipeKey pipe;
+    bool forward = true;
+    std::uint32_t link = 0;
+
+    std::string toString(const CliqueSet &cliques) const;
+};
+
+/**
+ * The network resource conflict set R restricted to pairs of distinct
+ * communications that share at least one directed link channel.
+ * Pairs are reported once with a < b.
+ */
+std::vector<std::pair<CommId, CommId>>
+resourceConflictSet(const FinalizedDesign &design);
+
+/**
+ * Check Theorem 1: return every pair in C intersect R, i.e. every pair
+ * of potentially colliding communications whose routes share a link.
+ * An empty result certifies contention-free communication.
+ */
+std::vector<ContentionViolation>
+checkContentionFree(const FinalizedDesign &design, const CliqueSet &cliques);
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_VERIFY_HPP

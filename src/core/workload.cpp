@@ -1,0 +1,73 @@
+#include "workload.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+CliqueSet
+mergeCliqueSets(const std::vector<const CliqueSet *> &sets)
+{
+    if (sets.empty())
+        panic("mergeCliqueSets: no inputs");
+    const std::uint32_t procs = sets.front()->numProcs();
+    CliqueSet merged(procs);
+    for (const auto *set : sets) {
+        if (set->numProcs() != procs)
+            panic("mergeCliqueSets: processor count mismatch (",
+                  set->numProcs(), " vs ", procs, ")");
+        for (const auto &k : set->cliques()) {
+            std::vector<Comm> comms;
+            comms.reserve(k.size());
+            for (const auto id : k.comms)
+                comms.push_back(set->comm(id));
+            merged.addClique(comms);
+        }
+    }
+    return merged;
+}
+
+CliqueSet
+mergeCliqueSets(const std::vector<CliqueSet> &sets)
+{
+    std::vector<const CliqueSet *> ptrs;
+    ptrs.reserve(sets.size());
+    for (const auto &s : sets)
+        ptrs.push_back(&s);
+    return mergeCliqueSets(ptrs);
+}
+
+bool
+coveredBy(const CliqueSet &part, const CliqueSet &whole)
+{
+    if (part.numProcs() != whole.numProcs())
+        return false;
+    for (const auto &k : part.cliques()) {
+        // Translate to the whole set's comm ids.
+        std::vector<CommId> ids;
+        ids.reserve(k.size());
+        for (const auto id : k.comms) {
+            const auto wid = whole.findComm(part.comm(id));
+            if (wid == CliqueSet::kNoComm)
+                return false;
+            ids.push_back(wid);
+        }
+        std::sort(ids.begin(), ids.end());
+        // A clique of `part` is covered when some clique of `whole`
+        // contains all of its communications.
+        bool found = false;
+        for (const auto &wk : whole.cliques()) {
+            if (std::includes(wk.comms.begin(), wk.comms.end(),
+                              ids.begin(), ids.end())) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+} // namespace minnoc::core

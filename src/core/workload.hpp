@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Multi-application workloads.
+ *
+ * The paper's cross-pattern experiment (Section 4.2) shows generated
+ * networks tolerate only moderate pattern drift; the robust alternative
+ * for a machine that runs a known *set* of applications is to design
+ * for the union of their communication requirements. Merging clique
+ * sets is sound because applications never run concurrently in the
+ * paper's model: a clique from application A can never overlap in time
+ * with one from B, so the union of the two clique sets is exactly the
+ * combined workload's clique set.
+ */
+
+#ifndef MINNOC_CORE_WORKLOAD_HPP
+#define MINNOC_CORE_WORKLOAD_HPP
+
+#include <vector>
+
+#include "clique_set.hpp"
+
+namespace minnoc::core {
+
+/**
+ * Merge several applications' clique sets into one workload clique
+ * set. All inputs must agree on the processor count; duplicate cliques
+ * collapse. The result can be fed to runMethodology to design one
+ * network that is contention-free for every application.
+ */
+CliqueSet mergeCliqueSets(const std::vector<const CliqueSet *> &sets);
+
+/** Convenience overload for value containers. */
+CliqueSet mergeCliqueSets(const std::vector<CliqueSet> &sets);
+
+/**
+ * True if every clique of @p part also exists (as a set of the same
+ * communications) in @p whole — i.e. a network contention-free for
+ * `whole` is contention-free for `part`.
+ */
+bool coveredBy(const CliqueSet &part, const CliqueSet &whole);
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_WORKLOAD_HPP

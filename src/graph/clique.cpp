@@ -1,0 +1,130 @@
+#include "clique.hpp"
+
+#include <algorithm>
+
+namespace minnoc::graph {
+
+namespace {
+
+/** Bron-Kerbosch recursion with greedy pivot selection. */
+class BronKerbosch
+{
+  public:
+    BronKerbosch(const Ugraph &g, std::size_t limit)
+        : _g(g), _limit(limit)
+    {
+    }
+
+    std::vector<std::vector<NodeId>>
+    run()
+    {
+        std::vector<NodeId> r;
+        std::vector<NodeId> p(_g.numNodes());
+        for (NodeId v = 0; v < _g.numNodes(); ++v)
+            p[v] = v;
+        std::vector<NodeId> x;
+        expand(r, p, x);
+        // Deterministic output order: by size descending, then lexicographic.
+        std::sort(_found.begin(), _found.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.size() != b.size())
+                          return a.size() > b.size();
+                      return a < b;
+                  });
+        return std::move(_found);
+    }
+
+  private:
+    bool
+    full() const
+    {
+        return _limit != 0 && _found.size() >= _limit;
+    }
+
+    void
+    expand(std::vector<NodeId> &r, std::vector<NodeId> p,
+           std::vector<NodeId> x)
+    {
+        if (full())
+            return;
+        if (p.empty() && x.empty()) {
+            auto clique = r;
+            std::sort(clique.begin(), clique.end());
+            _found.push_back(std::move(clique));
+            return;
+        }
+
+        // Pivot: vertex of P union X with the most neighbors in P.
+        NodeId pivot = kNoNode;
+        std::size_t bestCover = 0;
+        for (const auto &pool : {p, x}) {
+            for (NodeId u : pool) {
+                std::size_t cover = 0;
+                for (NodeId v : p) {
+                    if (_g.hasEdge(u, v))
+                        ++cover;
+                }
+                if (pivot == kNoNode || cover > bestCover) {
+                    pivot = u;
+                    bestCover = cover;
+                }
+            }
+        }
+
+        // Candidates: P minus neighbors(pivot).
+        std::vector<NodeId> candidates;
+        for (NodeId v : p) {
+            if (pivot == kNoNode || !_g.hasEdge(pivot, v))
+                candidates.push_back(v);
+        }
+
+        for (NodeId v : candidates) {
+            if (full())
+                return;
+            std::vector<NodeId> pNext;
+            std::vector<NodeId> xNext;
+            for (NodeId w : p) {
+                if (_g.hasEdge(v, w))
+                    pNext.push_back(w);
+            }
+            for (NodeId w : x) {
+                if (_g.hasEdge(v, w))
+                    xNext.push_back(w);
+            }
+            r.push_back(v);
+            expand(r, std::move(pNext), std::move(xNext));
+            r.pop_back();
+            p.erase(std::find(p.begin(), p.end(), v));
+            x.push_back(v);
+        }
+    }
+
+    const Ugraph &_g;
+    std::size_t _limit;
+    std::vector<std::vector<NodeId>> _found;
+};
+
+} // namespace
+
+std::vector<std::vector<NodeId>>
+maximalCliques(const Ugraph &g, std::size_t limit)
+{
+    return BronKerbosch(g, limit).run();
+}
+
+std::vector<NodeId>
+maximumClique(const Ugraph &g)
+{
+    auto cliques = maximalCliques(g);
+    if (cliques.empty())
+        return {};
+    return cliques.front(); // sorted size-descending by run()
+}
+
+std::size_t
+cliqueNumber(const Ugraph &g)
+{
+    return maximumClique(g).size();
+}
+
+} // namespace minnoc::graph

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Maximal clique enumeration.
+ *
+ * Used to validate the paper's clique-set machinery: the communication
+ * clique set built from contention periods should consist of cliques of
+ * the message overlap graph, and the maximum clique of a pipe's conflict
+ * graph bounds the link count. Bron-Kerbosch with pivoting handles the
+ * small graphs involved comfortably.
+ */
+
+#ifndef MINNOC_GRAPH_CLIQUE_HPP
+#define MINNOC_GRAPH_CLIQUE_HPP
+
+#include <vector>
+
+#include "ugraph.hpp"
+
+namespace minnoc::graph {
+
+/**
+ * Enumerate all maximal cliques of @p g (Bron-Kerbosch with pivoting).
+ * Each clique is returned sorted by vertex id; the list order is
+ * deterministic.
+ *
+ * @param limit optional cap on the number of cliques reported (0 = all).
+ */
+std::vector<std::vector<NodeId>> maximalCliques(const Ugraph &g,
+                                                std::size_t limit = 0);
+
+/** A maximum (largest) clique of @p g; empty for the empty graph. */
+std::vector<NodeId> maximumClique(const Ugraph &g);
+
+/** Clique number omega(g). */
+std::size_t cliqueNumber(const Ugraph &g);
+
+} // namespace minnoc::graph
+
+#endif // MINNOC_GRAPH_CLIQUE_HPP

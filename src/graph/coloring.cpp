@@ -1,0 +1,258 @@
+#include "coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace minnoc::graph {
+
+bool
+isProperColoring(const Ugraph &g, const Coloring &c)
+{
+    if (c.color.size() != g.numNodes())
+        return false;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (c.color[v] >= c.numColors)
+            return false;
+        for (NodeId w : g.neighbors(v)) {
+            if (c.color[v] == c.color[w])
+                return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Smallest color not used by any already-colored neighbor of v. */
+std::uint32_t
+smallestFreeColor(const Ugraph &g, const std::vector<std::uint32_t> &color,
+                  NodeId v, std::vector<bool> &scratch)
+{
+    std::fill(scratch.begin(), scratch.end(), false);
+    for (NodeId w : g.neighbors(v)) {
+        const auto c = color[w];
+        if (c != static_cast<std::uint32_t>(-1) && c < scratch.size())
+            scratch[c] = true;
+    }
+    for (std::uint32_t c = 0; c < scratch.size(); ++c) {
+        if (!scratch[c])
+            return c;
+    }
+    return static_cast<std::uint32_t>(scratch.size());
+}
+
+} // namespace
+
+Coloring
+greedyColoring(const Ugraph &g)
+{
+    const std::size_t n = g.numNodes();
+    Coloring result;
+    result.color.assign(n, static_cast<std::uint32_t>(-1));
+    if (n == 0)
+        return result;
+
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return g.degree(a) > g.degree(b);
+    });
+
+    std::vector<bool> scratch(g.maxDegree() + 1, false);
+    for (NodeId v : order) {
+        const auto c = smallestFreeColor(g, result.color, v, scratch);
+        result.color[v] = c;
+        result.numColors = std::max(result.numColors, c + 1);
+    }
+    return result;
+}
+
+Coloring
+dsaturColoring(const Ugraph &g)
+{
+    const std::size_t n = g.numNodes();
+    Coloring result;
+    result.color.assign(n, static_cast<std::uint32_t>(-1));
+    if (n == 0)
+        return result;
+
+    // Per-vertex saturation: set of neighbor colors, tracked as a bitset
+    // over at most maxDegree+1 colors.
+    const std::size_t maxColors = g.maxDegree() + 1;
+    std::vector<std::vector<bool>> neighborColors(
+        n, std::vector<bool>(maxColors, false));
+    std::vector<std::uint32_t> saturation(n, 0);
+    std::vector<bool> done(n, false);
+
+    for (std::size_t step = 0; step < n; ++step) {
+        // Pick the undone vertex with max saturation, ties by degree.
+        NodeId best = kNoNode;
+        for (NodeId v = 0; v < n; ++v) {
+            if (done[v])
+                continue;
+            if (best == kNoNode || saturation[v] > saturation[best] ||
+                (saturation[v] == saturation[best] &&
+                 g.degree(v) > g.degree(best))) {
+                best = v;
+            }
+        }
+
+        std::uint32_t c = 0;
+        while (c < maxColors && neighborColors[best][c])
+            ++c;
+        result.color[best] = c;
+        result.numColors = std::max(result.numColors, c + 1);
+        done[best] = true;
+
+        for (NodeId w : g.neighbors(best)) {
+            if (!done[w] && c < maxColors && !neighborColors[w][c]) {
+                neighborColors[w][c] = true;
+                ++saturation[w];
+            }
+        }
+    }
+    return result;
+}
+
+namespace {
+
+/**
+ * Branch-and-bound search state for exact coloring. Vertices are tried
+ * in DSATUR-ish static order (degree-descending); at each vertex we try
+ * every color in [0, usedColors] and prune when usedColors+1 >= best.
+ */
+class ExactSearch
+{
+  public:
+    ExactSearch(const Ugraph &g, std::uint64_t budget)
+        : _g(g), _budget(budget)
+    {
+    }
+
+    Coloring
+    run(const Coloring &seed)
+    {
+        const std::size_t n = _g.numNodes();
+        _best = seed;
+        if (n == 0)
+            return _best;
+
+        _order.resize(n);
+        std::iota(_order.begin(), _order.end(), 0);
+        std::stable_sort(_order.begin(), _order.end(),
+                         [&](NodeId a, NodeId b) {
+                             return _g.degree(a) > _g.degree(b);
+                         });
+        _current.assign(n, static_cast<std::uint32_t>(-1));
+        _exhausted = false;
+        descend(0, 0);
+        return _best;
+    }
+
+    bool exhaustedBudget() const { return _exhausted; }
+
+  private:
+    void
+    descend(std::size_t pos, std::uint32_t usedColors)
+    {
+        if (_exhausted)
+            return;
+        if (_budget && ++_expanded > _budget) {
+            _exhausted = true;
+            return;
+        }
+        if (usedColors >= _best.numColors)
+            return; // cannot beat the incumbent
+        if (pos == _order.size()) {
+            _best.color = _current;
+            _best.numColors = usedColors;
+            return;
+        }
+        const NodeId v = _order[pos];
+        // Try existing colors first, then (at most) one new color.
+        const std::uint32_t limit =
+            std::min<std::uint32_t>(usedColors + 1, _best.numColors - 1);
+        for (std::uint32_t c = 0; c < limit; ++c) {
+            bool feasible = true;
+            for (NodeId w : _g.neighbors(v)) {
+                if (_current[w] == c) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (!feasible)
+                continue;
+            _current[v] = c;
+            descend(pos + 1, std::max(usedColors, c + 1));
+            _current[v] = static_cast<std::uint32_t>(-1);
+        }
+    }
+
+    const Ugraph &_g;
+    std::uint64_t _budget;
+    std::uint64_t _expanded = 0;
+    bool _exhausted = false;
+    std::vector<NodeId> _order;
+    std::vector<std::uint32_t> _current;
+    Coloring _best;
+};
+
+} // namespace
+
+Coloring
+exactColoring(const Ugraph &g, std::uint64_t nodeBudget, bool *wasExact)
+{
+    // Seed with DSATUR: gives both an incumbent and an upper bound.
+    Coloring seed = dsaturColoring(g);
+    // If the clique bound already matches, DSATUR is provably optimal.
+    if (cliqueLowerBound(g) == seed.numColors) {
+        if (wasExact)
+            *wasExact = true;
+        return seed;
+    }
+    ExactSearch search(g, nodeBudget);
+    Coloring best = search.run(seed);
+    if (wasExact)
+        *wasExact = !search.exhaustedBudget();
+    return best;
+}
+
+std::vector<NodeId>
+greedyClique(const Ugraph &g)
+{
+    const std::size_t n = g.numNodes();
+    if (n == 0)
+        return {};
+
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return g.degree(a) > g.degree(b);
+    });
+
+    std::vector<NodeId> clique;
+    for (NodeId v : order) {
+        bool adjacentToAll = true;
+        for (NodeId u : clique) {
+            if (!g.hasEdge(u, v)) {
+                adjacentToAll = false;
+                break;
+            }
+        }
+        if (adjacentToAll)
+            clique.push_back(v);
+    }
+    return clique;
+}
+
+std::uint32_t
+cliqueLowerBound(const Ugraph &g)
+{
+    if (g.numNodes() == 0)
+        return 0;
+    return static_cast<std::uint32_t>(greedyClique(g).size());
+}
+
+} // namespace minnoc::graph

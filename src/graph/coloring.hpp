@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Graph coloring algorithms for conflict graphs.
+ *
+ * The design methodology (Section 3) needs two flavors of coloring:
+ *  - fast lower-bound estimation during partitioning (done in
+ *    core/fast_color using clique knowledge), and
+ *  - formal coloring at finalization to fix the exact number of links
+ *    per pipe (this module).
+ *
+ * Provided here: greedy largest-first, DSATUR, exact branch-and-bound
+ * (practical for the small conflict graphs pipes produce), a
+ * clique-based lower bound, and verification helpers.
+ */
+
+#ifndef MINNOC_GRAPH_COLORING_HPP
+#define MINNOC_GRAPH_COLORING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ugraph.hpp"
+
+namespace minnoc::graph {
+
+/** A proper vertex coloring: color index per vertex. */
+struct Coloring
+{
+    std::vector<std::uint32_t> color;
+    std::uint32_t numColors = 0;
+};
+
+/** True if @p c assigns distinct colors to every adjacent pair in @p g. */
+bool isProperColoring(const Ugraph &g, const Coloring &c);
+
+/**
+ * Greedy coloring in largest-degree-first order (Welsh-Powell).
+ * Uses at most maxDegree+1 colors.
+ */
+Coloring greedyColoring(const Ugraph &g);
+
+/**
+ * DSATUR coloring (Brelaz): picks the vertex with the highest color
+ * saturation next. Typically tighter than plain greedy and exact on
+ * bipartite graphs.
+ */
+Coloring dsaturColoring(const Ugraph &g);
+
+/**
+ * Exact chromatic-number coloring via branch-and-bound seeded with the
+ * DSATUR solution. Exponential worst case; intended for the small
+ * conflict graphs (tens of vertices) produced per pipe.
+ *
+ * @param nodeBudget abort knob: maximum number of search-tree nodes to
+ *        expand before falling back to the DSATUR bound. 0 = unlimited.
+ * @param wasExact optional out-flag: set false when the budget tripped.
+ */
+Coloring exactColoring(const Ugraph &g, std::uint64_t nodeBudget = 0,
+                       bool *wasExact = nullptr);
+
+/**
+ * A greedy maximal clique grown from the highest-degree vertex; its size
+ * is a lower bound on the chromatic number.
+ */
+std::vector<NodeId> greedyClique(const Ugraph &g);
+
+/** Size of greedyClique: cheap chromatic-number lower bound. */
+std::uint32_t cliqueLowerBound(const Ugraph &g);
+
+} // namespace minnoc::graph
+
+#endif // MINNOC_GRAPH_COLORING_HPP

@@ -1,0 +1,187 @@
+#include "connectivity.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace minnoc::graph {
+
+std::vector<std::uint32_t>
+stronglyConnectedComponents(const Digraph &g)
+{
+    const std::size_t n = g.numNodes();
+    constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<NodeId> stack;
+    std::vector<std::uint32_t> comp(n, kUnvisited);
+    std::uint32_t nextIndex = 0;
+    std::uint32_t nextComp = 0;
+
+    // Iterative Tarjan: each frame tracks the node and the position in
+    // its successor list.
+    struct Frame
+    {
+        NodeId node;
+        std::vector<NodeId> succs;
+        std::size_t next = 0;
+    };
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        std::vector<Frame> frames;
+        frames.push_back(Frame{root, g.successors(root)});
+        index[root] = lowlink[root] = nextIndex++;
+        stack.push_back(root);
+        onStack[root] = true;
+
+        while (!frames.empty()) {
+            Frame &fr = frames.back();
+            if (fr.next < fr.succs.size()) {
+                const NodeId w = fr.succs[fr.next++];
+                if (index[w] == kUnvisited) {
+                    index[w] = lowlink[w] = nextIndex++;
+                    stack.push_back(w);
+                    onStack[w] = true;
+                    frames.push_back(Frame{w, g.successors(w)});
+                } else if (onStack[w]) {
+                    lowlink[fr.node] = std::min(lowlink[fr.node], index[w]);
+                }
+            } else {
+                const NodeId v = fr.node;
+                if (lowlink[v] == index[v]) {
+                    // v is the root of an SCC; pop it off.
+                    for (;;) {
+                        const NodeId w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        comp[w] = nextComp;
+                        if (w == v)
+                            break;
+                    }
+                    ++nextComp;
+                }
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const NodeId parent = frames.back().node;
+                    lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+                }
+            }
+        }
+    }
+    return comp;
+}
+
+std::size_t
+numScc(const Digraph &g)
+{
+    const auto comp = stronglyConnectedComponents(g);
+    std::uint32_t maxComp = 0;
+    for (auto c : comp)
+        maxComp = std::max(maxComp, c + 1);
+    return maxComp;
+}
+
+bool
+isStronglyConnected(const Digraph &g)
+{
+    return g.numNodes() > 0 && numScc(g) == 1;
+}
+
+std::vector<EdgeId>
+shortestPathEdges(const Digraph &g, NodeId src, NodeId dst)
+{
+    if (src == dst)
+        return {};
+    const std::size_t n = g.numNodes();
+    std::vector<EdgeId> parentEdge(n, kNoEdge);
+    std::vector<bool> visited(n, false);
+    std::deque<NodeId> queue;
+    queue.push_back(src);
+    visited[src] = true;
+
+    while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop_front();
+        for (EdgeId e : g.outEdges(v)) {
+            const NodeId w = g.edge(e).dst;
+            if (visited[w])
+                continue;
+            visited[w] = true;
+            parentEdge[w] = e;
+            if (w == dst) {
+                // Reconstruct the edge path back to src.
+                std::vector<EdgeId> path;
+                NodeId cur = dst;
+                while (cur != src) {
+                    const EdgeId pe = parentEdge[cur];
+                    path.push_back(pe);
+                    cur = g.edge(pe).src;
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            queue.push_back(w);
+        }
+    }
+    return {kNoEdge};
+}
+
+std::vector<std::int64_t>
+bfsDistances(const Digraph &g, NodeId src)
+{
+    const std::size_t n = g.numNodes();
+    std::vector<std::int64_t> dist(n, -1);
+    std::deque<NodeId> queue;
+    dist[src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop_front();
+        for (const NodeId w : g.successors(v)) {
+            if (dist[w] < 0) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+std::int64_t
+diameter(const Digraph &g)
+{
+    if (g.numNodes() == 0)
+        return -1;
+    std::int64_t best = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (const auto d : bfsDistances(g, v))
+            best = std::max(best, d);
+    }
+    return best;
+}
+
+double
+averageDistance(const Digraph &g)
+{
+    std::int64_t total = 0;
+    std::int64_t pairs = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        const auto dist = bfsDistances(g, v);
+        for (NodeId w = 0; w < g.numNodes(); ++w) {
+            if (w != v && dist[w] >= 0) {
+                total += dist[w];
+                ++pairs;
+            }
+        }
+    }
+    return pairs ? static_cast<double>(total) / static_cast<double>(pairs)
+                 : 0.0;
+}
+
+} // namespace minnoc::graph

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Connectivity algorithms on directed multigraphs.
+ *
+ * The paper's Definition 1 requires the system graph to be strongly
+ * connected; this module provides the Tarjan SCC check used by the
+ * methodology's validity assertions, plus BFS shortest paths used by the
+ * topology layer to materialize routes.
+ */
+
+#ifndef MINNOC_GRAPH_CONNECTIVITY_HPP
+#define MINNOC_GRAPH_CONNECTIVITY_HPP
+
+#include <vector>
+
+#include "digraph.hpp"
+
+namespace minnoc::graph {
+
+/**
+ * Strongly connected components by Tarjan's algorithm (iterative).
+ * @return per-node component id, numbered in reverse topological order.
+ */
+std::vector<std::uint32_t> stronglyConnectedComponents(const Digraph &g);
+
+/** Number of strongly connected components. */
+std::size_t numScc(const Digraph &g);
+
+/** True if @p g has exactly one SCC (and at least one node). */
+bool isStronglyConnected(const Digraph &g);
+
+/**
+ * BFS shortest path from @p src to @p dst as a sequence of edge ids.
+ * Returns an empty vector when src == dst, and when dst is unreachable the
+ * result contains the single sentinel kNoEdge.
+ */
+std::vector<EdgeId> shortestPathEdges(const Digraph &g, NodeId src,
+                                      NodeId dst);
+
+/**
+ * All-destination BFS hop distances from @p src.
+ * Unreachable nodes get distance -1.
+ */
+std::vector<std::int64_t> bfsDistances(const Digraph &g, NodeId src);
+
+/** Graph diameter in hops over reachable pairs; -1 for empty graphs. */
+std::int64_t diameter(const Digraph &g);
+
+/** Average hop distance over all ordered reachable pairs (excluding self). */
+double averageDistance(const Digraph &g);
+
+} // namespace minnoc::graph
+
+#endif // MINNOC_GRAPH_CONNECTIVITY_HPP

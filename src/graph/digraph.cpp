@@ -1,0 +1,164 @@
+#include "digraph.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::graph {
+
+NodeId
+Digraph::addNode()
+{
+    _out.emplace_back();
+    _in.emplace_back();
+    return static_cast<NodeId>(_out.size() - 1);
+}
+
+NodeId
+Digraph::addNodes(std::size_t n)
+{
+    const auto first = static_cast<NodeId>(_out.size());
+    _out.resize(_out.size() + n);
+    _in.resize(_in.size() + n);
+    return first;
+}
+
+EdgeId
+Digraph::addEdge(NodeId src, NodeId dst, std::int64_t weight,
+                 std::int64_t tag)
+{
+    checkNode(src);
+    checkNode(dst);
+    const auto id = static_cast<EdgeId>(_edges.size());
+    _edges.push_back(Edge{src, dst, weight, tag, true});
+    _out[src].push_back(id);
+    _in[dst].push_back(id);
+    ++_numAlive;
+    return id;
+}
+
+void
+Digraph::removeEdge(EdgeId e)
+{
+    auto &edge = _edges.at(e);
+    if (!edge.alive)
+        panic("Digraph::removeEdge on dead edge ", e);
+    edge.alive = false;
+    --_numAlive;
+}
+
+std::vector<EdgeId>
+Digraph::outEdges(NodeId n) const
+{
+    checkNode(n);
+    std::vector<EdgeId> live;
+    live.reserve(_out[n].size());
+    for (EdgeId e : _out[n]) {
+        if (_edges[e].alive)
+            live.push_back(e);
+    }
+    return live;
+}
+
+std::vector<EdgeId>
+Digraph::inEdges(NodeId n) const
+{
+    checkNode(n);
+    std::vector<EdgeId> live;
+    live.reserve(_in[n].size());
+    for (EdgeId e : _in[n]) {
+        if (_edges[e].alive)
+            live.push_back(e);
+    }
+    return live;
+}
+
+std::vector<NodeId>
+Digraph::successors(NodeId n) const
+{
+    std::vector<NodeId> nodes;
+    for (EdgeId e : outEdges(n))
+        nodes.push_back(_edges[e].dst);
+    return nodes;
+}
+
+std::vector<NodeId>
+Digraph::predecessors(NodeId n) const
+{
+    std::vector<NodeId> nodes;
+    for (EdgeId e : inEdges(n))
+        nodes.push_back(_edges[e].src);
+    return nodes;
+}
+
+std::size_t
+Digraph::outDegree(NodeId n) const
+{
+    return outEdges(n).size();
+}
+
+std::size_t
+Digraph::inDegree(NodeId n) const
+{
+    return inEdges(n).size();
+}
+
+EdgeId
+Digraph::findEdge(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    for (EdgeId e : _out[src]) {
+        if (_edges[e].alive && _edges[e].dst == dst)
+            return e;
+    }
+    return kNoEdge;
+}
+
+std::size_t
+Digraph::countEdges(NodeId src, NodeId dst) const
+{
+    checkNode(src);
+    checkNode(dst);
+    std::size_t count = 0;
+    for (EdgeId e : _out[src]) {
+        if (_edges[e].alive && _edges[e].dst == dst)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<EdgeId>
+Digraph::edges() const
+{
+    std::vector<EdgeId> live;
+    live.reserve(_numAlive);
+    for (EdgeId e = 0; e < _edges.size(); ++e) {
+        if (_edges[e].alive)
+            live.push_back(e);
+    }
+    return live;
+}
+
+std::string
+Digraph::toString() const
+{
+    std::ostringstream oss;
+    oss << "Digraph(" << numNodes() << " nodes, " << numEdges()
+        << " edges)\n";
+    for (EdgeId e : edges()) {
+        const auto &ed = _edges[e];
+        oss << "  " << ed.src << " -> " << ed.dst << " (w=" << ed.weight
+            << ", tag=" << ed.tag << ")\n";
+    }
+    return oss.str();
+}
+
+void
+Digraph::checkNode(NodeId n) const
+{
+    if (n >= _out.size())
+        panic("Digraph: node ", n, " out of range (", _out.size(), ")");
+}
+
+} // namespace minnoc::graph

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Directed multigraph.
+ *
+ * Implements the paper's Definition 1 substrate: a system is a strongly
+ * connected directed graph whose vertices are switches and processors and
+ * whose edges are unidirectional links; a pair of vertices may be joined
+ * by more than one edge (multi-edges model multi-link pipes).
+ */
+
+#ifndef MINNOC_GRAPH_DIGRAPH_HPP
+#define MINNOC_GRAPH_DIGRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minnoc::graph {
+
+/** Identifier types; indices into the graph's internal arrays. */
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/** Sentinel for "no node"/"no edge". */
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/**
+ * A directed multigraph with O(1) amortized node/edge insertion, lazy
+ * edge removal, and per-node out/in adjacency lists.
+ *
+ * Edges carry an integer weight (used by the topology layer for link
+ * length) and an opaque user tag.
+ */
+class Digraph
+{
+  public:
+    /** One directed edge. */
+    struct Edge
+    {
+        NodeId src = kNoNode;
+        NodeId dst = kNoNode;
+        std::int64_t weight = 1;
+        std::int64_t tag = 0;
+        bool alive = true;
+    };
+
+    Digraph() = default;
+
+    /** Construct with @p n isolated nodes. */
+    explicit Digraph(std::size_t n) { addNodes(n); }
+
+    /** Add one node and return its id. */
+    NodeId addNode();
+
+    /** Add @p n nodes; returns the id of the first one. */
+    NodeId addNodes(std::size_t n);
+
+    /**
+     * Add a directed edge.
+     * @param src source node (must exist)
+     * @param dst destination node (must exist)
+     * @param weight edge weight (e.g., link length)
+     * @param tag opaque user tag
+     * @return id of the new edge
+     */
+    EdgeId addEdge(NodeId src, NodeId dst, std::int64_t weight = 1,
+                   std::int64_t tag = 0);
+
+    /** Remove an edge (lazy: it stays allocated but is skipped). */
+    void removeEdge(EdgeId e);
+
+    std::size_t numNodes() const { return _out.size(); }
+
+    /** Number of live edges. */
+    std::size_t numEdges() const { return _numAlive; }
+
+    /** Access edge data; the edge must be alive or the caller must check. */
+    const Edge &edge(EdgeId e) const { return _edges.at(e); }
+
+    /** Mutable edge weight/tag access. */
+    void edgeWeight(EdgeId e, std::int64_t w) { _edges.at(e).weight = w; }
+    void edgeTag(EdgeId e, std::int64_t t) { _edges.at(e).tag = t; }
+
+    /** Live outgoing edge ids of @p n. */
+    std::vector<EdgeId> outEdges(NodeId n) const;
+
+    /** Live incoming edge ids of @p n. */
+    std::vector<EdgeId> inEdges(NodeId n) const;
+
+    /** Live successor node ids (with multiplicity). */
+    std::vector<NodeId> successors(NodeId n) const;
+
+    /** Live predecessor node ids (with multiplicity). */
+    std::vector<NodeId> predecessors(NodeId n) const;
+
+    /** Out-degree counting only live edges. */
+    std::size_t outDegree(NodeId n) const;
+
+    /** In-degree counting only live edges. */
+    std::size_t inDegree(NodeId n) const;
+
+    /** Total degree (in + out) counting only live edges. */
+    std::size_t degree(NodeId n) const { return inDegree(n) + outDegree(n); }
+
+    /** First live edge from @p src to @p dst, or kNoEdge. */
+    EdgeId findEdge(NodeId src, NodeId dst) const;
+
+    /** Number of live parallel edges from @p src to @p dst. */
+    std::size_t countEdges(NodeId src, NodeId dst) const;
+
+    /** All live edge ids, in insertion order. */
+    std::vector<EdgeId> edges() const;
+
+    /** Human-readable dump for debugging. */
+    std::string toString() const;
+
+  private:
+    void checkNode(NodeId n) const;
+
+    std::vector<std::vector<EdgeId>> _out;
+    std::vector<std::vector<EdgeId>> _in;
+    std::vector<Edge> _edges;
+    std::size_t _numAlive = 0;
+};
+
+} // namespace minnoc::graph
+
+#endif // MINNOC_GRAPH_DIGRAPH_HPP

@@ -1,0 +1,122 @@
+#include "ugraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::graph {
+
+Ugraph::Ugraph(std::size_t n)
+{
+    _adj.resize(n);
+    _matrix.assign(n * (n + 1) / 2, false);
+}
+
+NodeId
+Ugraph::addNode()
+{
+    _adj.emplace_back();
+    const std::size_t n = _adj.size();
+    // Grow the packed lower-triangular matrix by one row (n cells).
+    _matrix.resize(n * (n + 1) / 2, false);
+    return static_cast<NodeId>(n - 1);
+}
+
+std::size_t
+Ugraph::matrixIndex(NodeId a, NodeId b) const
+{
+    // Packed lower-triangular index with row = max(a,b), col = min(a,b).
+    const NodeId row = std::max(a, b);
+    const NodeId col = std::min(a, b);
+    return static_cast<std::size_t>(row) * (row + 1) / 2 + col;
+}
+
+bool
+Ugraph::addEdge(NodeId a, NodeId b)
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        return false;
+    const auto idx = matrixIndex(a, b);
+    if (_matrix[idx])
+        return false;
+    _matrix[idx] = true;
+    _adj[a].push_back(b);
+    _adj[b].push_back(a);
+    ++_numEdges;
+    return true;
+}
+
+bool
+Ugraph::hasEdge(NodeId a, NodeId b) const
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        return false;
+    return _matrix[matrixIndex(a, b)];
+}
+
+const std::vector<NodeId> &
+Ugraph::neighbors(NodeId n) const
+{
+    checkNode(n);
+    return _adj[n];
+}
+
+std::size_t
+Ugraph::maxDegree() const
+{
+    std::size_t best = 0;
+    for (const auto &nbrs : _adj)
+        best = std::max(best, nbrs.size());
+    return best;
+}
+
+bool
+Ugraph::isClique(const std::vector<NodeId> &verts) const
+{
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+        for (std::size_t j = i + 1; j < verts.size(); ++j) {
+            if (!hasEdge(verts[i], verts[j]))
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+Ugraph::density() const
+{
+    const std::size_t n = numNodes();
+    if (n < 2)
+        return 0.0;
+    const double possible = static_cast<double>(n) * (n - 1) / 2.0;
+    return static_cast<double>(_numEdges) / possible;
+}
+
+std::string
+Ugraph::toString() const
+{
+    std::ostringstream oss;
+    oss << "Ugraph(" << numNodes() << " nodes, " << numEdges()
+        << " edges)\n";
+    for (NodeId a = 0; a < _adj.size(); ++a) {
+        for (NodeId b : _adj[a]) {
+            if (a < b)
+                oss << "  {" << a << ", " << b << "}\n";
+        }
+    }
+    return oss.str();
+}
+
+void
+Ugraph::checkNode(NodeId n) const
+{
+    if (n >= _adj.size())
+        panic("Ugraph: node ", n, " out of range (", _adj.size(), ")");
+}
+
+} // namespace minnoc::graph

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Undirected simple graph.
+ *
+ * Used for the paper's conflict graphs (Section 3.1): vertices are
+ * communications crossing a pipe and edges join communications that
+ * potentially conflict in time. The coloring and clique algorithms in
+ * this library operate on this representation.
+ */
+
+#ifndef MINNOC_GRAPH_UGRAPH_HPP
+#define MINNOC_GRAPH_UGRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "digraph.hpp"
+
+namespace minnoc::graph {
+
+/**
+ * Undirected simple graph with adjacency-matrix-backed O(1) edge queries
+ * and adjacency lists for iteration. Self-loops and parallel edges are
+ * rejected (a communication never conflicts with itself).
+ */
+class Ugraph
+{
+  public:
+    Ugraph() = default;
+
+    /** Construct with @p n isolated vertices. */
+    explicit Ugraph(std::size_t n);
+
+    /** Add one vertex and return its id. */
+    NodeId addNode();
+
+    /**
+     * Add an undirected edge {a, b}. Adding an existing edge or a
+     * self-loop is a no-op that returns false.
+     */
+    bool addEdge(NodeId a, NodeId b);
+
+    /** True if the edge {a, b} is present. */
+    bool hasEdge(NodeId a, NodeId b) const;
+
+    std::size_t numNodes() const { return _adj.size(); }
+    std::size_t numEdges() const { return _numEdges; }
+
+    /** Neighbor list of @p n. */
+    const std::vector<NodeId> &neighbors(NodeId n) const;
+
+    /** Degree of @p n. */
+    std::size_t degree(NodeId n) const { return neighbors(n).size(); }
+
+    /** Maximum degree over all vertices (0 for the empty graph). */
+    std::size_t maxDegree() const;
+
+    /** True if every pair of vertices in @p verts is adjacent. */
+    bool isClique(const std::vector<NodeId> &verts) const;
+
+    /**
+     * The complement-free "density" in [0,1]: edges / possible edges.
+     * Returns 0 for graphs with fewer than two vertices.
+     */
+    double density() const;
+
+    /** Human-readable dump for debugging. */
+    std::string toString() const;
+
+  private:
+    void checkNode(NodeId n) const;
+    std::size_t matrixIndex(NodeId a, NodeId b) const;
+
+    std::vector<std::vector<NodeId>> _adj;
+    std::vector<bool> _matrix; // lower-triangular packed adjacency
+    std::size_t _numEdges = 0;
+};
+
+} // namespace minnoc::graph
+
+#endif // MINNOC_GRAPH_UGRAPH_HPP

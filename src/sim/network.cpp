@@ -1,0 +1,515 @@
+#include "network.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace minnoc::sim {
+
+Network::Network(const topo::Topology &topo,
+                 const topo::RoutingFunction &routing,
+                 const SimConfig &config)
+    : _topo(&topo), _routing(&routing), _config(config)
+{
+    const auto numLinks = static_cast<std::uint32_t>(topo.numLinks());
+    _inputs.resize(numLinks);
+    _outputs.resize(numLinks);
+    _pipes.resize(numLinks);
+    for (topo::LinkId l = 0; l < numLinks; ++l) {
+        // Links into switches get receive buffers; links into end-nodes
+        // are drained instantly by the NI (modeled without an input
+        // unit), but keep uniform sender-side credit bookkeeping.
+        if (!topo.isProc(topo.link(l).to))
+            _inputs[l].vcs.resize(config.numVcs);
+        auto &out = _outputs[l];
+        out.credits.assign(config.numVcs, config.vcDepth);
+        out.vcOwner.assign(config.numVcs, kNoPacket);
+        out.tailSent.assign(config.numVcs, false);
+        out.outstanding.assign(config.numVcs, 0);
+    }
+    _sources.resize(topo.numProcs());
+    _inputUsed.assign(numLinks, false);
+    _sourceUsed.assign(topo.numProcs(), false);
+    _stats.linkFlits.assign(numLinks, 0);
+}
+
+bool
+Network::isTail(const FlitRef &f) const
+{
+    return f.seq + 1 == _packets.at(f.packet).numFlits;
+}
+
+PacketId
+Network::enqueue(core::ProcId src, core::ProcId dst, std::uint64_t bytes,
+                 std::uint32_t callId, Cycle now)
+{
+    if (src >= _topo->numProcs() || dst >= _topo->numProcs())
+        panic("Network::enqueue: proc out of range");
+    if (src == dst)
+        panic("Network::enqueue: src == dst");
+    Packet pkt;
+    pkt.id = static_cast<PacketId>(_packets.size());
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.bytes = bytes;
+    pkt.callId = callId;
+    pkt.numFlits =
+        1 + static_cast<std::uint32_t>(
+                (bytes + _config.flitBytes - 1) / _config.flitBytes);
+    pkt.enqueuedAt = now;
+    pkt.lastProgress = now;
+    pkt.channelSeq = _sendSeq[{dst, src}]++;
+    _packets.push_back(pkt);
+    _sources[src].queue.push_back(pkt.id);
+    return pkt.id;
+}
+
+bool
+Network::injected(PacketId id) const
+{
+    const Packet &pkt = _packets.at(id);
+    return pkt.flitsInjected == pkt.numFlits;
+}
+
+bool
+Network::hasDelivered(core::ProcId dst, core::ProcId src) const
+{
+    // In-order matching: only the next-in-sequence message is visible,
+    // even if later ones overtook it through the virtual channels.
+    const auto it = _delivered.find({dst, src});
+    if (it == _delivered.end() || it->second.empty())
+        return false;
+    const auto seqIt = _consumeSeq.find({dst, src});
+    const std::uint64_t next = seqIt == _consumeSeq.end() ? 0
+                                                          : seqIt->second;
+    return it->second.begin()->first == next;
+}
+
+PacketId
+Network::consumeDelivered(core::ProcId dst, core::ProcId src)
+{
+    if (!hasDelivered(dst, src))
+        panic("Network::consumeDelivered: nothing from ", src, " at ",
+              dst);
+    auto &buffer = _delivered[{dst, src}];
+    const PacketId id = buffer.begin()->second;
+    buffer.erase(buffer.begin());
+    ++_consumeSeq[{dst, src}];
+    return id;
+}
+
+void
+Network::step(Cycle now)
+{
+    if (now <= _lastStep)
+        panic("Network::step: non-monotone clock");
+    _lastStep = now;
+
+    std::fill(_inputUsed.begin(), _inputUsed.end(), false);
+    std::fill(_sourceUsed.begin(), _sourceUsed.end(), false);
+
+    arriveCredits(now);
+    arriveFlits(now);
+    routeAndAllocate(now);
+    switchAllocation(now);
+    injectFromSources(now);
+    if (_config.deadlockScanInterval > 0 &&
+        now % _config.deadlockScanInterval == 0) {
+        scanForDeadlocks(now);
+    }
+}
+
+void
+Network::arriveCredits(Cycle now)
+{
+    for (topo::LinkId l = 0; l < _pipes.size(); ++l) {
+        auto &pipe = _pipes[l];
+        auto &out = _outputs[l];
+        while (!pipe.credits.empty() && pipe.credits.front().arrive <= now) {
+            const auto vc = pipe.credits.front().vc;
+            pipe.credits.pop_front();
+            ++out.credits[vc];
+            if (out.outstanding[vc] == 0)
+                panic("Network: credit underflow on link ", l);
+            --out.outstanding[vc];
+            if (out.tailSent[vc] && out.outstanding[vc] == 0) {
+                // Downstream VC fully drained: release the reservation.
+                out.vcOwner[vc] = kNoPacket;
+                out.tailSent[vc] = false;
+            }
+        }
+    }
+}
+
+void
+Network::arriveFlits(Cycle now)
+{
+    for (topo::LinkId l = 0; l < _pipes.size(); ++l) {
+        auto &pipe = _pipes[l];
+        while (!pipe.flits.empty() && pipe.flits.front().arrive <= now) {
+            const auto in = pipe.flits.front();
+            pipe.flits.pop_front();
+            const auto toNode = _topo->link(l).to;
+            if (_topo->isProc(toNode)) {
+                deliverAtProc(in.flit, l, in.vc, now);
+            } else {
+                auto &vc = _inputs[l].vcs.at(in.vc);
+                if (in.flit.isHead()) {
+                    if (vc.owner != kNoPacket)
+                        panic("Network: head arrival on owned VC");
+                    vc.owner = in.flit.packet;
+                }
+                if (vc.owner != in.flit.packet)
+                    panic("Network: flit arrival on foreign VC");
+                vc.buffer.push_back(in.flit);
+                _packets[in.flit.packet].lastProgress = now;
+            }
+        }
+    }
+}
+
+std::uint32_t
+Network::allocateVc(OutputState &out)
+{
+    const auto n = static_cast<std::uint32_t>(out.vcOwner.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t vc = (out.rrVc + i) % n;
+        if (out.vcOwner[vc] == kNoPacket) {
+            out.rrVc = (vc + 1) % n;
+            return vc;
+        }
+    }
+    return kNoVc;
+}
+
+topo::LinkId
+Network::chooseOutput(const std::vector<topo::LinkId> &candidates)
+{
+    // Prefer outputs with a free downstream VC, then most free credits
+    // (congestion-aware choice for adaptive routing; deterministic
+    // functions supply one candidate).
+    topo::LinkId best = topo::kNoLink;
+    bool bestFree = false;
+    std::uint64_t bestCredits = 0;
+    for (const auto cand : candidates) {
+        const auto &out = _outputs[cand];
+        bool freeVc = false;
+        std::uint64_t credits = 0;
+        for (std::uint32_t v = 0; v < out.vcOwner.size(); ++v) {
+            if (out.vcOwner[v] == kNoPacket)
+                freeVc = true;
+            credits += out.credits[v];
+        }
+        if (!freeVc)
+            continue;
+        if (best == topo::kNoLink || credits > bestCredits) {
+            best = cand;
+            bestFree = true;
+            bestCredits = credits;
+        }
+    }
+    (void)bestFree;
+    return best;
+}
+
+void
+Network::routeAndAllocate(Cycle now)
+{
+    (void)now;
+    for (topo::LinkId l = 0; l < _inputs.size(); ++l) {
+        auto &unit = _inputs[l];
+        for (auto &vc : unit.vcs) {
+            if (vc.buffer.empty() || vc.outAssigned)
+                continue;
+            if (!vc.buffer.front().isHead())
+                panic("Network: non-head flit awaiting route");
+            const Packet &pkt = _packets[vc.buffer.front().packet];
+            const auto node = _topo->link(l).to;
+            const auto candidates =
+                _routing->candidates(node, pkt.src, pkt.dst);
+            if (candidates.empty())
+                panic("Network: routing returned no candidates");
+            const auto out = chooseOutput(candidates);
+            if (out == topo::kNoLink)
+                continue; // every candidate VC busy: stall
+            auto &outState = _outputs[out];
+            const auto w = allocateVc(outState);
+            if (w == kNoVc)
+                continue;
+            outState.vcOwner[w] = pkt.id;
+            outState.tailSent[w] = false;
+            vc.outLink = out;
+            vc.outVc = w;
+            vc.outAssigned = true;
+        }
+    }
+}
+
+void
+Network::forwardFlit(topo::LinkId inLink, std::uint32_t inVc, VcState &vc,
+                     Cycle now)
+{
+    const FlitRef flit = vc.buffer.front();
+    vc.buffer.pop_front();
+    auto &out = _outputs[vc.outLink];
+
+    if (out.credits[vc.outVc] == 0)
+        panic("Network: forwarding without credit");
+    --out.credits[vc.outVc];
+    ++out.outstanding[vc.outVc];
+    _pipes[vc.outLink].flits.push_back(LinkPipe::InFlit{
+        now + _topo->link(vc.outLink).delay(), flit, vc.outVc});
+    ++_stats.flitHops;
+    ++_stats.linkFlits[vc.outLink];
+    if (flit.isHead())
+        ++_packets[flit.packet].hops;
+    _packets[flit.packet].lastProgress = now;
+
+    // The freed input buffer slot becomes a credit for the upstream
+    // sender of `inLink` after the wire's return delay.
+    _pipes[inLink].credits.push_back(LinkPipe::InCredit{
+        now + _topo->link(inLink).delay(), inVc});
+
+    if (isTail(flit)) {
+        out.tailSent[vc.outVc] = true;
+        if (!vc.buffer.empty())
+            panic("Network: flits behind tail in VC");
+        vc.owner = kNoPacket;
+        vc.outAssigned = false;
+        vc.outLink = topo::kNoLink;
+        vc.outVc = kNoVc;
+    }
+    _inputUsed[inLink] = true;
+}
+
+void
+Network::switchAllocation(Cycle now)
+{
+    // Arbitrate each output link independently (full crossbar switches:
+    // contention exists only per link, as in the paper's model).
+    for (topo::LinkId out = 0; out < _outputs.size(); ++out) {
+        const auto fromNode = _topo->link(out).from;
+        if (_topo->isProc(fromNode))
+            continue; // injection links are driven by the source NIs
+
+        // Gather requesting (input link, vc) pairs.
+        struct Request
+        {
+            topo::LinkId link;
+            std::uint32_t vc;
+        };
+        std::vector<Request> requests;
+        for (const auto inLink : _topo->inLinks(fromNode)) {
+            if (_inputUsed[inLink])
+                continue;
+            auto &unit = _inputs[inLink];
+            for (std::uint32_t v = 0; v < unit.vcs.size(); ++v) {
+                auto &vc = unit.vcs[v];
+                if (vc.buffer.empty() || !vc.outAssigned ||
+                    vc.outLink != out) {
+                    continue;
+                }
+                if (_outputs[out].credits[vc.outVc] == 0)
+                    continue;
+                requests.push_back(Request{inLink, v});
+            }
+        }
+        if (requests.empty())
+            continue;
+        auto &rr = _outputs[out].rrReq;
+        const auto &winner = requests[rr % requests.size()];
+        rr = (rr + 1) % std::max<std::uint32_t>(
+                            1, static_cast<std::uint32_t>(requests.size()));
+        forwardFlit(winner.link, winner.vc,
+                    _inputs[winner.link].vcs[winner.vc], now);
+    }
+}
+
+void
+Network::injectFromSources(Cycle now)
+{
+    for (core::ProcId p = 0; p < _sources.size(); ++p) {
+        auto &src = _sources[p];
+        if (src.queue.empty() || _sourceUsed[p])
+            continue;
+        Packet &pkt = _packets[src.queue.front()];
+        if (now < pkt.holdUntil)
+            continue;
+        const auto inj = _topo->injectionLink(p);
+        auto &out = _outputs[inj];
+
+        if (!src.vcAssigned) {
+            const auto w = allocateVc(out);
+            if (w == kNoVc)
+                continue;
+            out.vcOwner[w] = pkt.id;
+            out.tailSent[w] = false;
+            src.vc = w;
+            src.vcAssigned = true;
+        }
+        if (out.credits[src.vc] == 0)
+            continue;
+
+        const FlitRef flit{pkt.id, pkt.flitsInjected};
+        --out.credits[src.vc];
+        ++out.outstanding[src.vc];
+        _pipes[inj].flits.push_back(LinkPipe::InFlit{
+            now + _topo->link(inj).delay(), flit, src.vc});
+        ++pkt.flitsInjected;
+        ++_flitsInNetwork;
+        ++_stats.flitHops;
+        ++_stats.linkFlits[inj];
+        if (flit.isHead())
+            ++pkt.hops;
+        pkt.lastProgress = now;
+        _sourceUsed[p] = true;
+
+        if (pkt.flitsInjected == pkt.numFlits) {
+            out.tailSent[src.vc] = true;
+            src.queue.pop_front();
+            src.vcAssigned = false;
+            src.vc = kNoVc;
+        }
+    }
+}
+
+void
+Network::deliverAtProc(const FlitRef &flit, topo::LinkId link,
+                       std::uint32_t vc, Cycle now)
+{
+    Packet &pkt = _packets[flit.packet];
+    ++pkt.flitsDelivered;
+    --_flitsInNetwork;
+    pkt.lastProgress = now;
+
+    // The NI drains instantly; the freed slot is credited back to the
+    // last switch after the wire's return delay.
+    _pipes[link].credits.push_back(LinkPipe::InCredit{
+        now + _topo->link(link).delay(), vc});
+
+    if (isTail(flit)) {
+        if (pkt.flitsDelivered != pkt.numFlits)
+            panic("Network: tail delivered before body (packet ", pkt.id,
+                  ")");
+        pkt.deliveredAt = now;
+        _delivered[{pkt.dst, pkt.src}][pkt.channelSeq] = pkt.id;
+        ++_stats.packetsDelivered;
+        _stats.packetLatency.sample(
+            static_cast<double>(now - pkt.enqueuedAt));
+        _stats.packetHops.sample(static_cast<double>(pkt.hops));
+    }
+}
+
+void
+Network::scanForDeadlocks(Cycle now)
+{
+    // Regressive recovery kills one victim per scan — the packet whose
+    // progress is stalest. Killing every blocked packet at once would
+    // make the survivors re-form the identical cycle after the penalty
+    // and livelock.
+    Packet *victim = nullptr;
+    for (auto &pkt : _packets) {
+        if (pkt.delivered())
+            continue;
+        if (pkt.flitsInjected == 0 ||
+            pkt.flitsInjected == pkt.flitsDelivered) {
+            continue; // no flits alive in the network
+        }
+        if (now - pkt.lastProgress <= _config.deadlockTimeout)
+            continue;
+        if (!victim || pkt.lastProgress < victim->lastProgress)
+            victim = &pkt;
+    }
+    if (victim)
+        recoverPacket(victim->id, now);
+}
+
+void
+Network::recoverPacket(PacketId id, Cycle now)
+{
+    Packet &pkt = _packets.at(id);
+    warn("Network: deadlock recovery of packet ", id, " (", pkt.src, "->",
+         pkt.dst, ") at cycle ", now);
+    ++_stats.deadlockRecoveries;
+
+    // Purge in-flight flits (treat as never sent: restore the sender's
+    // credit, cancel the outstanding count).
+    for (topo::LinkId l = 0; l < _pipes.size(); ++l) {
+        auto &pipe = _pipes[l];
+        auto &out = _outputs[l];
+        for (auto it = pipe.flits.begin(); it != pipe.flits.end();) {
+            if (it->flit.packet == id) {
+                ++out.credits[it->vc];
+                --out.outstanding[it->vc];
+                --_flitsInNetwork;
+                it = pipe.flits.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Purge buffered flits and free the victim's input VCs.
+    for (topo::LinkId l = 0; l < _inputs.size(); ++l) {
+        auto &out = _outputs[l];
+        for (std::uint32_t v = 0; v < _inputs[l].vcs.size(); ++v) {
+            auto &vc = _inputs[l].vcs[v];
+            if (vc.owner != id)
+                continue;
+            const auto k =
+                static_cast<std::uint32_t>(vc.buffer.size());
+            vc.buffer.clear();
+            vc.owner = kNoPacket;
+            vc.outAssigned = false;
+            vc.outLink = topo::kNoLink;
+            vc.outVc = kNoVc;
+            out.credits[v] += k;
+            if (out.outstanding[v] < k)
+                panic("Network: recovery outstanding underflow");
+            out.outstanding[v] -= k;
+            _flitsInNetwork -= k;
+        }
+    }
+
+    // Release every downstream VC reservation held by the victim.
+    for (auto &out : _outputs) {
+        for (std::uint32_t v = 0; v < out.vcOwner.size(); ++v) {
+            if (out.vcOwner[v] == id) {
+                if (out.outstanding[v] != 0)
+                    panic("Network: recovery left outstanding flits");
+                out.vcOwner[v] = kNoPacket;
+                out.tailSent[v] = false;
+            }
+        }
+    }
+
+    // Reset and retransmit from the source after the penalty.
+    auto &src = _sources[pkt.src];
+    const bool queued =
+        std::find(src.queue.begin(), src.queue.end(), id) !=
+        src.queue.end();
+    if (!queued)
+        src.queue.push_front(id);
+    if (!src.queue.empty() && src.queue.front() == id)
+        src.vcAssigned = false;
+    pkt.flitsInjected = 0;
+    pkt.flitsDelivered = 0;
+    pkt.hops = 0;
+    pkt.holdUntil = now + _config.deadlockPenalty;
+    pkt.lastProgress = now;
+    ++pkt.retries;
+}
+
+bool
+Network::idle() const
+{
+    if (_flitsInNetwork != 0)
+        return false;
+    for (const auto &src : _sources) {
+        if (!src.queue.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace minnoc::sim

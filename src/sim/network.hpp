@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Cycle-driven flit-level network model.
+ *
+ * Microarchitecture: input-queued wormhole routers with full internal
+ * crossbars (contention is per link, matching the paper's path-conflict
+ * model), per-link virtual channels with credit-based flow control,
+ * per-output round-robin switch allocation, one flit per input link and
+ * per output link per cycle, and wire delay equal to link length.
+ *
+ * Deadlocks (possible under the torus's fully adaptive routing and on
+ * arbitrary generated topologies) are detected by per-packet progress
+ * timeout and resolved by regressive recovery: every buffered or
+ * in-flight flit of the victim is purged with credits restored, and the
+ * source retransmits the whole packet after a penalty — the scheme the
+ * paper assumes (Section 4.2).
+ */
+
+#ifndef MINNOC_SIM_NETWORK_HPP
+#define MINNOC_SIM_NETWORK_HPP
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "config.hpp"
+#include "packet.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+#include "util/stats.hpp"
+
+namespace minnoc::sim {
+
+/** Aggregate network statistics. */
+struct NetworkStats
+{
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t flitHops = 0;
+    std::uint32_t deadlockRecoveries = 0;
+    ScalarStat packetLatency; ///< enqueue -> delivered, cycles
+    ScalarStat packetHops;    ///< path length in links
+
+    /** Flits that traversed each link (indexed by LinkId). */
+    std::vector<std::uint64_t> linkFlits;
+
+    /**
+     * Utilization of link @p l over a horizon of @p cycles: fraction of
+     * cycles the link moved a flit (a link moves at most one per
+     * cycle).
+     */
+    double
+    linkUtilization(topo::LinkId l, Cycle cycles) const
+    {
+        if (cycles <= 0 || l >= linkFlits.size())
+            return 0.0;
+        return static_cast<double>(linkFlits[l]) /
+               static_cast<double>(cycles);
+    }
+
+    /** Peak link utilization over the horizon. */
+    double
+    maxLinkUtilization(Cycle cycles) const
+    {
+        double best = 0.0;
+        for (topo::LinkId l = 0; l < linkFlits.size(); ++l)
+            best = std::max(best, linkUtilization(l, cycles));
+        return best;
+    }
+
+    /** Mean utilization over all links. */
+    double
+    meanLinkUtilization(Cycle cycles) const
+    {
+        if (linkFlits.empty())
+            return 0.0;
+        double total = 0.0;
+        for (topo::LinkId l = 0; l < linkFlits.size(); ++l)
+            total += linkUtilization(l, cycles);
+        return total / static_cast<double>(linkFlits.size());
+    }
+};
+
+/**
+ * The network: topology + routing + router state. Driven one cycle at
+ * a time by step(); the trace engine enqueues packets and polls
+ * delivery.
+ */
+class Network
+{
+  public:
+    /**
+     * @param topo physical topology (must outlive the network)
+     * @param routing routing function (must outlive the network)
+     * @param config simulator parameters
+     */
+    Network(const topo::Topology &topo,
+            const topo::RoutingFunction &routing, const SimConfig &config);
+
+    /** Queue a packet for injection; returns its id. */
+    PacketId enqueue(core::ProcId src, core::ProcId dst,
+                     std::uint64_t bytes, std::uint32_t callId, Cycle now);
+
+    /** True once the packet's tail flit left the source NI. */
+    bool injected(PacketId id) const;
+
+    /** True if a delivered-but-unconsumed message from src waits at dst. */
+    bool hasDelivered(core::ProcId dst, core::ProcId src) const;
+
+    /**
+     * Consume the oldest delivered message from src at dst; returns its
+     * packet id (panics when none is pending).
+     */
+    PacketId consumeDelivered(core::ProcId dst, core::ProcId src);
+
+    /** Advance the network one cycle (call with monotone `now`). */
+    void step(Cycle now);
+
+    /** True when no flits exist anywhere and no injections are pending. */
+    bool idle() const;
+
+    const NetworkStats &stats() const { return _stats; }
+    const Packet &packet(PacketId id) const { return _packets.at(id); }
+    const SimConfig &config() const { return _config; }
+
+  private:
+    static constexpr std::uint32_t kNoVc = static_cast<std::uint32_t>(-1);
+
+    /** Receiver-side state of one virtual channel of one link. */
+    struct VcState
+    {
+        PacketId owner = kNoPacket;
+        std::deque<FlitRef> buffer;
+        /** Output chosen for the owner (valid once head routed). */
+        topo::LinkId outLink = topo::kNoLink;
+        std::uint32_t outVc = kNoVc;
+        bool outAssigned = false;
+    };
+
+    /** Receiver side of a link (absent for links into end-nodes). */
+    struct InputUnit
+    {
+        std::vector<VcState> vcs;
+    };
+
+    /** Sender-side bookkeeping of a link. */
+    struct OutputState
+    {
+        std::vector<std::uint32_t> credits; ///< free downstream slots
+        std::vector<PacketId> vcOwner;      ///< reserved downstream VC
+        std::vector<bool> tailSent;         ///< tail handed to the link
+        std::vector<std::uint32_t> outstanding; ///< flits not yet credited
+        std::uint32_t rrVc = 0;             ///< VC allocation round-robin
+        std::uint32_t rrReq = 0;            ///< switch allocation rr
+    };
+
+    /** Flits and credits in flight on a link. */
+    struct LinkPipe
+    {
+        struct InFlit
+        {
+            Cycle arrive;
+            FlitRef flit;
+            std::uint32_t vc;
+        };
+        struct InCredit
+        {
+            Cycle arrive;
+            std::uint32_t vc;
+        };
+        std::deque<InFlit> flits;
+        std::deque<InCredit> credits;
+    };
+
+    /** Per-processor source NI. */
+    struct SourceNi
+    {
+        std::deque<PacketId> queue;
+        std::uint32_t vc = kNoVc;
+        bool vcAssigned = false;
+    };
+
+    bool isTail(const FlitRef &f) const;
+    void arriveFlits(Cycle now);
+    void arriveCredits(Cycle now);
+    void routeAndAllocate(Cycle now);
+    void switchAllocation(Cycle now);
+    void injectFromSources(Cycle now);
+    void scanForDeadlocks(Cycle now);
+    void recoverPacket(PacketId id, Cycle now);
+    std::uint32_t allocateVc(OutputState &out);
+    topo::LinkId chooseOutput(const std::vector<topo::LinkId> &candidates);
+    void forwardFlit(topo::LinkId inLink, std::uint32_t inVc,
+                     VcState &vc, Cycle now);
+    void deliverAtProc(const FlitRef &flit, topo::LinkId link,
+                       std::uint32_t vc, Cycle now);
+
+    const topo::Topology *_topo;
+    const topo::RoutingFunction *_routing;
+    SimConfig _config;
+
+    std::vector<Packet> _packets;
+    std::vector<InputUnit> _inputs;   ///< per link (empty for proc sinks)
+    std::vector<OutputState> _outputs; ///< per link
+    std::vector<LinkPipe> _pipes;      ///< per link
+    std::vector<SourceNi> _sources;    ///< per proc
+
+    /** Per-channel reorder buffers: (dst, src) -> seq -> packet id. */
+    std::map<std::pair<core::ProcId, core::ProcId>,
+             std::map<std::uint64_t, PacketId>>
+        _delivered;
+    /** Next sequence to hand to the consumer, per channel. */
+    std::map<std::pair<core::ProcId, core::ProcId>, std::uint64_t>
+        _consumeSeq;
+    /** Next sequence to assign at the source, per channel. */
+    std::map<std::pair<core::ProcId, core::ProcId>, std::uint64_t>
+        _sendSeq;
+
+    /** Per-cycle scratch: input links already used this cycle. */
+    std::vector<bool> _inputUsed;
+    std::vector<bool> _sourceUsed;
+
+    std::uint64_t _flitsInNetwork = 0;
+    NetworkStats _stats;
+    Cycle _lastStep = -1;
+};
+
+} // namespace minnoc::sim
+
+#endif // MINNOC_SIM_NETWORK_HPP

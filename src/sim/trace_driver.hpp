@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace-driven workload engine (paper Section 4.2).
+ *
+ * Replays a Trace on a Network: each rank walks its timeline, charging
+ * compute cycles locally, paying the ten-cycle send overhead and then
+ * blocking until its packet is fully injected, and blocking on receives
+ * until the matching message is absorbed (plus the receive overhead).
+ * Reported metrics match the paper's Figure 8: total execution time and
+ * per-rank communication time (waiting + overhead included).
+ */
+
+#ifndef MINNOC_SIM_TRACE_DRIVER_HPP
+#define MINNOC_SIM_TRACE_DRIVER_HPP
+
+#include <string>
+#include <vector>
+
+#include "network.hpp"
+#include "trace/trace.hpp"
+
+namespace minnoc::sim {
+
+/** Results of one trace-driven simulation. */
+struct SimResult
+{
+    /** Cycle at which the last rank finished: total execution time. */
+    Cycle execTime = 0;
+    /** Per-rank cycles spent inside send/recv (waiting + overhead). */
+    std::vector<Cycle> commTime;
+    /** Per-rank finish cycle. */
+    std::vector<Cycle> finishTime;
+    std::uint64_t packetsDelivered = 0;
+    std::uint32_t deadlockRecoveries = 0;
+    double avgPacketLatency = 0.0;
+    /** Mean path length in links over delivered packets. */
+    double avgPacketHops = 0.0;
+    /** Peak and mean per-link utilization over the whole run. */
+    double maxLinkUtilization = 0.0;
+    double meanLinkUtilization = 0.0;
+    /** Flits each link carried (for power/utilization analysis). */
+    std::vector<std::uint64_t> linkFlits;
+
+    /** Mean of commTime over ranks. */
+    double commTimeMean() const;
+    /** Max of commTime over ranks. */
+    Cycle commTimeMax() const;
+};
+
+/**
+ * Drive @p trace through @p network until every rank completes.
+ * The network must be freshly constructed for the trace's rank count.
+ */
+SimResult runTrace(const trace::Trace &trace, Network &network);
+
+/**
+ * Convenience: build the network for (topo, routing, config) and run.
+ */
+SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
+                   const topo::RoutingFunction &routing,
+                   const SimConfig &config = {});
+
+} // namespace minnoc::sim
+
+#endif // MINNOC_SIM_TRACE_DRIVER_HPP

@@ -1,0 +1,130 @@
+#include "deadlock_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::topo {
+
+std::string
+CdgReport::toString() const
+{
+    std::ostringstream oss;
+    oss << (acyclic ? "acyclic (deadlock-free)" : "cyclic")
+        << ", channels=" << usedChannels
+        << ", dependencies=" << dependencies;
+    if (!acyclic)
+        oss << ", cycle length " << cycleWitness.size();
+    return oss.str();
+}
+
+namespace {
+
+/** Iterative cycle search (white/grey/black DFS) on the CDG. */
+std::vector<LinkId>
+findCycle(const std::map<LinkId, std::set<LinkId>> &cdg)
+{
+    enum class Color { White, Grey, Black };
+    std::map<LinkId, Color> color;
+    for (const auto &[node, succs] : cdg)
+        color[node] = Color::White;
+
+    for (const auto &[root, rootSuccs] : cdg) {
+        if (color[root] != Color::White)
+            continue;
+
+        // DFS with an explicit stack of (node, successor iterator).
+        std::vector<std::pair<LinkId, std::set<LinkId>::const_iterator>>
+            stack;
+        std::vector<LinkId> path;
+        color[root] = Color::Grey;
+        stack.push_back({root, cdg.at(root).begin()});
+        path.push_back(root);
+        while (!stack.empty()) {
+            auto &[node, it] = stack.back();
+            const auto &succs = cdg.at(node);
+            if (it == succs.end()) {
+                color[node] = Color::Black;
+                stack.pop_back();
+                path.pop_back();
+                continue;
+            }
+            const LinkId next = *it;
+            ++it;
+            const auto cit = color.find(next);
+            if (cit == color.end())
+                continue; // sink channel with no out-edges
+            if (cit->second == Color::Grey) {
+                // Found a cycle: slice the grey path from `next`.
+                const auto start =
+                    std::find(path.begin(), path.end(), next);
+                return {start, path.end()};
+            }
+            if (cit->second == Color::White) {
+                cit->second = Color::Grey;
+                stack.push_back({next, cdg.at(next).begin()});
+                path.push_back(next);
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+CdgReport
+analyzeChannelDependencies(const Topology &topo,
+                           const RoutingFunction &routing)
+{
+    // cdg[l1] = set of links a packet on l1 can need next.
+    std::map<LinkId, std::set<LinkId>> cdg;
+    std::set<LinkId> used;
+
+    for (core::ProcId s = 0; s < topo.numProcs(); ++s) {
+        for (core::ProcId d = 0; d < topo.numProcs(); ++d) {
+            if (s == d)
+                continue;
+            const NodeIdx goal = topo.procNode(d);
+
+            // BFS over "currently occupying link l" states, expanding
+            // every candidate the routing function offers.
+            std::set<LinkId> visited;
+            std::deque<LinkId> frontier;
+            for (const auto first :
+                 routing.candidates(topo.procNode(s), s, d)) {
+                if (visited.insert(first).second)
+                    frontier.push_back(first);
+            }
+            std::size_t guard = 0;
+            while (!frontier.empty()) {
+                const LinkId cur = frontier.front();
+                frontier.pop_front();
+                used.insert(cur);
+                const NodeIdx at = topo.link(cur).to;
+                if (at == goal)
+                    continue; // ejected
+                if (++guard > 16u * topo.numLinks() * topo.numLinks())
+                    panic("analyzeChannelDependencies: state explosion");
+                for (const auto next : routing.candidates(at, s, d)) {
+                    cdg[cur].insert(next);
+                    if (visited.insert(next).second)
+                        frontier.push_back(next);
+                }
+            }
+        }
+    }
+
+    CdgReport report;
+    report.usedChannels = used.size();
+    for (const auto &[node, succs] : cdg)
+        report.dependencies += succs.size();
+    report.cycleWitness = findCycle(cdg);
+    report.acyclic = report.cycleWitness.empty();
+    return report;
+}
+
+} // namespace minnoc::topo

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static deadlock analysis via channel dependency graphs.
+ *
+ * The paper reports that no deadlocks were detected in any simulation
+ * and calls this "consistent with prior observations" of its reference
+ * [20] (Warnakulasuriya & Pinkston's deadlock characterization in
+ * irregular networks — the IRFlexSim lineage). This module makes that
+ * observation checkable: it builds the exact channel dependency graph
+ * (CDG) of a routing function over a topology — one vertex per
+ * directed link, one edge per possible consecutive link pair over any
+ * (source, destination) flow — and reports whether it is acyclic.
+ *
+ * Dally & Seitz: an acyclic CDG proves the routing deadlock-free on
+ * wormhole networks; a cyclic CDG only indicates *potential* deadlock
+ * (which regressive recovery then covers).
+ */
+
+#ifndef MINNOC_TOPO_DEADLOCK_ANALYSIS_HPP
+#define MINNOC_TOPO_DEADLOCK_ANALYSIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "routing.hpp"
+#include "topology.hpp"
+
+namespace minnoc::topo {
+
+/** Result of a CDG analysis. */
+struct CdgReport
+{
+    /** True when the channel dependency graph has no cycle. */
+    bool acyclic = false;
+
+    /** Directed links that appear in at least one route. */
+    std::size_t usedChannels = 0;
+
+    /** Dependency edges (consecutive link pairs over all flows). */
+    std::size_t dependencies = 0;
+
+    /**
+     * One cycle of links when cyclic (a witness of the potential
+     * deadlock), empty otherwise.
+     */
+    std::vector<LinkId> cycleWitness;
+
+    /** One-line summary for reports. */
+    std::string toString() const;
+};
+
+/**
+ * Build and analyze the exact CDG of @p routing on @p topo.
+ *
+ * Works for deterministic and adaptive functions alike: for every
+ * (src, dst) pair the set of reachable "currently on link l" states is
+ * explored through every candidate the function offers, so an adaptive
+ * function contributes every dependency any of its choices can create.
+ */
+CdgReport analyzeChannelDependencies(const Topology &topo,
+                                     const RoutingFunction &routing);
+
+} // namespace minnoc::topo
+
+#endif // MINNOC_TOPO_DEADLOCK_ANALYSIS_HPP

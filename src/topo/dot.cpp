@@ -1,0 +1,85 @@
+#include "dot.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace minnoc::topo {
+
+void
+writeDesignDot(const core::FinalizedDesign &design, std::ostream &os)
+{
+    os << "graph design {\n";
+    os << "  layout=neato; overlap=false; splines=true;\n";
+    os << "  node [fontsize=10];\n";
+    for (core::SwitchId s = 0; s < design.numSwitches; ++s) {
+        os << "  S" << s << " [shape=circle, style=filled, "
+           << "fillcolor=lightblue, label=\"S" << s << "\"];\n";
+    }
+    for (core::ProcId p = 0; p < design.numProcs; ++p) {
+        os << "  P" << p << " [shape=box, style=filled, "
+           << "fillcolor=lightyellow, label=\"P" << p << "\"];\n";
+        os << "  P" << p << " -- S" << design.procHome[p] << ";\n";
+    }
+    for (const auto &pipe : design.pipes) {
+        os << "  S" << pipe.key.a << " -- S" << pipe.key.b << " [label=\"";
+        if (design.unidirectional &&
+            (pipe.linksFwd != pipe.links || pipe.linksBwd != pipe.links)) {
+            os << pipe.linksFwd << "/" << pipe.linksBwd;
+        } else {
+            os << pipe.links;
+        }
+        os << "\"";
+        if (pipe.links > 1)
+            os << ", penwidth=" << pipe.links;
+        if (pipe.connectivityOnly)
+            os << ", style=dashed";
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+void
+writeTopologyDot(const Topology &topo, std::ostream &os)
+{
+    os << "graph \"" << topo.name() << "\" {\n";
+    os << "  layout=neato; overlap=false;\n";
+    for (NodeIdx n = 0; n < topo.numNodes(); ++n) {
+        if (topo.isProc(n)) {
+            os << "  P" << topo.procOf(n)
+               << " [shape=box, style=filled, fillcolor=lightyellow];\n";
+        } else {
+            os << "  S" << topo.switchOf(n)
+               << " [shape=circle, style=filled, fillcolor=lightblue];\n";
+        }
+    }
+    auto describe = [&topo](NodeIdx n) {
+        std::string out = topo.isProc(n) ? "P" : "S";
+        out += std::to_string(topo.isProc(n)
+                                  ? static_cast<std::uint32_t>(
+                                        topo.procOf(n))
+                                  : static_cast<std::uint32_t>(
+                                        topo.switchOf(n)));
+        return out;
+    };
+    // Merge opposite unidirectional channels into one undirected edge.
+    std::map<std::pair<NodeIdx, NodeIdx>, std::pair<std::size_t,
+                                                    std::uint32_t>>
+        edges; // (min,max) -> (count, length)
+    for (const auto &link : topo.links()) {
+        const auto key = std::minmax(link.from, link.to);
+        auto &entry = edges[{key.first, key.second}];
+        ++entry.first;
+        entry.second = link.length;
+    }
+    for (const auto &[key, entry] : edges) {
+        const auto channels = entry.first;
+        os << "  " << describe(key.first) << " -- "
+           << describe(key.second) << " [label=\"";
+        if (channels > 2)
+            os << channels / 2 << "x";
+        os << "len " << entry.second << "\"];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace minnoc::topo

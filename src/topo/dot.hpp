@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Graphviz DOT export for topologies and finalized designs.
+ *
+ * Lets users *see* the generated networks (the paper communicates them
+ * as figures): `dot -Tpng` on the output reproduces Figure-5(f)-style
+ * diagrams with processors as boxes, switches as circles, and pipe
+ * widths as edge labels.
+ */
+
+#ifndef MINNOC_TOPO_DOT_HPP
+#define MINNOC_TOPO_DOT_HPP
+
+#include <iosfwd>
+
+#include "core/finalize.hpp"
+#include "topology.hpp"
+
+namespace minnoc::topo {
+
+/**
+ * Write a finalized design as an undirected DOT graph: switches with
+ * their attached processors, one edge per pipe labeled with its link
+ * (or fwd/bwd channel) count; connectivity-only pipes dashed.
+ */
+void writeDesignDot(const core::FinalizedDesign &design, std::ostream &os);
+
+/**
+ * Write a concrete topology as a DOT graph (one edge per duplex pair
+ * or lone channel, labeled with length).
+ */
+void writeTopologyDot(const Topology &topo, std::ostream &os);
+
+} // namespace minnoc::topo
+
+#endif // MINNOC_TOPO_DOT_HPP

@@ -1,0 +1,48 @@
+#include "power.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::topo {
+
+std::string
+EnergyReport::toString() const
+{
+    std::ostringstream oss;
+    oss << "energy total=" << total() << " (dynamic " << dynamic()
+        << ": switch " << switchDynamic << " + wire " << wireDynamic
+        << "; leakage " << leakage() << ")";
+    return oss.str();
+}
+
+EnergyReport
+computeEnergy(const Topology &topo,
+              const std::vector<std::uint64_t> &link_flits,
+              std::int64_t cycles, const PowerModel &model)
+{
+    if (link_flits.size() != topo.numLinks())
+        panic("computeEnergy: flit counts for ", link_flits.size(),
+              " links but topology has ", topo.numLinks());
+
+    EnergyReport report;
+    std::uint64_t totalWire = 0;
+    for (LinkId l = 0; l < topo.numLinks(); ++l) {
+        const auto &link = topo.link(l);
+        const auto flits = static_cast<double>(link_flits[l]);
+        // Every flit crossing a link is absorbed by a switch or NI
+        // stage at the far end: charge one switch traversal per hop.
+        report.switchDynamic += flits * model.switchEnergyPerFlit;
+        report.wireDynamic += flits * model.wireEnergyPerFlitTile *
+                              static_cast<double>(link.length);
+        totalWire += link.length;
+    }
+    const auto horizon = static_cast<double>(cycles);
+    report.switchLeakage = horizon * model.switchLeakagePerCycle *
+                           static_cast<double>(topo.numSwitches());
+    report.wireLeakage = horizon * model.wireLeakagePerTileCycle *
+                         static_cast<double>(totalWire);
+    return report;
+}
+
+} // namespace minnoc::topo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * On-chip network power model.
+ *
+ * The paper's conclusion names power-efficient network generation as
+ * the immediate extension of the methodology ("this work can be
+ * extended to include other important optimization criteria such as
+ * power"). This module provides the energy accounting that extension
+ * needs: a simple, widely used activity-based model in the spirit of
+ * the Orion/bit-energy models —
+ *
+ *   dynamic  = sum over links of flits(l) * (E_switch + E_wire * len(l))
+ *   leakage  = cycles * (P_switch * switches + P_wire * total wire)
+ *
+ * Units are arbitrary ("energy units"); only the relative comparison
+ * between topologies matters here. Defaults make one tile of wire cost
+ * roughly half a switch traversal, a common on-chip ratio.
+ */
+
+#ifndef MINNOC_TOPO_POWER_HPP
+#define MINNOC_TOPO_POWER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology.hpp"
+
+namespace minnoc::topo {
+
+/** Energy/power coefficients. */
+struct PowerModel
+{
+    /** Dynamic energy per flit through a switch stage (buffer+xbar). */
+    double switchEnergyPerFlit = 1.0;
+
+    /** Dynamic energy per flit per tile of wire length. */
+    double wireEnergyPerFlitTile = 0.5;
+
+    /** Leakage power per switch per cycle. */
+    double switchLeakagePerCycle = 0.0005;
+
+    /** Leakage power per tile of wire per cycle. */
+    double wireLeakagePerTileCycle = 0.0002;
+};
+
+/** Energy breakdown of one simulated run. */
+struct EnergyReport
+{
+    double switchDynamic = 0.0;
+    double wireDynamic = 0.0;
+    double switchLeakage = 0.0;
+    double wireLeakage = 0.0;
+
+    double dynamic() const { return switchDynamic + wireDynamic; }
+    double leakage() const { return switchLeakage + wireLeakage; }
+    double total() const { return dynamic() + leakage(); }
+
+    /** One-line summary. */
+    std::string toString() const;
+};
+
+/**
+ * Compute the energy of a run.
+ *
+ * @param topo the simulated topology
+ * @param link_flits flits each link carried (SimResult::linkFlits)
+ * @param cycles total execution time in cycles (leakage horizon)
+ * @param model coefficients
+ */
+EnergyReport computeEnergy(const Topology &topo,
+                           const std::vector<std::uint64_t> &link_flits,
+                           std::int64_t cycles,
+                           const PowerModel &model = {});
+
+} // namespace minnoc::topo
+
+#endif // MINNOC_TOPO_POWER_HPP

@@ -1,0 +1,143 @@
+#include "topology.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace minnoc::topo {
+
+Topology::Topology(std::uint32_t num_procs, std::uint32_t num_switches,
+                   std::string name)
+    : _name(std::move(name)), _numProcs(num_procs),
+      _numSwitches(num_switches)
+{
+    if (num_procs == 0)
+        panic("Topology '", _name, "': zero processors");
+    _out.resize(numNodes());
+    _in.resize(numNodes());
+}
+
+LinkId
+Topology::addLink(NodeIdx from, NodeIdx to, std::uint32_t length)
+{
+    if (from >= numNodes() || to >= numNodes())
+        panic("Topology '", _name, "': link endpoint out of range");
+    if (from == to)
+        panic("Topology '", _name, "': self-link on node ", from);
+    const auto id = static_cast<LinkId>(_links.size());
+    _links.push_back(Link{from, to, length});
+    _out[from].push_back(id);
+    _in[to].push_back(id);
+    return id;
+}
+
+std::pair<LinkId, LinkId>
+Topology::addDuplex(NodeIdx a, NodeIdx b, std::uint32_t length)
+{
+    const LinkId fwd = addLink(a, b, length);
+    const LinkId bwd = addLink(b, a, length);
+    return {fwd, bwd};
+}
+
+const std::vector<LinkId> &
+Topology::outLinks(NodeIdx n) const
+{
+    if (n >= numNodes())
+        panic("Topology::outLinks: node out of range");
+    return _out[n];
+}
+
+const std::vector<LinkId> &
+Topology::inLinks(NodeIdx n) const
+{
+    if (n >= numNodes())
+        panic("Topology::inLinks: node out of range");
+    return _in[n];
+}
+
+LinkId
+Topology::findLink(NodeIdx from, NodeIdx to) const
+{
+    for (const LinkId id : outLinks(from)) {
+        if (_links[id].to == to)
+            return id;
+    }
+    return kNoLink;
+}
+
+std::vector<LinkId>
+Topology::findLinks(NodeIdx from, NodeIdx to) const
+{
+    std::vector<LinkId> found;
+    for (const LinkId id : outLinks(from)) {
+        if (_links[id].to == to)
+            found.push_back(id);
+    }
+    return found;
+}
+
+LinkId
+Topology::injectionLink(core::ProcId p) const
+{
+    const auto &out = outLinks(procNode(p));
+    if (out.size() != 1)
+        panic("Topology '", _name, "': proc ", p, " has ", out.size(),
+              " injection links (want exactly 1)");
+    return out.front();
+}
+
+LinkId
+Topology::ejectionLink(core::ProcId p) const
+{
+    const auto &in = inLinks(procNode(p));
+    if (in.size() != 1)
+        panic("Topology '", _name, "': proc ", p, " has ", in.size(),
+              " ejection links (want exactly 1)");
+    return in.front();
+}
+
+std::uint64_t
+Topology::totalLinkArea() const
+{
+    std::uint64_t area = 0;
+    for (const auto &l : _links)
+        area += l.length;
+    return area;
+}
+
+void
+Topology::validate() const
+{
+    for (core::ProcId p = 0; p < _numProcs; ++p) {
+        (void)injectionLink(p);
+        (void)ejectionLink(p);
+        // End-nodes attach to switches, never to other end-nodes.
+        if (isProc(link(injectionLink(p)).to))
+            panic("Topology '", _name, "': proc ", p,
+                  " attached to another end-node");
+    }
+}
+
+std::string
+Topology::toString() const
+{
+    std::ostringstream oss;
+    oss << "Topology '" << _name << "' (" << _numProcs << " procs, "
+        << _numSwitches << " switches, " << _links.size() << " links)\n";
+    for (LinkId id = 0; id < _links.size(); ++id) {
+        const auto &l = _links[id];
+        auto describe = [this](NodeIdx n) {
+            std::ostringstream s;
+            if (isProc(n))
+                s << 'P' << procOf(n);
+            else
+                s << 'S' << switchOf(n);
+            return s.str();
+        };
+        oss << "  link " << id << ": " << describe(l.from) << " -> "
+            << describe(l.to) << " (len " << l.length << ")\n";
+    }
+    return oss.str();
+}
+
+} // namespace minnoc::topo

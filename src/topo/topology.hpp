@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Concrete network topologies.
+ *
+ * A Topology is the physical network the simulator runs on: end-nodes
+ * (one per processor, each holding a network interface), switches, and
+ * unidirectional links with a physical length in tiles (which sets both
+ * wire delay and the link-area cost in the floorplan model). Full-duplex
+ * connections are two opposing unidirectional links.
+ *
+ * Node index space: [0, numProcs) are end-nodes, [numProcs,
+ * numProcs + numSwitches) are switches.
+ */
+
+#ifndef MINNOC_TOPO_TOPOLOGY_HPP
+#define MINNOC_TOPO_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace minnoc::topo {
+
+/** Index of a node (end-node or switch) in a Topology. */
+using NodeIdx = std::uint32_t;
+/** Index of a unidirectional link. */
+using LinkId = std::uint32_t;
+
+constexpr NodeIdx kNoNodeIdx = static_cast<NodeIdx>(-1);
+constexpr LinkId kNoLink = static_cast<LinkId>(-1);
+
+/** One unidirectional link (channel). */
+struct Link
+{
+    NodeIdx from = kNoNodeIdx;
+    NodeIdx to = kNoNodeIdx;
+    /** Physical length in tiles; wire delay is max(1, length) cycles. */
+    std::uint32_t length = 1;
+
+    /** Wire delay in cycles. */
+    std::uint32_t delay() const { return length ? length : 1; }
+};
+
+/**
+ * The physical network: nodes plus unidirectional links. Immutable
+ * after construction by a builder.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param num_procs number of end-nodes
+     * @param num_switches number of switches
+     * @param name human-readable topology name (used in reports)
+     */
+    Topology(std::uint32_t num_procs, std::uint32_t num_switches,
+             std::string name);
+
+    const std::string &name() const { return _name; }
+    std::uint32_t numProcs() const { return _numProcs; }
+    std::uint32_t numSwitches() const { return _numSwitches; }
+    std::uint32_t numNodes() const { return _numProcs + _numSwitches; }
+    std::size_t numLinks() const { return _links.size(); }
+
+    /** Node index of processor @p p. */
+    NodeIdx
+    procNode(core::ProcId p) const
+    {
+        return static_cast<NodeIdx>(p);
+    }
+
+    /** Node index of switch @p s. */
+    NodeIdx
+    switchNode(core::SwitchId s) const
+    {
+        return _numProcs + static_cast<NodeIdx>(s);
+    }
+
+    /** True if @p n is an end-node. */
+    bool isProc(NodeIdx n) const { return n < _numProcs; }
+
+    /** The processor id of end-node @p n. */
+    core::ProcId
+    procOf(NodeIdx n) const
+    {
+        return static_cast<core::ProcId>(n);
+    }
+
+    /** The switch id of switch-node @p n. */
+    core::SwitchId
+    switchOf(NodeIdx n) const
+    {
+        return static_cast<core::SwitchId>(n - _numProcs);
+    }
+
+    /** Add one unidirectional link; returns its id. */
+    LinkId addLink(NodeIdx from, NodeIdx to, std::uint32_t length = 1);
+
+    /** Add a full-duplex connection; returns {forward, backward} ids. */
+    std::pair<LinkId, LinkId> addDuplex(NodeIdx a, NodeIdx b,
+                                        std::uint32_t length = 1);
+
+    const Link &link(LinkId id) const { return _links.at(id); }
+    const std::vector<Link> &links() const { return _links; }
+
+    /** Ids of links leaving node @p n. */
+    const std::vector<LinkId> &outLinks(NodeIdx n) const;
+
+    /** Ids of links entering node @p n. */
+    const std::vector<LinkId> &inLinks(NodeIdx n) const;
+
+    /** First link from @p from to @p to, or kNoLink. */
+    LinkId findLink(NodeIdx from, NodeIdx to) const;
+
+    /** All links from @p from to @p to (parallel channels). */
+    std::vector<LinkId> findLinks(NodeIdx from, NodeIdx to) const;
+
+    /**
+     * The injection link of processor @p p (its single end-node ->
+     * switch link; panics if the builder attached none or several).
+     */
+    LinkId injectionLink(core::ProcId p) const;
+
+    /** The ejection link of processor @p p (switch -> end-node). */
+    LinkId ejectionLink(core::ProcId p) const;
+
+    /** Total link area: sum of lengths (adjacent length-0 links free). */
+    std::uint64_t totalLinkArea() const;
+
+    /** Validate structural sanity (every proc attached, etc.). */
+    void validate() const;
+
+    /** Human-readable dump. */
+    std::string toString() const;
+
+  private:
+    std::string _name;
+    std::uint32_t _numProcs;
+    std::uint32_t _numSwitches;
+    std::vector<Link> _links;
+    std::vector<std::vector<LinkId>> _out;
+    std::vector<std::vector<LinkId>> _in;
+};
+
+} // namespace minnoc::topo
+
+#endif // MINNOC_TOPO_TOPOLOGY_HPP

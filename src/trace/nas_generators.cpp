@@ -1,0 +1,511 @@
+#include "nas_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace minnoc::trace {
+
+std::string
+benchmarkName(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::BT:
+        return "BT";
+      case Benchmark::CG:
+        return "CG";
+      case Benchmark::FFT:
+        return "FFT";
+      case Benchmark::MG:
+        return "MG";
+      case Benchmark::SP:
+        return "SP";
+    }
+    panic("benchmarkName: bad enum");
+}
+
+Benchmark
+benchmarkFromName(const std::string &name)
+{
+    if (name == "BT")
+        return Benchmark::BT;
+    if (name == "CG")
+        return Benchmark::CG;
+    if (name == "FFT")
+        return Benchmark::FFT;
+    if (name == "MG")
+        return Benchmark::MG;
+    if (name == "SP")
+        return Benchmark::SP;
+    fatal("unknown benchmark '", name, "' (want BT/CG/FFT/MG/SP)");
+}
+
+std::uint32_t
+smallConfigRanks(Benchmark b)
+{
+    return (b == Benchmark::BT || b == Benchmark::SP) ? 9 : 8;
+}
+
+std::uint32_t
+largeConfigRanks(Benchmark b)
+{
+    (void)b;
+    return 16;
+}
+
+namespace {
+
+/** Floor of log2 (n must be > 0). */
+std::uint32_t
+ilog2(std::uint32_t n)
+{
+    std::uint32_t l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+bool
+isPow2(std::uint32_t n)
+{
+    return n && !(n & (n - 1));
+}
+
+/**
+ * Incrementally builds a phase-parallel trace: alternating jittered
+ * compute gaps and exchange phases, each exchange being one library
+ * call (one callId shared across ranks and iterations of the same call
+ * site).
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder(std::string name, std::uint32_t ranks, std::uint64_t seed,
+                 double skew, std::int64_t compute_per_rank)
+        : _trace(std::move(name), ranks), _rng(seed), _skew(skew),
+          _gap(compute_per_rank)
+    {
+    }
+
+    /** Reserve a stable call-site id (call once per site, reuse). */
+    std::uint32_t
+    newCallSite()
+    {
+        return _nextCall++;
+    }
+
+    /** Jittered compute gap on every rank (models time skew). */
+    void
+    computePhase(double scale = 1.0)
+    {
+        for (core::ProcId r = 0; r < _trace.numRanks(); ++r) {
+            const double jitter =
+                1.0 + _skew * (2.0 * _rng.uniform() - 1.0);
+            const auto cycles = static_cast<std::int64_t>(
+                static_cast<double>(_gap) * scale * jitter);
+            _trace.push(r, TraceOp::compute(std::max<std::int64_t>(
+                               cycles, 1)));
+        }
+    }
+
+    /**
+     * One exchange phase: every (src, dst) pair in @p pairs moves
+     * @p bytes under call site @p call. Each rank posts its sends, then
+     * its receives (eager-send semantics keep this deadlock-free).
+     */
+    void
+    exchange(std::uint32_t call,
+             const std::vector<core::Comm> &pairs, std::uint64_t bytes)
+    {
+        for (core::ProcId r = 0; r < _trace.numRanks(); ++r) {
+            for (const auto &c : pairs) {
+                if (c.src == r)
+                    _trace.push(r, TraceOp::send(c.dst, bytes, call));
+            }
+        }
+        for (core::ProcId r = 0; r < _trace.numRanks(); ++r) {
+            for (const auto &c : pairs) {
+                if (c.dst == r)
+                    _trace.push(r, TraceOp::recv(c.src, bytes, call));
+            }
+        }
+    }
+
+    Trace
+    take()
+    {
+        _trace.validateMatching();
+        return std::move(_trace);
+    }
+
+  private:
+    Trace _trace;
+    Rng _rng;
+    double _skew;
+    std::int64_t _gap;
+    std::uint32_t _nextCall = 0;
+};
+
+/** Resolved per-benchmark parameters. */
+struct Params
+{
+    std::uint64_t bytes;
+    std::int64_t computeTotal; ///< per phase, across all ranks
+    std::uint32_t iterations;
+};
+
+Params
+resolve(const NasConfig &cfg, std::uint64_t def_bytes,
+        std::int64_t def_compute, std::uint32_t iter_factor)
+{
+    Params p;
+    p.bytes = cfg.bytesScale ? cfg.bytesScale : def_bytes;
+    p.computeTotal = cfg.computeScale ? cfg.computeScale : def_compute;
+    p.iterations = std::max<std::uint32_t>(1, cfg.iterations * iter_factor);
+    return p;
+}
+
+/** ADI-sweep generator shared by BT and SP. */
+Trace
+generateAdi(const NasConfig &cfg, const char *name, std::uint64_t def_bytes,
+            std::int64_t def_compute, std::uint32_t iter_factor)
+{
+    const std::uint32_t ranks = cfg.ranks;
+    const auto q = static_cast<std::uint32_t>(
+        std::lround(std::sqrt(static_cast<double>(ranks))));
+    if (q * q != ranks)
+        fatal(name, " requires a square number of ranks, got ", ranks);
+    const Params prm = resolve(cfg, def_bytes, def_compute, iter_factor);
+
+    TraceBuilder b(name, ranks, cfg.seed, cfg.skew,
+                   prm.computeTotal / ranks);
+    auto rankAt = [q](std::uint32_t row, std::uint32_t col) {
+        return static_cast<core::ProcId>(row * q + col);
+    };
+
+    // Call sites: 6 sweep shifts + 2 face-exchange calls.
+    struct Shift
+    {
+        std::int32_t dr, dc;
+    };
+    const std::vector<Shift> shifts = {{0, 1},  {0, -1}, {1, 0},
+                                       {-1, 0}, {1, 1},  {-1, -1}};
+    std::vector<std::uint32_t> sweepCalls;
+    for (std::size_t i = 0; i < shifts.size(); ++i)
+        sweepCalls.push_back(b.newCallSite());
+    // copy_faces: one call per face direction. (Combining directions
+    // into one call would model NPB's concurrent face pushes more
+    // aggressively, but every combined direction adds a conflicting
+    // out-communication per processor and inflates the generated
+    // network's link budget far beyond the paper's 75%-of-mesh range;
+    // see EXPERIMENTS.md for the ablation.)
+    const std::uint32_t faceXp = b.newCallSite();
+    const std::uint32_t faceXm = b.newCallSite();
+    const std::uint32_t faceYp = b.newCallSite();
+    const std::uint32_t faceYm = b.newCallSite();
+
+    auto shiftPairs = [&](const Shift &sh) {
+        std::vector<core::Comm> pairs;
+        for (std::uint32_t row = 0; row < q; ++row) {
+            for (std::uint32_t col = 0; col < q; ++col) {
+                const std::uint32_t nr = (row + q +
+                                          static_cast<std::uint32_t>(
+                                              (sh.dr + static_cast<std::int32_t>(q)) % static_cast<std::int32_t>(q))) % q;
+                const std::uint32_t nc =
+                    (col + static_cast<std::uint32_t>(
+                               (sh.dc + static_cast<std::int32_t>(q)) %
+                               static_cast<std::int32_t>(q))) %
+                    q;
+                pairs.emplace_back(rankAt(row, col), rankAt(nr, nc));
+            }
+        }
+        return pairs;
+    };
+
+    for (std::uint32_t it = 0; it < prm.iterations; ++it) {
+        b.computePhase(1.0);
+        b.exchange(faceXp, shiftPairs(Shift{0, 1}), prm.bytes / 2);
+        b.exchange(faceXm, shiftPairs(Shift{0, -1}), prm.bytes / 2);
+        b.computePhase(0.25);
+        b.exchange(faceYp, shiftPairs(Shift{1, 0}), prm.bytes / 2);
+        b.exchange(faceYm, shiftPairs(Shift{-1, 0}), prm.bytes / 2);
+        for (std::size_t i = 0; i < shifts.size(); ++i) {
+            b.computePhase(0.5);
+            b.exchange(sweepCalls[i], shiftPairs(shifts[i]), prm.bytes);
+        }
+    }
+    return b.take();
+}
+
+} // namespace
+
+Trace
+generateBT(const NasConfig &cfg)
+{
+    return generateAdi(cfg, "BT", 12288, 220'000, 1);
+}
+
+Trace
+generateSP(const NasConfig &cfg)
+{
+    return generateAdi(cfg, "SP", 6144, 110'000, 2);
+}
+
+Trace
+generateCG(const NasConfig &cfg)
+{
+    const std::uint32_t ranks = cfg.ranks;
+    if (!isPow2(ranks))
+        fatal("CG requires a power-of-two rank count, got ", ranks);
+    const Params prm = resolve(cfg, 16384, 260'000, 1);
+
+    // NPB CG layout: cols = 2^ceil(l2/2), rows = ranks / cols.
+    const std::uint32_t l2 = ilog2(ranks);
+    const std::uint32_t cols = 1u << ((l2 + 1) / 2);
+    const std::uint32_t rows = ranks / cols;
+
+    TraceBuilder b("CG", ranks, cfg.seed, cfg.skew,
+                   prm.computeTotal / ranks);
+    auto rankAt = [cols](std::uint32_t row, std::uint32_t col) {
+        return static_cast<core::ProcId>(row * cols + col);
+    };
+
+    std::vector<std::uint32_t> reduceCalls;
+    const std::uint32_t reducePhases = ilog2(cols);
+    for (std::uint32_t k = 0; k < reducePhases; ++k)
+        reduceCalls.push_back(b.newCallSite());
+    const std::uint32_t transposeCall = b.newCallSite();
+
+    // Reduce phase k: exchange with the row-mate whose column differs
+    // in bit k (full permutation within each row).
+    auto reducePairs = [&](std::uint32_t k) {
+        std::vector<core::Comm> pairs;
+        for (std::uint32_t row = 0; row < rows; ++row) {
+            for (std::uint32_t col = 0; col < cols; ++col) {
+                const std::uint32_t partner = col ^ (1u << k);
+                pairs.emplace_back(rankAt(row, col), rankAt(row, partner));
+            }
+        }
+        return pairs;
+    };
+
+    // Transpose phase: square grids exchange (r, c) <-> (c, r) with the
+    // diagonal silent (the partial permutation of the paper's Figure 1);
+    // non-square grids pair rank i with i + ranks/2.
+    auto transposePairs = [&]() {
+        std::vector<core::Comm> pairs;
+        if (rows == cols) {
+            for (std::uint32_t row = 0; row < rows; ++row) {
+                for (std::uint32_t col = 0; col < cols; ++col) {
+                    if (row != col)
+                        pairs.emplace_back(rankAt(row, col),
+                                           rankAt(col, row));
+                }
+            }
+        } else {
+            for (std::uint32_t r = 0; r < ranks; ++r) {
+                pairs.emplace_back(static_cast<core::ProcId>(r),
+                                   static_cast<core::ProcId>(
+                                       (r + ranks / 2) % ranks));
+            }
+        }
+        return pairs;
+    };
+
+    for (std::uint32_t it = 0; it < prm.iterations; ++it) {
+        for (std::uint32_t k = 0; k < reducePhases; ++k) {
+            b.computePhase(1.0);
+            b.exchange(reduceCalls[k], reducePairs(k), prm.bytes);
+        }
+        b.computePhase(0.5);
+        b.exchange(transposeCall, transposePairs(), prm.bytes);
+    }
+    return b.take();
+}
+
+Trace
+generateFFT(const NasConfig &cfg)
+{
+    const std::uint32_t ranks = cfg.ranks;
+    const Params prm = resolve(cfg, 8192, 600'000, 1);
+
+    // Most-square 2-D blocking grid.
+    std::uint32_t cols = 1;
+    for (std::uint32_t d = 1; d * d <= ranks; ++d) {
+        if (ranks % d == 0)
+            cols = ranks / d;
+    }
+    const std::uint32_t rows = ranks / cols;
+
+    TraceBuilder b("FFT", ranks, cfg.seed, cfg.skew,
+                   prm.computeTotal / ranks);
+    auto rankAt = [cols](std::uint32_t row, std::uint32_t col) {
+        return static_cast<core::ProcId>(row * cols + col);
+    };
+
+    if (!isPow2(rows) || !isPow2(cols))
+        fatal("FFT requires power-of-two grid dims, got ", rows, "x",
+              cols);
+
+    // Personalized all-to-all via the pairwise-exchange (XOR) schedule:
+    // phase j, every rank swaps its block with rank XOR j inside the
+    // group. Each phase is one library call and thus one contention
+    // period (this is how the hand-instrumented transposes appear in
+    // MPE logs).
+    std::vector<std::uint32_t> rowCalls;
+    for (std::uint32_t j = 1; j < cols; ++j)
+        rowCalls.push_back(b.newCallSite());
+    std::vector<std::uint32_t> colCalls;
+    for (std::uint32_t j = 1; j < rows; ++j)
+        colCalls.push_back(b.newCallSite());
+
+    auto rowPhase = [&](std::uint32_t j) {
+        std::vector<core::Comm> pairs;
+        for (std::uint32_t row = 0; row < rows; ++row) {
+            for (std::uint32_t col = 0; col < cols; ++col)
+                pairs.emplace_back(rankAt(row, col),
+                                   rankAt(row, col ^ j));
+        }
+        return pairs;
+    };
+    auto colPhase = [&](std::uint32_t j) {
+        std::vector<core::Comm> pairs;
+        for (std::uint32_t col = 0; col < cols; ++col) {
+            for (std::uint32_t row = 0; row < rows; ++row)
+                pairs.emplace_back(rankAt(row, col),
+                                   rankAt(row ^ j, col));
+        }
+        return pairs;
+    };
+
+    for (std::uint32_t it = 0; it < prm.iterations; ++it) {
+        b.computePhase(1.0);
+        for (std::uint32_t j = 1; j < cols; ++j)
+            b.exchange(rowCalls[j - 1], rowPhase(j), prm.bytes);
+        b.computePhase(1.0);
+        for (std::uint32_t j = 1; j < rows; ++j)
+            b.exchange(colCalls[j - 1], colPhase(j), prm.bytes);
+    }
+    return b.take();
+}
+
+Trace
+generateMG(const NasConfig &cfg)
+{
+    const std::uint32_t ranks = cfg.ranks;
+    if (!isPow2(ranks))
+        fatal("MG requires a power-of-two rank count, got ", ranks);
+    const Params prm = resolve(cfg, 2048, 500'000, 1);
+
+    // NPB MG decomposes the grid in 3-D: spread the rank bits over the
+    // three dimensions round-robin (16 -> 4x2x2, 8 -> 2x2x2).
+    const std::uint32_t bits = ilog2(ranks);
+    std::uint32_t dimBits[3] = {0, 0, 0};
+    for (std::uint32_t i = 0; i < bits; ++i)
+        ++dimBits[i % 3];
+    const std::uint32_t dx = 1u << dimBits[0];
+    const std::uint32_t dy = 1u << dimBits[1];
+    const std::uint32_t dz = 1u << dimBits[2];
+    const std::uint32_t levels = bits;
+
+    TraceBuilder b("MG", ranks, cfg.seed, cfg.skew,
+                   prm.computeTotal / ranks);
+
+    auto rankAt = [dx, dy](std::uint32_t x, std::uint32_t y,
+                           std::uint32_t z) {
+        return static_cast<core::ProcId>(x + dx * (y + dy * z));
+    };
+
+    // comm3-style boundary exchange: one call per (dimension,
+    // direction); every rank sends its face to the wrapped neighbor.
+    auto faceShift = [&](std::uint32_t dim, bool up) {
+        std::vector<core::Comm> pairs;
+        const std::uint32_t size[3] = {dx, dy, dz};
+        for (std::uint32_t z = 0; z < dz; ++z) {
+            for (std::uint32_t y = 0; y < dy; ++y) {
+                for (std::uint32_t x = 0; x < dx; ++x) {
+                    std::uint32_t q[3] = {x, y, z};
+                    q[dim] = up ? (q[dim] + 1) % size[dim]
+                                : (q[dim] + size[dim] - 1) % size[dim];
+                    const auto peer = rankAt(q[0], q[1], q[2]);
+                    const auto self = rankAt(x, y, z);
+                    if (peer != self)
+                        pairs.emplace_back(self, peer);
+                }
+            }
+        }
+        return pairs;
+    };
+
+    // The residual-norm reduction: one pairwise-exchange phase per rank
+    // bit (recursive doubling), each phase a separate call site.
+    auto reducePhase = [&](std::uint32_t k) {
+        std::vector<core::Comm> pairs;
+        for (std::uint32_t r = 0; r < ranks; ++r) {
+            pairs.emplace_back(static_cast<core::ProcId>(r),
+                               static_cast<core::ProcId>(r ^ (1u << k)));
+        }
+        return pairs;
+    };
+
+    // Call sites: per (dim, direction) boundary exchange (shared across
+    // levels: same pattern, smaller messages) plus the reduce phases.
+    std::uint32_t faceCalls[3][2];
+    for (std::uint32_t d = 0; d < 3; ++d) {
+        faceCalls[d][0] = b.newCallSite();
+        faceCalls[d][1] = b.newCallSite();
+    }
+    std::vector<std::uint32_t> reduceCalls;
+    for (std::uint32_t k = 0; k < bits; ++k)
+        reduceCalls.push_back(b.newCallSite());
+
+    const std::uint32_t sizes[3] = {dx, dy, dz};
+    for (std::uint32_t it = 0; it < prm.iterations; ++it) {
+        // V-cycle: boundary exchanges at every level, message size
+        // shrinking with depth (short messages dominate, as the paper
+        // notes for MG).
+        for (std::uint32_t l = 0; l < levels; ++l) {
+            const std::uint64_t bytes =
+                std::max<std::uint64_t>(prm.bytes >> l, 64);
+            b.computePhase(1.0 / static_cast<double>(l + 1));
+            for (std::uint32_t d = 0; d < 3; ++d) {
+                if (sizes[d] < 2)
+                    continue;
+                b.exchange(faceCalls[d][0], faceShift(d, true), bytes);
+                if (sizes[d] > 2) {
+                    // A 2-ring's up and down neighbors coincide; skip
+                    // the redundant opposite call.
+                    b.exchange(faceCalls[d][1], faceShift(d, false),
+                               bytes);
+                }
+            }
+        }
+        b.computePhase(0.5);
+        for (std::uint32_t k = 0; k < bits; ++k)
+            b.exchange(reduceCalls[k], reducePhase(k), 64);
+    }
+    return b.take();
+}
+
+Trace
+generateBenchmark(Benchmark bench, const NasConfig &config)
+{
+    switch (bench) {
+      case Benchmark::BT:
+        return generateBT(config);
+      case Benchmark::CG:
+        return generateCG(config);
+      case Benchmark::FFT:
+        return generateFFT(config);
+      case Benchmark::MG:
+        return generateMG(config);
+      case Benchmark::SP:
+        return generateSP(config);
+    }
+    panic("generateBenchmark: bad enum");
+}
+
+} // namespace minnoc::trace

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic NAS-benchmark trace generators (paper Section 4).
+ *
+ * We do not have the authors' MPE/MPICH execution traces, so each
+ * generator synthesizes a trace that is structurally faithful to the
+ * published communication behavior of its benchmark:
+ *
+ *  - BT / SP: ADI sweeps on a square process grid — per iteration, six
+ *    cyclic-shift permutations (forward and backward along x, y and the
+ *    diagonal "z" direction) plus boundary face exchanges; BT moves
+ *    larger messages, SP runs more iterations of smaller ones.
+ *  - CG: log2(cols) pairwise reduce-exchange phases within process-grid
+ *    rows (partner = column XOR 2^k) followed by a matrix-transpose
+ *    exchange (the diagonal stays silent — a partial permutation);
+ *    this reproduces the contention periods of the paper's Figure 1.
+ *  - FFT: 2-D blocking — one personalized all-to-all within rows and
+ *    one within columns per iteration, each a single library call.
+ *  - MG: per-level boundary exchanges at stride 2^l plus one
+ *    recursive-doubling allreduce per iteration, all short messages.
+ *
+ * Compute gaps scale as computeScale / ranks (strong scaling), so the
+ * communication-to-computation ratio grows with the configuration size
+ * as the paper observes. Per-rank jitter models the time skew between
+ * processes that the paper identifies as the source of residual
+ * contention.
+ */
+
+#ifndef MINNOC_TRACE_NAS_GENERATORS_HPP
+#define MINNOC_TRACE_NAS_GENERATORS_HPP
+
+#include <string>
+
+#include "trace.hpp"
+
+namespace minnoc::trace {
+
+/** The five benchmarks of the paper's evaluation. */
+enum class Benchmark { BT, CG, FFT, MG, SP };
+
+/** Name string ("BT", "CG", ...). */
+std::string benchmarkName(Benchmark b);
+
+/** Parse a benchmark name; fatal() on unknown names. */
+Benchmark benchmarkFromName(const std::string &name);
+
+/** Generator knobs; zero values select per-benchmark defaults. */
+struct NasConfig
+{
+    std::uint32_t ranks = 16;
+    std::uint32_t iterations = 3;
+    std::uint64_t seed = 1;
+    /** Relative compute-time jitter between ranks (time skew). */
+    double skew = 0.08;
+    /** Override base message bytes (0 = benchmark default). */
+    std::uint64_t bytesScale = 0;
+    /** Override total compute cycles per phase across ranks (0 = default). */
+    std::int64_t computeScale = 0;
+};
+
+/** Generate the synthetic trace for one benchmark. */
+Trace generateBenchmark(Benchmark b, const NasConfig &config);
+
+/** Individual generators (same as generateBenchmark dispatch). */
+Trace generateBT(const NasConfig &config);
+Trace generateCG(const NasConfig &config);
+Trace generateFFT(const NasConfig &config);
+Trace generateMG(const NasConfig &config);
+Trace generateSP(const NasConfig &config);
+
+/** All five benchmarks, for sweep loops. */
+inline constexpr Benchmark kAllBenchmarks[] = {
+    Benchmark::BT, Benchmark::CG, Benchmark::FFT, Benchmark::MG,
+    Benchmark::SP};
+
+/**
+ * The rank count each benchmark uses for the paper's "8 or 9 node" and
+ * "16 node" configurations (BT/SP need a perfect square: 9).
+ */
+std::uint32_t smallConfigRanks(Benchmark b);
+std::uint32_t largeConfigRanks(Benchmark b);
+
+} // namespace minnoc::trace
+
+#endif // MINNOC_TRACE_NAS_GENERATORS_HPP

@@ -1,0 +1,139 @@
+#include "synthetic.hpp"
+
+#include <map>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace minnoc::trace {
+
+std::string
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::UniformRandom:
+        return "uniform";
+      case Pattern::Transpose:
+        return "transpose";
+      case Pattern::BitReversal:
+        return "bitrev";
+      case Pattern::Hotspot:
+        return "hotspot";
+      case Pattern::Neighbor:
+        return "neighbor";
+    }
+    panic("patternName: bad enum");
+}
+
+namespace {
+
+std::uint32_t
+bitsFor(std::uint32_t ranks)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < ranks)
+        ++bits;
+    return bits;
+}
+
+/** Most-square grid width for the transpose pattern. */
+std::uint32_t
+gridWidth(std::uint32_t ranks)
+{
+    std::uint32_t w = 1;
+    for (std::uint32_t d = 1; d * d <= ranks; ++d) {
+        if (ranks % d == 0)
+            w = ranks / d;
+    }
+    return w;
+}
+
+} // namespace
+
+Trace
+generateSynthetic(const SyntheticConfig &cfg)
+{
+    if (cfg.ranks < 2)
+        fatal("generateSynthetic: need at least two ranks");
+    if (cfg.load < 0.0 || cfg.load > 1.0)
+        fatal("generateSynthetic: load must be in [0, 1]");
+
+    Rng rng(cfg.seed);
+    const std::uint32_t w = gridWidth(cfg.ranks);
+    const std::uint32_t h = cfg.ranks / w;
+    const std::uint32_t bits = bitsFor(cfg.ranks);
+
+    auto destination = [&](core::ProcId src) -> core::ProcId {
+        switch (cfg.pattern) {
+          case Pattern::UniformRandom: {
+            const auto d = static_cast<core::ProcId>(
+                rng.below(cfg.ranks - 1));
+            return d >= src ? d + 1 : d;
+          }
+          case Pattern::Transpose: {
+            const std::uint32_t x = src % w;
+            const std::uint32_t y = src / w;
+            // Transpose on the (possibly non-square) grid: clamp into
+            // range by swapping within the smaller dimension.
+            const std::uint32_t nx = y % w;
+            const std::uint32_t ny = x % h;
+            return static_cast<core::ProcId>(ny * w + nx);
+          }
+          case Pattern::BitReversal: {
+            std::uint32_t out = 0;
+            for (std::uint32_t b = 0; b < bits; ++b) {
+                if (src & (1u << b))
+                    out |= 1u << (bits - 1 - b);
+            }
+            return static_cast<core::ProcId>(out % cfg.ranks);
+          }
+          case Pattern::Hotspot:
+            if (src != 0 && rng.chance(cfg.hotspotFraction))
+                return 0;
+            else {
+                const auto d = static_cast<core::ProcId>(
+                    rng.below(cfg.ranks - 1));
+                return d >= src ? d + 1 : d;
+            }
+          case Pattern::Neighbor:
+            return static_cast<core::ProcId>((src + 1) % cfg.ranks);
+        }
+        panic("generateSynthetic: bad pattern");
+    };
+
+    Trace trace("synthetic-" + patternName(cfg.pattern), cfg.ranks);
+
+    // Per-channel send logs so the drain phase posts matching receives
+    // in FIFO order.
+    std::map<std::pair<core::ProcId, core::ProcId>,
+             std::vector<std::uint32_t>>
+        sent;
+
+    std::uint32_t call = 0;
+    for (std::uint32_t slot = 0; slot < cfg.slots; ++slot) {
+        for (core::ProcId r = 0; r < cfg.ranks; ++r) {
+            trace.push(r, TraceOp::compute(cfg.slotCycles));
+            if (!rng.chance(cfg.load))
+                continue;
+            const auto d = destination(r);
+            if (d == r)
+                continue; // self-directed patterns skip the slot
+            trace.push(r, TraceOp::send(d, cfg.bytes, call));
+            sent[{r, d}].push_back(call);
+            ++call;
+        }
+    }
+
+    // Drain phase: every rank receives everything aimed at it, per
+    // channel in FIFO order.
+    for (const auto &[channel, calls] : sent) {
+        const auto [src, dst] = channel;
+        for (const auto c : calls)
+            trace.push(dst, TraceOp::recv(src, cfg.bytes, c));
+    }
+    trace.validateMatching();
+    return trace;
+}
+
+} // namespace minnoc::trace

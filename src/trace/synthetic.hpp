@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic traffic generators for open-loop network evaluation.
+ *
+ * The paper evaluates with application traces; a network library is
+ * also expected to support the classic open-loop methodology — inject
+ * packets under a Bernoulli process at a configurable offered load and
+ * plot latency versus load. These generators produce the standard
+ * spatial patterns (uniform random, bit-transpose, bit-reversal,
+ * hotspot, nearest-neighbor) as plain Traces so they run through the
+ * same trace-driven engine.
+ *
+ * Open-loop fidelity note: the trace engine's sends are blocking, so
+ * very high offered loads self-throttle at the injection port exactly
+ * like a real NI back-pressuring a core.
+ */
+
+#ifndef MINNOC_TRACE_SYNTHETIC_HPP
+#define MINNOC_TRACE_SYNTHETIC_HPP
+
+#include <cstdint>
+
+#include "trace.hpp"
+
+namespace minnoc::trace {
+
+/** Spatial distribution of synthetic destinations. */
+enum class Pattern {
+    UniformRandom, ///< destination uniform over all other nodes
+    Transpose,     ///< (x, y) -> (y, x) on the square grid
+    BitReversal,   ///< reverse the bits of the node index
+    Hotspot,       ///< a fraction of traffic targets node 0
+    Neighbor,      ///< +1 ring neighbor
+};
+
+/** Name string for reports. */
+std::string patternName(Pattern p);
+
+/** Synthetic-traffic knobs. */
+struct SyntheticConfig
+{
+    std::uint32_t ranks = 16;
+    Pattern pattern = Pattern::UniformRandom;
+
+    /**
+     * Offered load as the probability that a node starts a new packet
+     * injection each "slot" of `slotCycles` cycles; 1.0 saturates the
+     * injection port for the configured packet size.
+     */
+    double load = 0.1;
+
+    /** Packet payload bytes. */
+    std::uint64_t bytes = 64;
+
+    /** Number of injection slots simulated per node. */
+    std::uint32_t slots = 200;
+
+    /** Cycles per injection slot (>= packet serialization time). */
+    std::uint32_t slotCycles = 32;
+
+    /** Fraction of hotspot traffic aimed at node 0 (Hotspot only). */
+    double hotspotFraction = 0.3;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate an open-loop synthetic trace: each rank alternates short
+ * compute slots with probabilistic sends; receives are posted at the
+ * end so they never block injection (sink semantics).
+ */
+Trace generateSynthetic(const SyntheticConfig &config);
+
+} // namespace minnoc::trace
+
+#endif // MINNOC_TRACE_SYNTHETIC_HPP

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting helpers.
+ *
+ * Modeled after the gem5 logging discipline: panic() for internal
+ * invariant violations (aborts), fatal() for unrecoverable user errors
+ * (clean exit), warn()/inform() for status messages. All helpers accept
+ * printf-free, ostream-style formatting via variadic streaming.
+ */
+
+#ifndef MINNOC_UTIL_LOG_HPP
+#define MINNOC_UTIL_LOG_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace minnoc {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel : int {
+    Silent = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+};
+
+/**
+ * Global log configuration. A single process-wide instance controls
+ * the verbosity of inform()/debug() output; errors are always shown.
+ */
+class LogConfig
+{
+  public:
+    /** Access the process-wide configuration. */
+    static LogConfig &
+    instance()
+    {
+        static LogConfig cfg;
+        return cfg;
+    }
+
+    LogLevel level() const { return _level; }
+    void level(LogLevel lvl) { _level = lvl; }
+
+    /** True if messages at @p lvl should be emitted. */
+    bool
+    enabled(LogLevel lvl) const
+    {
+        return static_cast<int>(lvl) <= static_cast<int>(_level);
+    }
+
+  private:
+    LogConfig() = default;
+    LogLevel _level = LogLevel::Warn;
+};
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::cerr << "panic: " << detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, invalid
+ * arguments) and exit with a failure code.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::cerr << "fatal: " << detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::exit(1);
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (LogConfig::instance().enabled(LogLevel::Warn)) {
+        std::cerr << "warn: " << detail::concat(std::forward<Args>(args)...)
+                  << std::endl;
+    }
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (LogConfig::instance().enabled(LogLevel::Info)) {
+        std::cout << "info: " << detail::concat(std::forward<Args>(args)...)
+                  << std::endl;
+    }
+}
+
+/** Emit a debug trace message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (LogConfig::instance().enabled(LogLevel::Debug)) {
+        std::cout << "debug: " << detail::concat(std::forward<Args>(args)...)
+                  << std::endl;
+    }
+}
+
+} // namespace minnoc
+
+#endif // MINNOC_UTIL_LOG_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (simulated-annealing moves,
+ * synthetic trace skew, simulator arbitration tie-breaks) draw from this
+ * generator so that every run is reproducible from a single seed. The
+ * core is splitmix64 for seeding and xoshiro256** for the stream, both
+ * public-domain algorithms reimplemented here.
+ */
+
+#ifndef MINNOC_UTIL_RNG_HPP
+#define MINNOC_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+
+#include "log.hpp"
+
+namespace minnoc {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256**), seeded via splitmix64.
+ *
+ * Not cryptographically secure; statistical quality is more than enough
+ * for annealing and workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _state)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using rejection to avoid modulo bias. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::below called with bound 0");
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::range called with lo > hi");
+        const auto span =
+            static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container &items)
+    {
+        const auto n = items.size();
+        for (std::size_t i = n; i > 1; --i) {
+            const std::size_t j = below(i);
+            using std::swap;
+            swap(items[i - 1], items[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace minnoc
+
+#endif // MINNOC_UTIL_RNG_HPP

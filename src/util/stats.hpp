@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Statistics accumulators used by the simulator and benchmark harnesses.
+ *
+ * Provides a streaming scalar accumulator (count/mean/variance/min/max via
+ * Welford's algorithm), a fixed-bin histogram, and a named stat registry
+ * for human-readable dumps.
+ */
+
+#ifndef MINNOC_UTIL_STATS_HPP
+#define MINNOC_UTIL_STATS_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "log.hpp"
+
+namespace minnoc {
+
+/**
+ * Streaming scalar statistic: tracks count, sum, mean, variance, min, max
+ * without storing samples (Welford's online algorithm).
+ */
+class ScalarStat
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double value)
+    {
+        ++_count;
+        _sum += value;
+        const double delta = value - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (value - _mean);
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+
+    /** Merge another accumulator into this one (parallel-safe combine). */
+    void
+    merge(const ScalarStat &other)
+    {
+        if (other._count == 0)
+            return;
+        if (_count == 0) {
+            *this = other;
+            return;
+        }
+        const auto na = static_cast<double>(_count);
+        const auto nb = static_cast<double>(other._count);
+        const double delta = other._mean - _mean;
+        const double total = na + nb;
+        _mean += delta * nb / total;
+        _m2 += other._m2 + delta * delta * na * nb / total;
+        _count += other._count;
+        _sum += other._sum;
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _mean : 0.0; }
+
+    /** Population variance; zero when fewer than two samples. */
+    double
+    variance() const
+    {
+        return _count > 1 ? _m2 / static_cast<double>(_count) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset() { *this = ScalarStat(); }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi exclusive upper bound of the tracked range
+     * @param bins number of equal-width bins (must be > 0)
+     */
+    Histogram(double lo, double hi, std::size_t bins)
+        : _lo(lo), _hi(hi), _counts(bins, 0)
+    {
+        if (bins == 0)
+            panic("Histogram requires at least one bin");
+        if (!(lo < hi))
+            panic("Histogram requires lo < hi");
+    }
+
+    /** Add one sample. */
+    void
+    sample(double value)
+    {
+        ++_total;
+        if (value < _lo) {
+            ++_underflow;
+        } else if (value >= _hi) {
+            ++_overflow;
+        } else {
+            const double frac = (value - _lo) / (_hi - _lo);
+            auto idx = static_cast<std::size_t>(
+                frac * static_cast<double>(_counts.size()));
+            idx = std::min(idx, _counts.size() - 1);
+            ++_counts[idx];
+        }
+    }
+
+    std::uint64_t total() const { return _total; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::size_t bins() const { return _counts.size(); }
+    std::uint64_t binCount(std::size_t i) const { return _counts.at(i); }
+
+    /** Inclusive lower edge of bin @p i. */
+    double
+    binLo(std::size_t i) const
+    {
+        return _lo + (_hi - _lo) * static_cast<double>(i) /
+                         static_cast<double>(_counts.size());
+    }
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Named registry of scalar statistics for end-of-run dumps.
+ * Ordered by name so output is deterministic.
+ */
+class StatRegistry
+{
+  public:
+    /** Get or create the stat with the given name. */
+    ScalarStat &operator[](const std::string &name) { return _stats[name]; }
+
+    /** True if a stat with this name has been created. */
+    bool
+    contains(const std::string &name) const
+    {
+        return _stats.count(name) != 0;
+    }
+
+    /** Write "name: count mean min max" lines to @p os. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, stat] : _stats) {
+            os << name << ": count=" << stat.count()
+               << " mean=" << stat.mean() << " min=" << stat.min()
+               << " max=" << stat.max() << '\n';
+        }
+    }
+
+    auto begin() const { return _stats.begin(); }
+    auto end() const { return _stats.end(); }
+
+  private:
+    std::map<std::string, ScalarStat> _stats;
+};
+
+} // namespace minnoc
+
+#endif // MINNOC_UTIL_STATS_HPP

@@ -1,0 +1,30 @@
+#!/bin/sh
+# End-to-end smoke test of the minnoc CLI: generate a trace, analyze,
+# design, round-trip the design file through show/simulate/dot.
+# Invoked by CTest with $1 = path to the minnoc binary.
+set -e
+
+MINNOC="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$MINNOC" gen --bench CG --ranks 8 --iterations 1 --out "$DIR/cg.trace"
+test -s "$DIR/cg.trace"
+
+"$MINNOC" analyze "$DIR/cg.trace" | grep -q "contention periods"
+
+"$MINNOC" design "$DIR/cg.trace" --max-degree 5 --restarts 4 \
+    --out "$DIR/cg.design" 2>/dev/null
+test -s "$DIR/cg.design"
+head -1 "$DIR/cg.design" | grep -q "minnoc-design 1"
+
+"$MINNOC" show "$DIR/cg.design" | grep -q "FinalizedDesign"
+
+"$MINNOC" simulate "$DIR/cg.trace" --network "$DIR/cg.design" \
+    | grep -q "deadlocks=0"
+"$MINNOC" simulate "$DIR/cg.trace" --network mesh | grep -q "exec="
+
+"$MINNOC" dot "$DIR/cg.design" --out "$DIR/cg.dot"
+grep -q "graph design" "$DIR/cg.dot"
+
+echo "cli pipeline OK"

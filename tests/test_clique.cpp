@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for Bron-Kerbosch maximal clique enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/clique.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::graph;
+using minnoc::Rng;
+
+TEST(Cliques, EmptyGraph)
+{
+    Ugraph g;
+    const auto cliques = maximalCliques(g);
+    // Convention: the empty graph has one (empty) maximal clique.
+    ASSERT_EQ(cliques.size(), 1u);
+    EXPECT_TRUE(cliques[0].empty());
+    EXPECT_TRUE(maximumClique(g).empty());
+    EXPECT_EQ(cliqueNumber(g), 0u);
+}
+
+TEST(Cliques, EdgelessGraphSingletons)
+{
+    Ugraph g(4);
+    const auto cliques = maximalCliques(g);
+    EXPECT_EQ(cliques.size(), 4u);
+    for (const auto &k : cliques)
+        EXPECT_EQ(k.size(), 1u);
+    EXPECT_EQ(cliqueNumber(g), 1u);
+}
+
+TEST(Cliques, Triangle)
+{
+    Ugraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    const auto cliques = maximalCliques(g);
+    ASSERT_EQ(cliques.size(), 1u);
+    EXPECT_EQ(cliques[0], (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Cliques, PathGraphEdges)
+{
+    Ugraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    const auto cliques = maximalCliques(g);
+    EXPECT_EQ(cliques.size(), 3u);
+    for (const auto &k : cliques)
+        EXPECT_EQ(k.size(), 2u);
+}
+
+TEST(Cliques, TwoTrianglesSharedVertex)
+{
+    Ugraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(2, 4);
+    const auto cliques = maximalCliques(g);
+    ASSERT_EQ(cliques.size(), 2u);
+    EXPECT_EQ(cliques[0].size(), 3u);
+    EXPECT_EQ(cliques[1].size(), 3u);
+}
+
+TEST(Cliques, LimitCapsOutput)
+{
+    Ugraph g(6); // edgeless: 6 maximal cliques
+    const auto cliques = maximalCliques(g, 2);
+    EXPECT_EQ(cliques.size(), 2u);
+}
+
+TEST(Cliques, MaximumCliqueOnMixedGraph)
+{
+    // K4 plus a pendant edge.
+    Ugraph g(5);
+    for (NodeId a = 0; a < 4; ++a) {
+        for (NodeId b = a + 1; b < 4; ++b)
+            g.addEdge(a, b);
+    }
+    g.addEdge(3, 4);
+    EXPECT_EQ(cliqueNumber(g), 4u);
+    EXPECT_EQ(maximumClique(g), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Cliques, AllReportedCliquesAreMaximal)
+{
+    Rng rng(77);
+    Ugraph g(14);
+    for (NodeId a = 0; a < 14; ++a) {
+        for (NodeId b = a + 1; b < 14; ++b) {
+            if (rng.chance(0.45))
+                g.addEdge(a, b);
+        }
+    }
+    const auto cliques = maximalCliques(g);
+    for (const auto &k : cliques) {
+        EXPECT_TRUE(g.isClique(k));
+        // No vertex outside k is adjacent to all of k (maximality).
+        for (NodeId v = 0; v < g.numNodes(); ++v) {
+            if (std::binary_search(k.begin(), k.end(), v))
+                continue;
+            bool adjacentToAll = true;
+            for (const NodeId u : k)
+                adjacentToAll &= g.hasEdge(u, v);
+            EXPECT_FALSE(adjacentToAll)
+                << "vertex " << v << " extends a reported clique";
+        }
+    }
+}
+
+TEST(Cliques, EveryVertexCovered)
+{
+    Rng rng(5);
+    Ugraph g(10);
+    for (NodeId a = 0; a < 10; ++a) {
+        for (NodeId b = a + 1; b < 10; ++b) {
+            if (rng.chance(0.3))
+                g.addEdge(a, b);
+        }
+    }
+    const auto cliques = maximalCliques(g);
+    std::vector<bool> covered(10, false);
+    for (const auto &k : cliques) {
+        for (const NodeId v : k)
+            covered[v] = true;
+    }
+    for (NodeId v = 0; v < 10; ++v)
+        EXPECT_TRUE(covered[v]);
+}

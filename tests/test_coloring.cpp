@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and property tests for graph coloring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/clique.hpp"
+#include "graph/coloring.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::graph;
+using minnoc::Rng;
+
+namespace {
+
+Ugraph
+cycle(std::size_t n)
+{
+    Ugraph g(n);
+    for (NodeId v = 0; v < n; ++v)
+        g.addEdge(v, static_cast<NodeId>((v + 1) % n));
+    return g;
+}
+
+Ugraph
+complete(std::size_t n)
+{
+    Ugraph g(n);
+    for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = a + 1; b < n; ++b)
+            g.addEdge(a, b);
+    }
+    return g;
+}
+
+Ugraph
+randomGraph(std::size_t n, double p, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Ugraph g(n);
+    for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = a + 1; b < n; ++b) {
+            if (rng.chance(p))
+                g.addEdge(a, b);
+        }
+    }
+    return g;
+}
+
+} // namespace
+
+TEST(Coloring, EmptyGraph)
+{
+    Ugraph g;
+    EXPECT_EQ(greedyColoring(g).numColors, 0u);
+    EXPECT_EQ(dsaturColoring(g).numColors, 0u);
+    EXPECT_EQ(exactColoring(g).numColors, 0u);
+}
+
+TEST(Coloring, EdgelessGraphOneColor)
+{
+    Ugraph g(5);
+    const auto c = exactColoring(g);
+    EXPECT_EQ(c.numColors, 1u);
+    EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(Coloring, EvenCycleTwoColors)
+{
+    const auto g = cycle(8);
+    EXPECT_EQ(dsaturColoring(g).numColors, 2u);
+    EXPECT_EQ(exactColoring(g).numColors, 2u);
+}
+
+TEST(Coloring, OddCycleThreeColors)
+{
+    const auto g = cycle(7);
+    const auto c = exactColoring(g);
+    EXPECT_EQ(c.numColors, 3u);
+    EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(Coloring, CompleteGraphNeedsN)
+{
+    const auto g = complete(6);
+    EXPECT_EQ(exactColoring(g).numColors, 6u);
+    EXPECT_EQ(cliqueLowerBound(g), 6u);
+}
+
+TEST(Coloring, IsProperColoringRejectsBadColorings)
+{
+    Ugraph g(2);
+    g.addEdge(0, 1);
+    Coloring bad;
+    bad.color = {0, 0};
+    bad.numColors = 1;
+    EXPECT_FALSE(isProperColoring(g, bad));
+    Coloring wrongSize;
+    wrongSize.color = {0};
+    wrongSize.numColors = 1;
+    EXPECT_FALSE(isProperColoring(g, wrongSize));
+    Coloring outOfRange;
+    outOfRange.color = {0, 5};
+    outOfRange.numColors = 2;
+    EXPECT_FALSE(isProperColoring(g, outOfRange));
+}
+
+TEST(Coloring, BipartiteDsaturExact)
+{
+    // Complete bipartite K(3,3): chromatic number 2.
+    Ugraph g(6);
+    for (NodeId a = 0; a < 3; ++a) {
+        for (NodeId b = 3; b < 6; ++b)
+            g.addEdge(a, b);
+    }
+    EXPECT_EQ(dsaturColoring(g).numColors, 2u);
+}
+
+TEST(Coloring, PetersenGraphChromaticThree)
+{
+    // The Petersen graph: 3-chromatic, clique number 2 -- exercises the
+    // branch-and-bound beyond the clique-bound shortcut.
+    Ugraph g(10);
+    for (NodeId v = 0; v < 5; ++v) {
+        g.addEdge(v, (v + 1) % 5);             // outer cycle
+        g.addEdge(v + 5, ((v + 2) % 5) + 5);   // inner pentagram
+        g.addEdge(v, v + 5);                   // spokes
+    }
+    EXPECT_EQ(cliqueLowerBound(g), 2u);
+    bool exact = false;
+    const auto c = exactColoring(g, 0, &exact);
+    EXPECT_TRUE(exact);
+    EXPECT_EQ(c.numColors, 3u);
+    EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(Coloring, BudgetFallbackStillProper)
+{
+    const auto g = randomGraph(24, 0.5, 99);
+    bool exact = true;
+    const auto c = exactColoring(g, 1, &exact); // absurdly small budget
+    EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(Coloring, GreedyCliqueIsClique)
+{
+    const auto g = randomGraph(30, 0.4, 5);
+    const auto clique = greedyClique(g);
+    EXPECT_TRUE(g.isClique(clique));
+    EXPECT_GE(clique.size(), 1u);
+}
+
+/** Property sweep over random graphs of varying density. */
+class ColoringProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(ColoringProperty, OrderingAndProperness)
+{
+    const auto [seed, density] = GetParam();
+    const auto g = randomGraph(18, density, static_cast<std::uint64_t>(seed));
+
+    const auto greedy = greedyColoring(g);
+    const auto dsatur = dsaturColoring(g);
+    bool exact = false;
+    const auto best = exactColoring(g, 5'000'000, &exact);
+
+    EXPECT_TRUE(isProperColoring(g, greedy));
+    EXPECT_TRUE(isProperColoring(g, dsatur));
+    EXPECT_TRUE(isProperColoring(g, best));
+
+    // Exact <= DSATUR <= maxDegree+1; exact >= clique bound.
+    EXPECT_LE(best.numColors, dsatur.numColors);
+    EXPECT_LE(greedy.numColors, g.maxDegree() + 1);
+    EXPECT_LE(dsatur.numColors, g.maxDegree() + 1);
+    EXPECT_GE(best.numColors, cliqueLowerBound(g));
+
+    if (exact) {
+        // The true clique number also lower-bounds the chromatic number.
+        EXPECT_GE(best.numColors, cliqueNumber(g));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ColoringProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(0.15, 0.4, 0.75)));

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the time-conflict model: overlap relation, contention
+ * set, and contention-period (clique) extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/comm_pattern.hpp"
+
+using namespace minnoc::core;
+
+namespace {
+
+/** Shorthand message constructor. */
+Message
+msg(ProcId s, ProcId d, double ts, double tf, std::uint32_t call = 0)
+{
+    return Message(s, d, ts, tf, 100, call);
+}
+
+} // namespace
+
+TEST(Message, OverlapClosedIntervals)
+{
+    // Closed intervals: touching endpoints DO overlap (Definition 3).
+    EXPECT_TRUE(msg(0, 1, 0, 10).overlaps(msg(2, 3, 10, 20)));
+    EXPECT_TRUE(msg(2, 3, 10, 20).overlaps(msg(0, 1, 0, 10)));
+    EXPECT_FALSE(msg(0, 1, 0, 10).overlaps(msg(2, 3, 10.5, 20)));
+    EXPECT_TRUE(msg(0, 1, 0, 10).overlaps(msg(2, 3, 2, 4))); // containment
+    EXPECT_TRUE(msg(0, 1, 5, 6).overlaps(msg(2, 3, 0, 10)));
+}
+
+TEST(CommPattern, RejectsBadMessages)
+{
+    CommPattern p(4);
+    EXPECT_DEATH(p.addMessage(msg(0, 9, 0, 1)), "references proc");
+    EXPECT_DEATH(p.addMessage(msg(0, 1, 5, 2)), "finishes before");
+}
+
+TEST(CommPattern, OverlapRelationBasic)
+{
+    CommPattern p(6);
+    p.addMessage(msg(0, 1, 0, 10));  // 0
+    p.addMessage(msg(2, 3, 5, 15));  // 1 overlaps 0
+    p.addMessage(msg(4, 5, 20, 30)); // 2 overlaps none
+    const auto rel = p.overlapRelation();
+    ASSERT_EQ(rel.size(), 1u);
+    EXPECT_EQ(rel[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+TEST(CommPattern, OverlapRelationChainNotTransitive)
+{
+    CommPattern p(8);
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(2, 3, 8, 20));
+    p.addMessage(msg(4, 5, 18, 30)); // overlaps msg1 but not msg0
+    const auto rel = p.overlapRelation();
+    EXPECT_EQ(rel.size(), 2u);
+    EXPECT_TRUE(std::find(rel.begin(), rel.end(),
+                          std::pair<std::size_t, std::size_t>{0, 2}) ==
+                rel.end());
+}
+
+TEST(CommPattern, ContentionSetExcludesSameComm)
+{
+    CommPattern p(4);
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(0, 1, 5, 15)); // same (s,d): not a contention tuple
+    EXPECT_TRUE(p.contentionSet().empty());
+}
+
+TEST(CommPattern, ContentionSetSymmetricClosure)
+{
+    CommPattern p(4);
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(2, 3, 5, 15));
+    const auto cs = p.contentionSet();
+    EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(CommPattern, CliqueExtractionSeparatePeriods)
+{
+    CommPattern p(8);
+    // Period A: three simultaneous messages.
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(2, 3, 0, 10));
+    p.addMessage(msg(4, 5, 0, 10));
+    // Period B: two simultaneous messages, disjoint in time.
+    p.addMessage(msg(0, 2, 20, 30));
+    p.addMessage(msg(4, 6, 20, 30));
+    const auto ks = p.extractCliqueSet();
+    ASSERT_EQ(ks.numCliques(), 2u);
+    EXPECT_EQ(ks.maxCliqueSize(), 3u);
+}
+
+TEST(CommPattern, CliqueExtractionStaggeredWindows)
+{
+    // msgs: a[0,10], b[5,15], c[12,20] -- maximal active sets are
+    // {a,b} and {b,c}.
+    CommPattern p(8);
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(2, 3, 5, 15));
+    p.addMessage(msg(4, 5, 12, 20));
+    const auto ks = p.extractCliqueSet(false);
+    ASSERT_EQ(ks.numCliques(), 2u);
+    for (const auto &k : ks.cliques())
+        EXPECT_EQ(k.size(), 2u);
+}
+
+TEST(CommPattern, MaximumReductionDropsSubsets)
+{
+    // One long message spans two periods; without reduction we see the
+    // sub-clique too.
+    CommPattern p(8);
+    p.addMessage(msg(0, 1, 0, 30));  // long
+    p.addMessage(msg(2, 3, 0, 10));  // with long: {l, x}
+    p.addMessage(msg(4, 5, 5, 10));  // {l, x, y}
+    const auto unreduced = p.extractCliqueSet(false);
+    const auto reduced = p.extractCliqueSet(true);
+    EXPECT_GE(unreduced.numCliques(), reduced.numCliques());
+    EXPECT_EQ(reduced.numCliques(), 1u);
+    EXPECT_EQ(reduced.maxCliqueSize(), 3u);
+}
+
+TEST(CommPattern, DuplicatePeriodsCollapse)
+{
+    // Phase-parallel repetition: the same pattern twice in time yields
+    // one distinct clique.
+    CommPattern p(4);
+    p.addMessage(msg(0, 1, 0, 10));
+    p.addMessage(msg(2, 3, 0, 10));
+    p.addMessage(msg(0, 1, 100, 110));
+    p.addMessage(msg(2, 3, 100, 110));
+    const auto ks = p.extractCliqueSet();
+    EXPECT_EQ(ks.numCliques(), 1u);
+}
+
+TEST(CommPattern, ByCallGroupsRegardlessOfTime)
+{
+    CommPattern p(4);
+    p.addMessage(msg(0, 1, 0, 10, 7));
+    p.addMessage(msg(2, 3, 500, 510, 7)); // same call, skewed in time
+    p.addMessage(msg(1, 0, 5, 15, 8));
+    const auto ks = p.cliqueSetByCall();
+    ASSERT_EQ(ks.numCliques(), 2u);
+    EXPECT_EQ(ks.maxCliqueSize(), 2u);
+}
+
+TEST(CommPattern, TimeSpanAndBytes)
+{
+    CommPattern p(4);
+    EXPECT_EQ(p.timeSpan(), (std::pair<double, double>{0.0, 0.0}));
+    p.addMessage(msg(0, 1, 3, 9));
+    p.addMessage(msg(2, 3, 1, 7));
+    EXPECT_EQ(p.timeSpan(), (std::pair<double, double>{1.0, 9.0}));
+    EXPECT_EQ(p.totalBytes(), 200u);
+}
+
+TEST(CommPattern, SweepMatchesBruteForceOnRandomIntervals)
+{
+    // Property: every extracted clique is a set of pairwise-overlapping
+    // messages, and every overlapping pair appears in some clique.
+    CommPattern p(32);
+    std::uint64_t state = 12345;
+    auto rnd = [&state](std::uint64_t m) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return (state >> 33) % m;
+    };
+    for (int i = 0; i < 40; ++i) {
+        const auto s = static_cast<ProcId>(rnd(16));
+        const auto d = static_cast<ProcId>(16 + rnd(16));
+        const double ts = static_cast<double>(rnd(100));
+        const double tf = ts + 1 + static_cast<double>(rnd(20));
+        p.addMessage(msg(s, d, ts, tf));
+    }
+
+    const auto ks = p.extractCliqueSet(false);
+    const auto &msgs = p.messages();
+
+    // Each clique's comms pairwise overlap via some witnesses: weaker
+    // check -- every overlapping message pair's comms co-occur in a
+    // clique (unless same comm).
+    for (const auto &[i, j] : p.overlapRelation()) {
+        const auto a = ks.findComm(msgs[i].comm());
+        const auto b = ks.findComm(msgs[j].comm());
+        ASSERT_NE(a, CliqueSet::kNoComm);
+        ASSERT_NE(b, CliqueSet::kNoComm);
+        if (a != b) {
+            EXPECT_TRUE(ks.contend(a, b));
+        }
+    }
+}

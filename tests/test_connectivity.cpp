@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for SCC / BFS connectivity algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+
+using namespace minnoc::graph;
+
+namespace {
+
+Digraph
+directedCycle(std::size_t n)
+{
+    Digraph g(n);
+    for (NodeId v = 0; v < n; ++v)
+        g.addEdge(v, (v + 1) % n);
+    return g;
+}
+
+} // namespace
+
+TEST(Scc, SingleNodeNoEdges)
+{
+    Digraph g(1);
+    EXPECT_EQ(numScc(g), 1u);
+    EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Scc, EmptyGraphNotStronglyConnected)
+{
+    Digraph g;
+    EXPECT_FALSE(isStronglyConnected(g));
+}
+
+TEST(Scc, DirectedCycleIsOneComponent)
+{
+    const auto g = directedCycle(6);
+    EXPECT_EQ(numScc(g), 1u);
+    EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Scc, ChainIsAllSingletons)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    EXPECT_EQ(numScc(g), 4u);
+    EXPECT_FALSE(isStronglyConnected(g));
+}
+
+TEST(Scc, TwoCyclesJoinedOneWay)
+{
+    // cycle {0,1,2} -> cycle {3,4}; two components.
+    Digraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(3, 4);
+    g.addEdge(4, 3);
+    g.addEdge(2, 3);
+    const auto comp = stronglyConnectedComponents(g);
+    EXPECT_EQ(numScc(g), 2u);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Scc, ComponentsInReverseTopologicalOrder)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    const auto comp = stronglyConnectedComponents(g);
+    // Tarjan emits the sink component first.
+    EXPECT_LT(comp[1], comp[0]);
+}
+
+TEST(Bfs, ShortestPathTrivial)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(shortestPathEdges(g, 0, 0).empty());
+}
+
+TEST(Bfs, ShortestPathFollowsEdges)
+{
+    Digraph g(4);
+    const EdgeId e01 = g.addEdge(0, 1);
+    const EdgeId e12 = g.addEdge(1, 2);
+    g.addEdge(0, 3);
+    g.addEdge(3, 2); // alternative same-length path
+    const auto path = shortestPathEdges(g, 0, 2);
+    ASSERT_EQ(path.size(), 2u);
+    // Either two-hop route is acceptable; verify continuity.
+    EXPECT_EQ(g.edge(path[0]).src, 0u);
+    EXPECT_EQ(g.edge(path[1]).dst, 2u);
+    EXPECT_EQ(g.edge(path[0]).dst, g.edge(path[1]).src);
+    (void)e01;
+    (void)e12;
+}
+
+TEST(Bfs, UnreachableSentinel)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    const auto path = shortestPathEdges(g, 0, 2);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], kNoEdge);
+}
+
+TEST(Bfs, DistancesAndUnreachable)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    const auto dist = bfsDistances(g, 0);
+    EXPECT_EQ(dist[0], 0);
+    EXPECT_EQ(dist[1], 1);
+    EXPECT_EQ(dist[2], 2);
+    EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Bfs, RespectsDirection)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    EXPECT_EQ(bfsDistances(g, 1)[0], -1);
+}
+
+TEST(Diameter, CycleDiameter)
+{
+    const auto g = directedCycle(5);
+    EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Diameter, EmptyGraph)
+{
+    Digraph g;
+    EXPECT_EQ(diameter(g), -1);
+}
+
+TEST(AverageDistance, CompleteBidirectionalPair)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    EXPECT_DOUBLE_EQ(averageDistance(g), 1.0);
+}
+
+TEST(AverageDistance, DirectedCycleAverage)
+{
+    // In a directed n-cycle the distances from any node are 1..n-1.
+    const auto g = directedCycle(4);
+    EXPECT_DOUBLE_EQ(averageDistance(g), (1.0 + 2.0 + 3.0) / 3.0);
+}

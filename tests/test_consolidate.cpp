@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Direct unit tests for global route consolidation and degree repair
+ * (the extensions in DESIGN.md section 5b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_network.hpp"
+#include "core/route_optimizer.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::core;
+using minnoc::Rng;
+
+namespace {
+
+/**
+ * Three switches in a row hosting procs {0,1}, {2,3}, {4,5}; comms
+ * supplied by the caller. Returns switch ids {a, b, c}.
+ */
+std::array<SwitchId, 3>
+threeSwitches(DesignNetwork &net, Rng &rng)
+{
+    const SwitchId b = net.splitSwitch(0, rng);
+    const SwitchId c = net.splitSwitch(0, rng);
+    for (ProcId p : {0u, 1u})
+        net.moveProc(p, 0);
+    for (ProcId p : {2u, 3u})
+        net.moveProc(p, b);
+    for (ProcId p : {4u, 5u})
+        net.moveProc(p, c);
+    return {0, b, c};
+}
+
+} // namespace
+
+TEST(Consolidate, MergesCompatibleTrafficOntoSharedPipes)
+{
+    // (0,4) and (1,5) in different cliques: consolidation can ride
+    // both on one pipe A-C with width 1.
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 4)});
+    ks.addClique({Comm(1, 5)});
+    DesignNetwork net(ks);
+    Rng rng(1);
+    threeSwitches(net, rng);
+    EXPECT_EQ(net.totalEstimatedLinks(), 1u); // direct routes share A-C
+
+    // Force them apart first: reroute (1,5) via B.
+    const CommId c15 = ks.findComm(Comm(1, 5));
+    net.setRoute(c15, {net.homeOf(1), 1, net.homeOf(5)});
+    EXPECT_EQ(net.totalEstimatedLinks(), 3u);
+
+    const auto stats = consolidateRoutes(net, 4);
+    EXPECT_GT(stats.committedMoves, 0u);
+    // Greedy consolidation reclaims at least one link; depending on
+    // visit order it lands on the 1-link global optimum (both comms
+    // direct) or the 2-link local optimum (both via B).
+    EXPECT_LE(net.totalEstimatedLinks(), 2u);
+    net.checkInvariants();
+}
+
+TEST(Consolidate, RespectsConflicts)
+{
+    // Same clique: the two comms can never share a link; consolidation
+    // must not collapse them into width-1.
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 4), Comm(1, 5)});
+    DesignNetwork net(ks);
+    Rng rng(2);
+    threeSwitches(net, rng);
+
+    consolidateRoutes(net, 4);
+    net.checkInvariants();
+    // Total estimate can be 2 (width-2 pipe or detour) but never 1.
+    EXPECT_GE(net.totalEstimatedLinks(), 2u);
+}
+
+TEST(Consolidate, MovesMirroredPairsJointly)
+{
+    // Exchange pair (0,4)/(4,0): individually unmovable (full-duplex
+    // width is the max), jointly consolidatable onto the A-B-C path.
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 4), Comm(4, 0)});
+    ks.addClique({Comm(0, 2), Comm(2, 0)});
+    ks.addClique({Comm(2, 4), Comm(4, 2)});
+    DesignNetwork net(ks);
+    Rng rng(3);
+    threeSwitches(net, rng);
+    // Direct routes: pipes A-C, A-B, B-C each width 1 = 3 links.
+    EXPECT_EQ(net.totalEstimatedLinks(), 3u);
+
+    consolidateRoutes(net, 8);
+    net.checkInvariants();
+    // (0,4)/(4,0) can ride A-B + B-C (different cliques from the
+    // neighbor exchanges): 2 links total.
+    EXPECT_EQ(net.totalEstimatedLinks(), 2u);
+}
+
+TEST(Consolidate, NoOpOnOptimalNetwork)
+{
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 2), Comm(2, 4)});
+    DesignNetwork net(ks);
+    Rng rng(4);
+    threeSwitches(net, rng);
+    const auto before = net.totalEstimatedLinks();
+    const auto stats = consolidateRoutes(net, 4);
+    EXPECT_EQ(stats.committedMoves, 0u);
+    EXPECT_EQ(net.totalEstimatedLinks(), before);
+}
+
+TEST(Repair, ShedsTrafficFromOverloadedSwitch)
+{
+    // Hub scenario: a heavy middle switch B {1..4} relays the only
+    // A <-> C communication. With a budget that makes B a violator but
+    // leaves A and C plenty of spare degree, repair must open a direct
+    // A-C pipe and take B out of the path.
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 5)});
+    ks.addClique({Comm(1, 2)}); // intra-B load (no links)
+    DesignNetwork net(ks);
+    Rng rng(5);
+    const SwitchId b = net.splitSwitch(0, rng);
+    const SwitchId c = net.splitSwitch(0, rng);
+    net.moveProc(0, 0);
+    for (ProcId p : {1u, 2u, 3u, 4u})
+        net.moveProc(p, b);
+    net.moveProc(5, c);
+
+    const auto c05 = ks.findComm(Comm(0, 5));
+    net.setRoute(c05, {0, b, c});
+    const auto degB = net.estimatedDegree(b);
+    ASSERT_GE(degB, 6u); // 4 procs + 2 transit pipes
+
+    const std::uint32_t budget = degB - 1;
+    const auto stats = repairDegrees(net, budget, 4);
+    net.checkInvariants();
+    EXPECT_GT(stats.committedMoves, 0u);
+    EXPECT_LE(net.estimatedDegree(b), budget);
+    // The communication now bypasses B entirely.
+    EXPECT_EQ(net.route(c05), (std::vector<SwitchId>{0, c}));
+}
+
+TEST(Repair, NoOpWhenWithinBudget)
+{
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 2)});
+    DesignNetwork net(ks);
+    Rng rng(6);
+    threeSwitches(net, rng);
+    const auto stats = repairDegrees(net, 64, 4);
+    EXPECT_EQ(stats.committedMoves, 0u);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for design serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/design_io.hpp"
+#include "core/methodology.hpp"
+#include "core/verify.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::core;
+
+namespace {
+
+DesignOutcome
+cgOutcome(std::uint32_t ranks)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 1;
+    const auto ks = trace::analyzeByCall(trace::generateCG(cfg));
+    MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    return runMethodology(ks, mcfg);
+}
+
+bool
+sameDesign(const FinalizedDesign &a, const FinalizedDesign &b)
+{
+    if (a.numProcs != b.numProcs || a.numSwitches != b.numSwitches ||
+        a.procHome != b.procHome || a.routes != b.routes)
+        return false;
+    if (a.comms.size() != b.comms.size() ||
+        a.pipes.size() != b.pipes.size())
+        return false;
+    for (std::size_t i = 0; i < a.comms.size(); ++i) {
+        if (!(a.comms[i] == b.comms[i]))
+            return false;
+    }
+    for (std::size_t i = 0; i < a.pipes.size(); ++i) {
+        const auto &x = a.pipes[i];
+        const auto &y = b.pipes[i];
+        if (!(x.key == y.key) || x.links != y.links ||
+            x.connectivityOnly != y.connectivityOnly ||
+            x.fwdLink != y.fwdLink || x.bwdLink != y.bwdLink)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(DesignIo, RoundTripPreservesEverything)
+{
+    const auto outcome = cgOutcome(16);
+    std::stringstream ss;
+    saveDesign(outcome.design, ss);
+    const auto loaded = loadDesign(ss);
+    EXPECT_TRUE(sameDesign(outcome.design, loaded));
+    // Switch membership lists are rebuilt from homes; degrees agree.
+    for (SwitchId s = 0; s < loaded.numSwitches; ++s) {
+        EXPECT_EQ(loaded.switchDegree(s),
+                  outcome.design.switchDegree(s));
+    }
+}
+
+TEST(DesignIo, LoadedDesignBuildsAndSimulates)
+{
+    const auto outcome = cgOutcome(8);
+    std::stringstream ss;
+    saveDesign(outcome.design, ss);
+    const auto loaded = loadDesign(ss);
+
+    const auto plan = topo::planFloor(loaded);
+    const auto net = topo::buildFromDesign(loaded, plan);
+    EXPECT_EQ(net.topo->numProcs(), 8u);
+    EXPECT_NO_FATAL_FAILURE(
+        topo::validateRouting(*net.topo, *net.routing));
+}
+
+TEST(DesignIo, TheoremOneSurvivesRoundTrip)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    auto ks = trace::analyzeByCall(trace::generateCG(cfg));
+    ks.reduceToMaximum();
+    MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome = runMethodology(ks, mcfg);
+
+    std::stringstream ss;
+    saveDesign(outcome.design, ss);
+    const auto loaded = loadDesign(ss);
+    EXPECT_TRUE(checkContentionFree(loaded, ks).empty());
+}
+
+TEST(DesignIo, RejectsBadHeader)
+{
+    std::stringstream ss("garbage 1 2 3");
+    EXPECT_EXIT(loadDesign(ss), ::testing::ExitedWithCode(1),
+                "bad header");
+}
+
+TEST(DesignIo, RejectsWrongVersion)
+{
+    std::stringstream ss("minnoc-design 99 4 1\nend\n");
+    EXPECT_EXIT(loadDesign(ss), ::testing::ExitedWithCode(1),
+                "unsupported version");
+}
+
+TEST(DesignIo, RejectsTruncatedFile)
+{
+    const auto outcome = cgOutcome(8);
+    std::stringstream ss;
+    saveDesign(outcome.design, ss);
+    std::string text = ss.str();
+    text.resize(text.size() / 2); // chop mid-file, drops "end"
+    std::stringstream half(text);
+    EXPECT_EXIT(loadDesign(half), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(DesignIo, RejectsUnhomedProcessor)
+{
+    std::stringstream ss("minnoc-design 1 2 1\nhome 0 0\nend\n");
+    EXPECT_EXIT(loadDesign(ss), ::testing::ExitedWithCode(1),
+                "no home");
+}

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the design-time network, including a faithful replay
+ * of the paper's Cut 1 / Cut 2 example (Figures 1, 2 and 5a-b): the
+ * same CG-16 clique set, the same processor moves, the same Fast_Color
+ * link estimates (4, then 3, then 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_network.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::core;
+using minnoc::Rng;
+
+namespace {
+
+/**
+ * The CG-16 communication clique set of the paper's Figure 1
+ * (0-based ranks, rank = row * 4 + col on the 4x4 process grid):
+ * two reduce-exchange periods (column XOR 1, column XOR 2) and the
+ * matrix-transpose period with a silent diagonal.
+ */
+CliqueSet
+figure1Cliques()
+{
+    CliqueSet ks(16);
+    auto rankAt = [](std::uint32_t row, std::uint32_t col) {
+        return static_cast<ProcId>(row * 4 + col);
+    };
+    for (const std::uint32_t bit : {1u, 2u}) {
+        std::vector<Comm> comms;
+        for (std::uint32_t row = 0; row < 4; ++row) {
+            for (std::uint32_t col = 0; col < 4; ++col)
+                comms.emplace_back(rankAt(row, col),
+                                   rankAt(row, col ^ bit));
+        }
+        ks.addClique(comms);
+    }
+    std::vector<Comm> transpose;
+    for (std::uint32_t row = 0; row < 4; ++row) {
+        for (std::uint32_t col = 0; col < 4; ++col) {
+            if (row != col)
+                transpose.emplace_back(rankAt(row, col),
+                                       rankAt(col, row));
+        }
+    }
+    ks.addClique(transpose);
+    return ks;
+}
+
+} // namespace
+
+TEST(DesignNetwork, MegaswitchInitialState)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    EXPECT_EQ(net.numSwitches(), 1u);
+    EXPECT_EQ(net.numProcs(), 16u);
+    EXPECT_EQ(net.procsOf(0).size(), 16u);
+    EXPECT_TRUE(net.pipes().empty());
+    EXPECT_EQ(net.totalEstimatedLinks(), 0u);
+    EXPECT_EQ(net.estimatedDegree(0), 16u);
+    for (CommId c = 0; c < ks.numComms(); ++c)
+        EXPECT_EQ(net.route(c), std::vector<SwitchId>{0});
+    net.checkInvariants();
+}
+
+TEST(DesignNetwork, PaperCut1NeedsFourLinks)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(1);
+    const SwitchId sj = net.splitSwitch(0, rng);
+
+    // Force the paper's Cut 1: processors 0-7 on S0, 8-15 on S1.
+    for (ProcId p = 0; p < 8; ++p)
+        net.moveProc(p, 0);
+    for (ProcId p = 8; p < 16; ++p)
+        net.moveProc(p, sj);
+    net.checkInvariants();
+
+    const PipeKey cut(0, sj);
+    const Pipe &pipe = net.pipe(cut);
+    // Eight transpose messages cross the cut, four per direction.
+    EXPECT_EQ(pipe.fwd.size(), 4u);
+    EXPECT_EQ(pipe.bwd.size(), 4u);
+    EXPECT_EQ(net.fastColor(cut), 4u);
+}
+
+TEST(DesignNetwork, PaperCut2NeedsThreeLinks)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(1);
+    const SwitchId sj = net.splitSwitch(0, rng);
+    for (ProcId p = 0; p < 8; ++p)
+        net.moveProc(p, 0);
+    for (ProcId p = 8; p < 16; ++p)
+        net.moveProc(p, sj);
+
+    // The paper moves node 9 (0-based processor 8) across: now five
+    // communications go forward but at most three share a period.
+    net.moveProc(8, 0);
+    net.checkInvariants();
+
+    const PipeKey cut(0, sj);
+    const Pipe &pipe = net.pipe(cut);
+    EXPECT_EQ(pipe.fwd.size(), 5u);
+    EXPECT_EQ(pipe.bwd.size(), 5u);
+    EXPECT_EQ(net.fastColor(cut), 3u);
+}
+
+TEST(DesignNetwork, PaperSecondMoveNeedsTwoLinks)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(1);
+    const SwitchId sj = net.splitSwitch(0, rng);
+    for (ProcId p = 0; p < 8; ++p)
+        net.moveProc(p, 0);
+    for (ProcId p = 8; p < 16; ++p)
+        net.moveProc(p, sj);
+    net.moveProc(8, 0);
+    // Figure 5(b): processor 8 of the paper (0-based 7) moves the other
+    // way; the estimate drops to two links.
+    net.moveProc(7, sj);
+    net.checkInvariants();
+
+    EXPECT_EQ(net.fastColor(PipeKey(0, sj)), 2u);
+}
+
+TEST(DesignNetwork, SplitMovesRoughlyHalf)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(3);
+    const SwitchId sj = net.splitSwitch(0, rng);
+    EXPECT_EQ(net.procsOf(0).size(), 8u);
+    EXPECT_EQ(net.procsOf(sj).size(), 8u);
+    net.checkInvariants();
+}
+
+TEST(DesignNetwork, IntraSwitchCommNeedsNoPipe)
+{
+    CliqueSet ks(4);
+    ks.addClique({Comm(0, 1)});
+    DesignNetwork net(ks);
+    EXPECT_TRUE(net.pipes().empty());
+    EXPECT_EQ(net.route(0), std::vector<SwitchId>{0});
+}
+
+TEST(DesignNetwork, MoveRestoresExactlyOnRoundTrip)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(7);
+    const SwitchId sj = net.splitSwitch(0, rng);
+
+    const auto linksBefore = net.totalEstimatedLinks();
+    const auto pipesBefore = net.pipes();
+    const ProcId victim = net.procsOf(0).front();
+    net.moveProc(victim, sj);
+    net.moveProc(victim, 0);
+    EXPECT_EQ(net.totalEstimatedLinks(), linksBefore);
+    EXPECT_EQ(net.pipes(), pipesBefore);
+    net.checkInvariants();
+}
+
+TEST(DesignNetwork, SetRouteUpdatesPipes)
+{
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 5)});
+    DesignNetwork net(ks);
+    Rng rng(1);
+    // Split twice to get three switches.
+    const SwitchId s1 = net.splitSwitch(0, rng);
+    const SwitchId s2 = net.splitSwitch(0, rng);
+
+    const CommId c = ks.findComm(Comm(0, 5));
+    ASSERT_NE(c, CliqueSet::kNoComm);
+    const SwitchId from = net.homeOf(0);
+    const SwitchId to = net.homeOf(5);
+    if (from != to) {
+        // Detour through the third switch.
+        SwitchId mid = 0;
+        for (const SwitchId s : {SwitchId(0), s1, s2}) {
+            if (s != from && s != to)
+                mid = s;
+        }
+        net.setRoute(c, {from, mid, to});
+        EXPECT_EQ(net.route(c),
+                  (std::vector<SwitchId>{from, mid, to}));
+        EXPECT_EQ(net.pipe(PipeKey(from, to)).fwd.size() +
+                      net.pipe(PipeKey(from, to)).bwd.size(),
+                  0u);
+        net.checkInvariants();
+    }
+}
+
+TEST(DesignNetwork, SetRouteRejectsBadAnchors)
+{
+    CliqueSet ks(4);
+    ks.addClique({Comm(0, 3)});
+    DesignNetwork net(ks);
+    Rng rng(1);
+    net.splitSwitch(0, rng);
+    const CommId c = ks.findComm(Comm(0, 3));
+    EXPECT_DEATH(net.setRoute(c, {99}), "endpoints");
+}
+
+TEST(DesignNetwork, SplitSingleProcSwitchPanics)
+{
+    CliqueSet ks(2);
+    ks.addClique({Comm(0, 1)});
+    DesignNetwork net(ks);
+    Rng rng(1);
+    net.splitSwitch(0, rng); // 1 proc each now
+    EXPECT_DEATH(net.splitSwitch(0, rng), "fewer than two");
+}
+
+TEST(DesignNetwork, FastColorEmptyPipeZero)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    EXPECT_EQ(net.fastColor(PipeKey(5, 9)), 0u);
+}
+
+TEST(DesignNetwork, EstimatedDegreeCountsProcsAndLinks)
+{
+    CliqueSet ks = figure1Cliques();
+    DesignNetwork net(ks);
+    Rng rng(1);
+    const SwitchId sj = net.splitSwitch(0, rng);
+    for (ProcId p = 0; p < 8; ++p)
+        net.moveProc(p, 0);
+    for (ProcId p = 8; p < 16; ++p)
+        net.moveProc(p, sj);
+    EXPECT_EQ(net.estimatedDegree(0), 8u + 4u);
+    EXPECT_EQ(net.estimatedDegree(sj), 8u + 4u);
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the directed multigraph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+using namespace minnoc::graph;
+
+TEST(Digraph, EmptyGraph)
+{
+    Digraph g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Digraph, AddNodesReturnsFirstId)
+{
+    Digraph g;
+    EXPECT_EQ(g.addNode(), 0u);
+    EXPECT_EQ(g.addNodes(3), 1u);
+    EXPECT_EQ(g.numNodes(), 4u);
+}
+
+TEST(Digraph, AddEdgeBasics)
+{
+    Digraph g(3);
+    const EdgeId e = g.addEdge(0, 1, 5, 42);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.edge(e).src, 0u);
+    EXPECT_EQ(g.edge(e).dst, 1u);
+    EXPECT_EQ(g.edge(e).weight, 5);
+    EXPECT_EQ(g.edge(e).tag, 42);
+}
+
+TEST(Digraph, ParallelEdgesAllowed)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.countEdges(0, 1), 3u);
+    EXPECT_EQ(g.outDegree(0), 3u);
+    EXPECT_EQ(g.inDegree(1), 3u);
+}
+
+TEST(Digraph, DirectionalityRespected)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.countEdges(1, 0), 0u);
+    EXPECT_EQ(g.findEdge(1, 0), kNoEdge);
+    EXPECT_NE(g.findEdge(0, 1), kNoEdge);
+}
+
+TEST(Digraph, RemoveEdgeIsLazyButHidden)
+{
+    Digraph g(3);
+    const EdgeId a = g.addEdge(0, 1);
+    const EdgeId b = g.addEdge(0, 2);
+    g.removeEdge(a);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.outDegree(0), 1u);
+    EXPECT_EQ(g.findEdge(0, 1), kNoEdge);
+    EXPECT_EQ(g.findEdge(0, 2), b);
+    const auto live = g.edges();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0], b);
+}
+
+TEST(Digraph, DoubleRemovePanics)
+{
+    Digraph g(2);
+    const EdgeId e = g.addEdge(0, 1);
+    g.removeEdge(e);
+    EXPECT_DEATH(g.removeEdge(e), "dead edge");
+}
+
+TEST(Digraph, SuccessorsPredecessors)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(3, 0);
+    const auto succ = g.successors(0);
+    EXPECT_EQ(succ.size(), 2u);
+    const auto pred = g.predecessors(0);
+    ASSERT_EQ(pred.size(), 1u);
+    EXPECT_EQ(pred[0], 3u);
+    EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Digraph, OutOfRangePanics)
+{
+    Digraph g(2);
+    EXPECT_DEATH(g.addEdge(0, 5), "out of range");
+    EXPECT_DEATH(g.outEdges(9), "out of range");
+}
+
+TEST(Digraph, EdgeWeightAndTagMutation)
+{
+    Digraph g(2);
+    const EdgeId e = g.addEdge(0, 1);
+    g.edgeWeight(e, 7);
+    g.edgeTag(e, -2);
+    EXPECT_EQ(g.edge(e).weight, 7);
+    EXPECT_EQ(g.edge(e).tag, -2);
+}
+
+TEST(Digraph, SelfLoopAllowedInDigraph)
+{
+    // The generic digraph permits self loops (Topology forbids them at
+    // its own level).
+    Digraph g(1);
+    g.addEdge(0, 0);
+    EXPECT_EQ(g.outDegree(0), 1u);
+    EXPECT_EQ(g.inDegree(0), 1u);
+}
+
+TEST(Digraph, ToStringSmoke)
+{
+    Digraph g(2);
+    g.addEdge(0, 1, 3);
+    const auto text = g.toString();
+    EXPECT_NE(text.find("0 -> 1"), std::string::npos);
+}

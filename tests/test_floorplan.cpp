@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the tile floorplanner and area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::topo;
+
+TEST(GridDims, MostSquareFactorizations)
+{
+    EXPECT_EQ(gridDims(16), (std::pair<std::uint32_t, std::uint32_t>{4, 4}));
+    EXPECT_EQ(gridDims(9), (std::pair<std::uint32_t, std::uint32_t>{3, 3}));
+    EXPECT_EQ(gridDims(8), (std::pair<std::uint32_t, std::uint32_t>{4, 2}));
+    EXPECT_EQ(gridDims(12),
+              (std::pair<std::uint32_t, std::uint32_t>{4, 3}));
+    EXPECT_EQ(gridDims(1), (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+}
+
+TEST(GridDims, PrimeFallsBackToCeilGrid)
+{
+    const auto [w, h] = gridDims(7);
+    EXPECT_GE(static_cast<std::uint64_t>(w) * h, 7u);
+}
+
+TEST(Areas, MeshReferenceValues)
+{
+    // 4x4 mesh: 16 switches, 24 unit-area connections.
+    EXPECT_EQ(meshAreas(16),
+              (std::pair<std::uint32_t, std::uint32_t>{16, 24}));
+    // 3x3: 12 connections.
+    EXPECT_EQ(meshAreas(9),
+              (std::pair<std::uint32_t, std::uint32_t>{9, 12}));
+    // 4x2: 10 connections.
+    EXPECT_EQ(meshAreas(8),
+              (std::pair<std::uint32_t, std::uint32_t>{8, 10}));
+}
+
+TEST(Areas, TorusDoublesMeshLinkArea)
+{
+    // Folded torus: 2 * w * h connections of area 2.
+    const auto [sw16, lk16] = torusAreas(16);
+    EXPECT_EQ(sw16, 16u);
+    EXPECT_EQ(lk16, 64u);
+    const auto [swM, lkM] = meshAreas(16);
+    (void)swM;
+    EXPECT_GE(lk16, 2 * lkM);
+}
+
+TEST(Manhattan, Distance)
+{
+    EXPECT_EQ(manhattan(GridPoint{0, 0}, GridPoint{3, 4}), 7u);
+    EXPECT_EQ(manhattan(GridPoint{2, 2}, GridPoint{2, 2}), 0u);
+    EXPECT_EQ(manhattan(GridPoint{-1, 0}, GridPoint{1, 0}), 2u);
+}
+
+namespace {
+
+core::DesignOutcome
+cgDesign(std::uint32_t ranks)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    const auto ks = trace::analyzeByCall(tr);
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    return core::runMethodology(ks, mcfg);
+}
+
+} // namespace
+
+TEST(Floorplan, PlacementIsValid)
+{
+    const auto outcome = cgDesign(16);
+    const auto plan = planFloor(outcome.design);
+    EXPECT_EQ(plan.procTile.size(), 16u);
+    EXPECT_EQ(plan.switchCorner.size(), outcome.design.numSwitches);
+    EXPECT_EQ(plan.switchArea, outcome.design.numSwitches);
+
+    // Tiles are distinct and within the grid.
+    std::set<std::pair<int, int>> seen;
+    for (const auto &tile : plan.procTile) {
+        EXPECT_GE(tile.x, 0);
+        EXPECT_LT(tile.x, static_cast<int>(plan.tilesX));
+        EXPECT_GE(tile.y, 0);
+        EXPECT_LT(tile.y, static_cast<int>(plan.tilesY));
+        EXPECT_TRUE(seen.insert({tile.x, tile.y}).second);
+    }
+}
+
+TEST(Floorplan, GeneratedBeatsMeshAreas)
+{
+    // The headline Figure-7 property: the generated CG network uses
+    // fewer switches and less link area than the mesh.
+    const auto outcome = cgDesign(16);
+    const auto plan = planFloor(outcome.design);
+    const auto [meshSw, meshLk] = meshAreas(16);
+    EXPECT_LT(plan.switchArea, meshSw);
+    EXPECT_LT(plan.linkArea + plan.procLinkArea, meshLk);
+}
+
+TEST(Floorplan, DeterministicForSeed)
+{
+    const auto outcome = cgDesign(8);
+    FloorplanConfig cfg;
+    cfg.seed = 5;
+    const auto a = planFloor(outcome.design, cfg);
+    const auto b = planFloor(outcome.design, cfg);
+    EXPECT_EQ(a.linkArea, b.linkArea);
+    EXPECT_EQ(a.procLinkArea, b.procLinkArea);
+    for (std::size_t i = 0; i < a.procTile.size(); ++i)
+        EXPECT_EQ(a.procTile[i], b.procTile[i]);
+}
+
+TEST(Floorplan, SwitchDistanceHasUnitFloor)
+{
+    const auto outcome = cgDesign(8);
+    const auto plan = planFloor(outcome.design);
+    for (core::SwitchId a = 0; a < outcome.design.numSwitches; ++a) {
+        for (core::SwitchId b = 0; b < outcome.design.numSwitches; ++b)
+            EXPECT_GE(plan.switchDistance(a, b), 1u);
+    }
+}
+
+TEST(Floorplan, ProcDistanceZeroWhenCornerAdjacent)
+{
+    const auto outcome = cgDesign(8);
+    const auto plan = planFloor(outcome.design);
+    // The annealer should co-locate most processors with their switch;
+    // proc link area must at least stay small relative to proc count.
+    EXPECT_LE(plan.procLinkArea, outcome.design.numProcs);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the switch-merge polish pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::core;
+
+namespace {
+
+DesignOutcome
+run(trace::Benchmark bench, std::uint32_t ranks, bool merge)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 1;
+    const auto ks =
+        trace::analyzeByCall(trace::generateBenchmark(bench, cfg));
+    MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    mcfg.mergeSwitches = merge;
+    mcfg.restarts = 8;
+    return runMethodology(ks, mcfg);
+}
+
+} // namespace
+
+TEST(MergeSwitches, ReducesSwitchCountOnAdiBenchmarks)
+{
+    const auto merged = run(trace::Benchmark::BT, 9, true);
+    const auto plain = run(trace::Benchmark::BT, 9, false);
+    EXPECT_LT(merged.design.numSwitches, plain.design.numSwitches);
+    // The paper's BT-9 network sits near half the mesh's 9 switches.
+    EXPECT_LE(merged.design.numSwitches, 6u);
+}
+
+TEST(MergeSwitches, PreservesConstraintsAndTheoremOne)
+{
+    for (const auto bench : trace::kAllBenchmarks) {
+        const auto outcome =
+            run(bench, trace::smallConfigRanks(bench), true);
+        EXPECT_TRUE(outcome.constraintsMet)
+            << trace::benchmarkName(bench);
+        EXPECT_TRUE(outcome.violations.empty())
+            << trace::benchmarkName(bench);
+        for (SwitchId s = 0; s < outcome.design.numSwitches; ++s)
+            EXPECT_LE(outcome.design.switchDegree(s), 5u);
+    }
+}
+
+TEST(MergeSwitches, NeverIncreasesLinksBeyondSlack)
+{
+    const auto merged = run(trace::Benchmark::SP, 9, true);
+    const auto plain = run(trace::Benchmark::SP, 9, false);
+    // Accept criterion: at most one extra full-duplex link in total.
+    EXPECT_LE(merged.design.totalLinks(), plain.design.totalLinks() + 1);
+}
+
+TEST(MergeSwitches, NoOpWhenAlreadyMinimal)
+{
+    // CG-8 converges to 4 switches of 2 procs; merging two of those
+    // would exceed the degree budget, so the pass must leave it alone.
+    const auto merged = run(trace::Benchmark::CG, 8, true);
+    EXPECT_EQ(merged.design.numSwitches, 4u);
+    EXPECT_TRUE(merged.constraintsMet);
+}
+
+TEST(MergeSwitches, DeterministicAcrossRuns)
+{
+    const auto a = run(trace::Benchmark::BT, 9, true);
+    const auto b = run(trace::Benchmark::BT, 9, true);
+    EXPECT_EQ(a.design.numSwitches, b.design.numSwitches);
+    EXPECT_EQ(a.design.totalLinks(), b.design.totalLinks());
+    EXPECT_EQ(a.design.procHome, b.design.procHome);
+}

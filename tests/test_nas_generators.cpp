@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the synthetic NAS trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::trace;
+
+TEST(Benchmarks, NamesRoundTrip)
+{
+    for (const auto b : kAllBenchmarks)
+        EXPECT_EQ(benchmarkFromName(benchmarkName(b)), b);
+    EXPECT_EXIT(benchmarkFromName("XX"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Benchmarks, ConfigRanks)
+{
+    EXPECT_EQ(smallConfigRanks(Benchmark::BT), 9u);
+    EXPECT_EQ(smallConfigRanks(Benchmark::SP), 9u);
+    EXPECT_EQ(smallConfigRanks(Benchmark::CG), 8u);
+    EXPECT_EQ(largeConfigRanks(Benchmark::CG), 16u);
+}
+
+/** Every benchmark at both paper configurations. */
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<Benchmark, bool>>
+{
+  protected:
+    Trace
+    make()
+    {
+        const auto [bench, large] = GetParam();
+        NasConfig cfg;
+        cfg.ranks = large ? largeConfigRanks(bench)
+                          : smallConfigRanks(bench);
+        cfg.iterations = 2;
+        return generateBenchmark(bench, cfg);
+    }
+};
+
+TEST_P(GeneratorSweep, StructurallySane)
+{
+    const auto tr = make();
+    EXPECT_GT(tr.numSends(), 0u);
+    EXPECT_GT(tr.totalSendBytes(), 0u);
+    EXPECT_GT(tr.totalComputeCycles(), 0);
+    EXPECT_GT(tr.numCalls(), 0u);
+    // validateMatching ran inside take(); run again defensively.
+    EXPECT_NO_FATAL_FAILURE(tr.validateMatching());
+    // The trace must replay without deadlock.
+    const auto pattern = idealReplay(tr);
+    EXPECT_EQ(pattern.numMessages(), tr.numSends());
+}
+
+TEST_P(GeneratorSweep, DeterministicForSeed)
+{
+    const auto a = make();
+    const auto b = make();
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GeneratorSweep,
+    ::testing::Combine(::testing::Values(Benchmark::BT, Benchmark::CG,
+                                         Benchmark::FFT, Benchmark::MG,
+                                         Benchmark::SP),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return benchmarkName(std::get<0>(info.param)) +
+               std::string(std::get<1>(info.param) ? "_large" : "_small");
+    });
+
+TEST(GeneratorCG, XorPartnersWithinRows)
+{
+    NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    const auto tr = generateCG(cfg);
+    // Reduce phases exchange with column-XOR partners within rows of 4.
+    for (core::ProcId r = 0; r < 16; ++r) {
+        std::set<core::ProcId> peers;
+        for (const auto &op : tr.timeline(r)) {
+            if (op.kind == OpKind::Send)
+                peers.insert(op.peer);
+        }
+        const std::uint32_t row = r / 4;
+        const std::uint32_t col = r % 4;
+        EXPECT_TRUE(peers.count(row * 4 + (col ^ 1)));
+        EXPECT_TRUE(peers.count(row * 4 + (col ^ 2)));
+        if (row != col)
+            EXPECT_TRUE(peers.count(col * 4 + row)); // transpose
+        else
+            EXPECT_EQ(peers.size(), 2u); // diagonal: reduce only
+    }
+}
+
+TEST(GeneratorCG, RejectsNonPowerOfTwo)
+{
+    NasConfig cfg;
+    cfg.ranks = 12;
+    EXPECT_EXIT(generateCG(cfg), ::testing::ExitedWithCode(1),
+                "power-of-two");
+}
+
+TEST(GeneratorAdi, RejectsNonSquare)
+{
+    NasConfig cfg;
+    cfg.ranks = 8;
+    EXPECT_EXIT(generateBT(cfg), ::testing::ExitedWithCode(1), "square");
+    EXPECT_EXIT(generateSP(cfg), ::testing::ExitedWithCode(1), "square");
+}
+
+TEST(GeneratorAdi, SweepPartnersAreGridShifts)
+{
+    NasConfig cfg;
+    cfg.ranks = 9;
+    cfg.iterations = 1;
+    const auto tr = generateBT(cfg);
+    // Rank 4 (center of the 3x3 grid) sends along +-x, +-y and the two
+    // diagonals.
+    std::set<core::ProcId> peers;
+    for (const auto &op : tr.timeline(4)) {
+        if (op.kind == OpKind::Send)
+            peers.insert(op.peer);
+    }
+    EXPECT_EQ(peers, (std::set<core::ProcId>{0, 3, 5, 8, 1, 7}));
+}
+
+TEST(GeneratorSpVsBt, SpRunsMoreSmallerMessages)
+{
+    NasConfig cfg;
+    cfg.ranks = 9;
+    cfg.iterations = 2;
+    const auto bt = generateBT(cfg);
+    const auto sp = generateSP(cfg);
+    EXPECT_GT(sp.numSends(), bt.numSends());
+    EXPECT_LT(sp.totalSendBytes() / sp.numSends(),
+              bt.totalSendBytes() / bt.numSends());
+}
+
+TEST(GeneratorFFT, AllToAllWithinRowsAndColumns)
+{
+    NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    const auto tr = generateFFT(cfg);
+    for (core::ProcId r = 0; r < 16; ++r) {
+        std::set<core::ProcId> peers;
+        for (const auto &op : tr.timeline(r)) {
+            if (op.kind == OpKind::Send)
+                peers.insert(op.peer);
+        }
+        // 3 row mates + 3 column mates.
+        EXPECT_EQ(peers.size(), 6u);
+        for (const auto p : peers) {
+            EXPECT_TRUE(p / 4 == r / 4 || p % 4 == r % 4)
+                << r << " talks to non-mate " << p;
+        }
+    }
+}
+
+TEST(GeneratorMG, ShortMessagesDominate)
+{
+    NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    const auto mg = generateMG(cfg);
+    const auto cg = generateCG(cfg);
+    EXPECT_LT(mg.totalSendBytes() / mg.numSends(),
+              cg.totalSendBytes() / cg.numSends());
+}
+
+TEST(GeneratorMG, ThreeDimensionalNeighbors)
+{
+    NasConfig cfg;
+    cfg.ranks = 16; // 4x2x2
+    cfg.iterations = 1;
+    const auto tr = generateMG(cfg);
+    // Rank 0 = (0,0,0): x neighbors 1 and 3, y neighbor 4, z neighbor 8,
+    // plus reduce partners 1, 2, 4, 8.
+    std::set<core::ProcId> peers;
+    for (const auto &op : tr.timeline(0)) {
+        if (op.kind == OpKind::Send)
+            peers.insert(op.peer);
+    }
+    EXPECT_EQ(peers, (std::set<core::ProcId>{1, 2, 3, 4, 8}));
+}
+
+TEST(Generators, BytesAndComputeOverridable)
+{
+    NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    cfg.bytesScale = 64;
+    cfg.computeScale = 800;
+    const auto tr = generateCG(cfg);
+    EXPECT_EQ(tr.totalSendBytes(), tr.numSends() * 64u);
+    EXPECT_LT(tr.totalComputeCycles(), 8 * 800 * 4);
+}
+
+TEST(Generators, SkewZeroMakesComputeUniform)
+{
+    NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    cfg.skew = 0.0;
+    const auto tr = generateCG(cfg);
+    // With zero skew every rank gets identical compute phases.
+    const auto &ref = tr.timeline(0);
+    for (core::ProcId r = 1; r < 8; ++r) {
+        const auto &tl = tr.timeline(r);
+        std::vector<std::int64_t> a, b;
+        for (const auto &op : ref)
+            if (op.kind == OpKind::Compute)
+                a.push_back(op.cycles);
+        for (const auto &op : tl)
+            if (op.kind == OpKind::Compute)
+                b.push_back(op.cycles);
+        EXPECT_EQ(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the power model and the simulator's link statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::topo;
+
+TEST(Power, ZeroTrafficOnlyLeaks)
+{
+    const auto net = buildMesh(4);
+    std::vector<std::uint64_t> flits(net.topo->numLinks(), 0);
+    const auto report = computeEnergy(*net.topo, flits, 1000);
+    EXPECT_DOUBLE_EQ(report.dynamic(), 0.0);
+    EXPECT_GT(report.leakage(), 0.0);
+    EXPECT_DOUBLE_EQ(report.total(), report.leakage());
+}
+
+TEST(Power, DynamicScalesWithFlitsAndLength)
+{
+    Topology t(2, 2, "toy");
+    t.addDuplex(t.procNode(0), t.switchNode(0), 0);
+    t.addDuplex(t.procNode(1), t.switchNode(1), 0);
+    const auto [longLink, backLink] =
+        t.addDuplex(t.switchNode(0), t.switchNode(1), 4);
+    (void)backLink;
+
+    PowerModel model;
+    model.switchLeakagePerCycle = 0.0;
+    model.wireLeakagePerTileCycle = 0.0;
+
+    std::vector<std::uint64_t> flits(t.numLinks(), 0);
+    flits[longLink] = 10;
+    const auto report = computeEnergy(t, flits, 0, model);
+    EXPECT_DOUBLE_EQ(report.switchDynamic,
+                     10 * model.switchEnergyPerFlit);
+    EXPECT_DOUBLE_EQ(report.wireDynamic,
+                     10 * model.wireEnergyPerFlitTile * 4);
+}
+
+TEST(Power, MismatchedVectorPanics)
+{
+    const auto net = buildMesh(4);
+    std::vector<std::uint64_t> flits(3, 0);
+    EXPECT_DEATH(computeEnergy(*net.topo, flits, 10), "links");
+}
+
+TEST(Power, ReportToString)
+{
+    EnergyReport r;
+    r.switchDynamic = 1.0;
+    r.wireDynamic = 2.0;
+    r.switchLeakage = 3.0;
+    r.wireLeakage = 4.0;
+    EXPECT_DOUBLE_EQ(r.total(), 10.0);
+    EXPECT_NE(r.toString().find("energy total=10"), std::string::npos);
+}
+
+TEST(LinkStats, FlitCountsMatchTraffic)
+{
+    const auto net = buildCrossbar(2);
+    trace::Trace t("one", 2);
+    t.push(0, trace::TraceOp::send(1, 400, 0)); // 101 flits
+    t.push(1, trace::TraceOp::recv(0, 400, 0));
+    const auto res = sim::runTrace(t, *net.topo, *net.routing);
+    ASSERT_EQ(res.linkFlits.size(), net.topo->numLinks());
+    // Injection link of 0 and ejection link of 1 each carried 101.
+    EXPECT_EQ(res.linkFlits[net.topo->injectionLink(0)], 101u);
+    EXPECT_EQ(res.linkFlits[net.topo->ejectionLink(1)], 101u);
+    // Reverse-direction channels stayed silent.
+    EXPECT_EQ(res.linkFlits[net.topo->ejectionLink(0)], 0u);
+    EXPECT_EQ(res.linkFlits[net.topo->injectionLink(1)], 0u);
+}
+
+TEST(LinkStats, HopsMatchPathLength)
+{
+    const auto net = buildMesh(16);
+    trace::Trace t("corner", 16);
+    t.push(0, trace::TraceOp::send(15, 64, 0)); // 6 mesh hops + in/out
+    t.push(15, trace::TraceOp::recv(0, 64, 0));
+    const auto res = sim::runTrace(t, *net.topo, *net.routing);
+    EXPECT_DOUBLE_EQ(res.avgPacketHops, 8.0); // inject + 6 + eject
+}
+
+TEST(LinkStats, UtilizationBounds)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    const auto net = buildMesh(8);
+    const auto res = sim::runTrace(tr, *net.topo, *net.routing);
+    EXPECT_GT(res.maxLinkUtilization, 0.0);
+    EXPECT_LE(res.maxLinkUtilization, 1.0);
+    EXPECT_LE(res.meanLinkUtilization, res.maxLinkUtilization);
+}
+
+TEST(LinkStats, GeneratedNetworkUsesLessEnergyThanMeshOnCg)
+{
+    // The power-extension headline: the CG-16 generated network moves
+    // fewer flit-tiles than the mesh and leaks less wire.
+    trace::NasConfig cfg;
+    cfg.ranks = 16;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome =
+        core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    const auto plan = planFloor(outcome.design);
+    const auto gen = buildFromDesign(outcome.design, plan);
+    const auto mesh = buildMesh(16);
+
+    const auto rg = sim::runTrace(tr, *gen.topo, *gen.routing);
+    const auto rm = sim::runTrace(tr, *mesh.topo, *mesh.routing);
+    const auto eg = computeEnergy(*gen.topo, rg.linkFlits, rg.execTime);
+    const auto em =
+        computeEnergy(*mesh.topo, rm.linkFlits, rm.execTime);
+    EXPECT_LT(eg.total(), em.total());
+}

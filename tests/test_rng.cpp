@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+using minnoc::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "bound 0");
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(3);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RangeSingleton)
+{
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.range(4, 4), 4);
+}
+
+TEST(Rng, RangeBackwardsPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.range(2, 1), "lo > hi");
+}
+
+TEST(Rng, UniformInHalfOpenUnit)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; loose tolerance.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    auto sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyMoves)
+{
+    Rng rng(29);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[i] = i;
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle)
+{
+    Rng rng(31);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{7};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{7});
+}

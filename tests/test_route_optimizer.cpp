@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for Best_Route.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_network.hpp"
+#include "core/route_optimizer.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::core;
+using minnoc::Rng;
+
+namespace {
+
+/**
+ * A clique set engineered so the direct route is suboptimal: switch A
+ * holds {0,1}, B holds {2,3}, C holds {4,5} after the test's manual
+ * partitioning. Comms (0,4) and (1,5) conflict (same clique) and both
+ * cross A->C; detouring one of them through B lets each pipe stay at
+ * one link.
+ */
+CliqueSet
+detourCliques()
+{
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 4), Comm(1, 5)});
+    return ks;
+}
+
+} // namespace
+
+TEST(BestRoute, DetourReducesPipeWidth)
+{
+    CliqueSet ks = detourCliques();
+    DesignNetwork net(ks);
+    Rng rng(1);
+    const SwitchId b = net.splitSwitch(0, rng);
+    const SwitchId c = net.splitSwitch(0, rng);
+    // Manual partition: A(=0) {0,1}, B {2,3}, C {4,5}.
+    for (ProcId p : {0u, 1u})
+        net.moveProc(p, 0);
+    for (ProcId p : {2u, 3u})
+        net.moveProc(p, b);
+    for (ProcId p : {4u, 5u})
+        net.moveProc(p, c);
+    net.checkInvariants();
+
+    // Both conflicting comms take the direct A->C pipe: needs 2 links.
+    EXPECT_EQ(net.fastColor(PipeKey(0, c)), 2u);
+    EXPECT_EQ(net.totalEstimatedLinks(), 2u);
+
+    const auto stats = bestRoute(net, 0, b);
+    net.checkInvariants();
+    EXPECT_GT(stats.triedMoves, 0u);
+
+    // After optimization each pipe should need at most one link and the
+    // total must not exceed the direct layout's two.
+    EXPECT_LE(net.fastColor(PipeKey(0, c)), 2u);
+    EXPECT_LE(net.totalEstimatedLinks(), 2u);
+    for (const auto &key : net.pipes())
+        EXPECT_LE(net.fastColor(key), 2u);
+}
+
+TEST(BestRoute, NoOpOnConflictFreeTraffic)
+{
+    CliqueSet ks(6);
+    // Two comms in different cliques: they can share a link freely.
+    ks.addClique({Comm(0, 4)});
+    ks.addClique({Comm(1, 5)});
+    DesignNetwork net(ks);
+    Rng rng(2);
+    const SwitchId b = net.splitSwitch(0, rng);
+    const SwitchId c = net.splitSwitch(0, rng);
+    for (ProcId p : {0u, 1u})
+        net.moveProc(p, 0);
+    for (ProcId p : {2u, 3u})
+        net.moveProc(p, b);
+    for (ProcId p : {4u, 5u})
+        net.moveProc(p, c);
+
+    const auto before = net.totalEstimatedLinks();
+    const auto stats = bestRoute(net, 0, b);
+    EXPECT_EQ(stats.committedMoves, 0u);
+    EXPECT_EQ(net.totalEstimatedLinks(), before);
+}
+
+TEST(BestRoute, NeverIncreasesTotalEstimate)
+{
+    // Random-ish larger scenario: whatever Best_Route does, the global
+    // estimate must not grow (edits only commit on improvement).
+    CliqueSet ks(8);
+    ks.addClique({Comm(0, 4), Comm(1, 5), Comm(2, 6), Comm(3, 7)});
+    ks.addClique({Comm(4, 0), Comm(5, 1), Comm(6, 2), Comm(7, 3)});
+    DesignNetwork net(ks);
+    Rng rng(5);
+    const SwitchId b = net.splitSwitch(0, rng);
+    const auto before = net.totalEstimatedLinks();
+    bestRoute(net, 0, b);
+    net.checkInvariants();
+    EXPECT_LE(net.totalEstimatedLinks(), before);
+}
+
+TEST(BestRoute, SameSwitchPanics)
+{
+    CliqueSet ks(4);
+    ks.addClique({Comm(0, 1)});
+    DesignNetwork net(ks);
+    EXPECT_DEATH(bestRoute(net, 0, 0), "si == sj");
+}
+
+TEST(BestRoute, StraighteningRemovesUselessDetour)
+{
+    CliqueSet ks(6);
+    ks.addClique({Comm(0, 4)});
+    DesignNetwork net(ks);
+    Rng rng(3);
+    const SwitchId b = net.splitSwitch(0, rng);
+    const SwitchId c = net.splitSwitch(0, rng);
+    for (ProcId p : {0u, 1u})
+        net.moveProc(p, 0);
+    for (ProcId p : {2u, 3u})
+        net.moveProc(p, b);
+    for (ProcId p : {4u, 5u})
+        net.moveProc(p, c);
+
+    // Install a pointless detour through B by hand.
+    const CommId comm = ks.findComm(Comm(0, 4));
+    net.setRoute(comm, {0, b, c});
+    EXPECT_EQ(net.totalEstimatedLinks(), 2u);
+
+    bestRoute(net, 0, b);
+    net.checkInvariants();
+    // Straightening should reclaim the extra pipe.
+    EXPECT_EQ(net.totalEstimatedLinks(), 1u);
+    EXPECT_EQ(net.route(comm), (std::vector<SwitchId>{0, c}));
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the routing functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::topo;
+
+TEST(CrossbarRouting, TwoHopPaths)
+{
+    const auto net = buildCrossbar(4);
+    const auto *table =
+        dynamic_cast<const TableRouting *>(net.routing.get());
+    ASSERT_NE(table, nullptr);
+    for (core::ProcId s = 0; s < 4; ++s) {
+        for (core::ProcId d = 0; d < 4; ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(table->path(s, d).size(), 2u);
+        }
+    }
+}
+
+TEST(MeshDor, PathsAreMinimalAndXFirst)
+{
+    const auto net = buildMesh(16); // 4x4
+    const auto *table =
+        dynamic_cast<const TableRouting *>(net.routing.get());
+    ASSERT_NE(table, nullptr);
+
+    for (core::ProcId s = 0; s < 16; ++s) {
+        for (core::ProcId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            const auto &path = table->path(s, d);
+            const std::uint32_t hops =
+                static_cast<std::uint32_t>(path.size()) - 2;
+            const std::uint32_t manh =
+                (s % 4 > d % 4 ? s % 4 - d % 4 : d % 4 - s % 4) +
+                (s / 4 > d / 4 ? s / 4 - d / 4 : d / 4 - s / 4);
+            EXPECT_EQ(hops, manh) << "pair (" << s << "," << d << ")";
+
+            // X-first: once a vertical move happens no horizontal move
+            // may follow.
+            bool movedY = false;
+            for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+                const auto &l = net.topo->link(path[i]);
+                const auto a = net.topo->switchOf(l.from);
+                const auto b = net.topo->switchOf(l.to);
+                const bool vertical = (a % 4) == (b % 4);
+                if (vertical)
+                    movedY = true;
+                else
+                    EXPECT_FALSE(movedY) << "Y before X on (" << s << ","
+                                         << d << ")";
+            }
+        }
+    }
+}
+
+TEST(MeshDor, DeterministicSingleCandidate)
+{
+    const auto net = buildMesh(8);
+    const auto cands =
+        net.routing->candidates(net.topo->procNode(0), 0, 5);
+    EXPECT_EQ(cands.size(), 1u);
+}
+
+TEST(TorusTfar, OffersBothMinimalDirections)
+{
+    const auto net = buildTorus(16); // 4x4
+    // From (0,0) to (2,2): x distance 2 either way, y distance 2 either
+    // way: four candidates at the source switch.
+    const auto cands = net.routing->candidates(
+        net.topo->switchNode(0), 0, 10); // proc 10 = (2,2)
+    EXPECT_EQ(cands.size(), 4u);
+}
+
+TEST(TorusTfar, SingleDirectionWhenAligned)
+{
+    const auto net = buildTorus(16);
+    // From (0,0) to (1,0): one x hop forward is strictly shorter.
+    const auto cands =
+        net.routing->candidates(net.topo->switchNode(0), 0, 1);
+    EXPECT_EQ(cands.size(), 1u);
+    EXPECT_EQ(net.topo->link(cands[0]).to, net.topo->switchNode(1));
+}
+
+TEST(TorusTfar, EjectsAtDestinationSwitch)
+{
+    const auto net = buildTorus(8);
+    const auto cands =
+        net.routing->candidates(net.topo->switchNode(3), 0, 3);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(net.topo->link(cands[0]).to, net.topo->procNode(3));
+}
+
+TEST(TorusTfar, WrapsAround)
+{
+    const auto net = buildTorus(16);
+    // From (0,0) to (3,0): wrap -x (1 hop) beats +x (3 hops).
+    const auto cands =
+        net.routing->candidates(net.topo->switchNode(0), 0, 3);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(net.topo->link(cands[0]).to, net.topo->switchNode(3));
+}
+
+TEST(TableRouting, RejectsDiscontinuousPath)
+{
+    const auto net = buildMesh(4);
+    TableRouting table(*net.topo, "bad");
+    // Injection link of 0 followed by ejection of 3 is discontinuous on
+    // a 2x2 mesh (different switches).
+    EXPECT_DEATH(table.setPath(0, 3,
+                               {net.topo->injectionLink(0),
+                                net.topo->ejectionLink(3)}),
+                 "discontinuous");
+}
+
+TEST(TableRouting, MissingPathPanics)
+{
+    const auto net = buildMesh(4);
+    TableRouting table(*net.topo, "empty");
+    EXPECT_DEATH(table.path(0, 1), "no path");
+}
+
+TEST(DesignRouting, CoversAllPairsIncludingUnknown)
+{
+    // Build a design from CG-8 and confirm the routing table serves
+    // every pair, including those CG never communicates.
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    const auto ks = trace::analyzeByCall(tr);
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome = core::runMethodology(ks, mcfg);
+    const auto plan = planFloor(outcome.design);
+    const auto net = buildFromDesign(outcome.design, plan);
+
+    const auto *table =
+        dynamic_cast<const TableRouting *>(net.routing.get());
+    ASSERT_NE(table, nullptr);
+    for (core::ProcId s = 0; s < 8; ++s) {
+        for (core::ProcId d = 0; d < 8; ++d) {
+            if (s != d) {
+                EXPECT_TRUE(table->hasPath(s, d));
+            }
+        }
+    }
+    // validateRouting re-walks every pair; rerun explicitly.
+    EXPECT_NO_FATAL_FAILURE(validateRouting(*net.topo, *net.routing));
+}
+
+TEST(DesignRouting, KnownCommsFollowFinalizedColors)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    const auto ks = trace::analyzeByCall(tr);
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    const auto outcome = core::runMethodology(ks, mcfg);
+    const auto plan = planFloor(outcome.design);
+    const auto net = buildFromDesign(outcome.design, plan);
+    const auto *table =
+        dynamic_cast<const TableRouting *>(net.routing.get());
+    ASSERT_NE(table, nullptr);
+
+    // Every design comm's path length equals its switch route length +1
+    // (injection + per-pipe links + ejection).
+    for (core::CommId c = 0; c < outcome.design.comms.size(); ++c) {
+        const auto &comm = outcome.design.comms[c];
+        if (comm.src == comm.dst)
+            continue;
+        const auto &route = outcome.design.routes[c];
+        const auto &path = table->path(comm.src, comm.dst);
+        EXPECT_EQ(path.size(), route.size() + 1);
+    }
+}

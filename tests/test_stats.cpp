@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+using minnoc::Histogram;
+using minnoc::ScalarStat;
+using minnoc::StatRegistry;
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ScalarStat, SingleSample)
+{
+    ScalarStat s;
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(ScalarStat, KnownMoments)
+{
+    ScalarStat s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(ScalarStat, NegativeValues)
+{
+    ScalarStat s;
+    s.sample(-3.0);
+    s.sample(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(ScalarStat, MergeMatchesCombinedStream)
+{
+    ScalarStat a;
+    ScalarStat b;
+    ScalarStat whole;
+    for (int i = 0; i < 50; ++i) {
+        const double v = 0.37 * i - 3.0;
+        (i % 2 ? a : b).sample(v);
+        whole.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(ScalarStat, MergeWithEmpty)
+{
+    ScalarStat a;
+    a.sample(1.0);
+    ScalarStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(ScalarStat, ResetClears)
+{
+    ScalarStat s;
+    s.sample(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinPlacement)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.0);  // bin 0
+    h.sample(9.99); // bin 9
+    h.sample(5.0);  // bin 5
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(-0.1);
+    h.sample(1.0); // hi is exclusive
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 12.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 18.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one bin");
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "lo < hi");
+}
+
+TEST(StatRegistry, CreatesAndFinds)
+{
+    StatRegistry reg;
+    reg["latency"].sample(4.0);
+    reg["latency"].sample(6.0);
+    EXPECT_TRUE(reg.contains("latency"));
+    EXPECT_FALSE(reg.contains("missing"));
+    EXPECT_DOUBLE_EQ(reg["latency"].mean(), 5.0);
+}
+
+TEST(StatRegistry, DumpIsDeterministic)
+{
+    StatRegistry reg;
+    reg["zeta"].sample(1.0);
+    reg["alpha"].sample(2.0);
+    std::ostringstream oss;
+    reg.dump(oss);
+    const auto text = oss.str();
+    EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}

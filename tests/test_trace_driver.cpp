@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the trace-driven workload engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::sim;
+using minnoc::trace::OpKind;
+using minnoc::trace::Trace;
+using minnoc::trace::TraceOp;
+
+TEST(TraceDriver, ComputeOnlyFinishesOnTime)
+{
+    Trace t("compute", 2);
+    t.push(0, TraceOp::compute(5000));
+    t.push(1, TraceOp::compute(700));
+    const auto built = topo::buildCrossbar(2);
+    const auto res = runTrace(t, *built.topo, *built.routing);
+    // Fast-forward makes this cheap; finish = compute time (+epsilon).
+    EXPECT_GE(res.execTime, 5000);
+    EXPECT_LE(res.execTime, 5010);
+    EXPECT_EQ(res.commTime[0], 0);
+    EXPECT_EQ(res.commTime[1], 0);
+    EXPECT_EQ(res.packetsDelivered, 0u);
+}
+
+TEST(TraceDriver, PingPongAccounting)
+{
+    Trace t("pingpong", 2);
+    t.push(0, TraceOp::send(1, 400, 0));
+    t.push(1, TraceOp::recv(0, 400, 0));
+    t.push(1, TraceOp::send(0, 400, 1));
+    t.push(0, TraceOp::recv(1, 400, 1));
+    const auto built = topo::buildCrossbar(2);
+    const auto res = runTrace(t, *built.topo, *built.routing);
+
+    EXPECT_EQ(res.packetsDelivered, 2u);
+    EXPECT_EQ(res.deadlockRecoveries, 0u);
+    // Each rank spends its whole run communicating.
+    EXPECT_GT(res.commTime[0], 0);
+    EXPECT_GT(res.commTime[1], 0);
+    EXPECT_LE(res.commTime[0], res.execTime);
+    // Round trip of two 101-flit packets plus overheads.
+    EXPECT_GE(res.execTime, 2 * 101);
+    EXPECT_LE(res.execTime, 2 * 101 + 80);
+}
+
+TEST(TraceDriver, SendBlocksUntilInjected)
+{
+    // One long send: the sender's comm time covers the injection of all
+    // flits, not just the overhead.
+    Trace t("block", 2);
+    t.push(0, TraceOp::send(1, 4000, 0)); // 1001 flits
+    t.push(1, TraceOp::recv(0, 4000, 0));
+    const auto built = topo::buildCrossbar(2);
+    const auto res = runTrace(t, *built.topo, *built.routing);
+    EXPECT_GE(res.commTime[0], 1001);
+}
+
+TEST(TraceDriver, RecvWaitCountsAsCommTime)
+{
+    Trace t("wait", 2);
+    t.push(0, TraceOp::compute(10000));
+    t.push(0, TraceOp::send(1, 4, 0));
+    t.push(1, TraceOp::recv(0, 4, 0)); // waits ~10k cycles
+    const auto built = topo::buildCrossbar(2);
+    const auto res = runTrace(t, *built.topo, *built.routing);
+    EXPECT_GE(res.commTime[1], 10000);
+    EXPECT_EQ(res.commTime[0] > 0, true);
+    EXPECT_LT(res.commTime[0], 100);
+}
+
+TEST(TraceDriver, RankCountMismatchFatal)
+{
+    Trace t("mismatch", 3);
+    const auto built = topo::buildCrossbar(2);
+    EXPECT_EXIT(runTrace(t, *built.topo, *built.routing),
+                ::testing::ExitedWithCode(1), "ranks");
+}
+
+TEST(TraceDriver, DeadlockedTraceFatal)
+{
+    Trace t("dead", 2);
+    t.push(0, TraceOp::recv(1, 4, 0));
+    t.push(1, TraceOp::recv(0, 4, 1));
+    t.push(0, TraceOp::send(1, 4, 1));
+    t.push(1, TraceOp::send(0, 4, 0));
+    const auto built = topo::buildCrossbar(2);
+    EXPECT_EXIT(runTrace(t, *built.topo, *built.routing),
+                ::testing::ExitedWithCode(1), "deadlocked");
+}
+
+TEST(TraceDriver, ResultAggregates)
+{
+    SimResult res;
+    res.commTime = {10, 20, 30};
+    EXPECT_DOUBLE_EQ(res.commTimeMean(), 20.0);
+    EXPECT_EQ(res.commTimeMax(), 30);
+    SimResult empty;
+    EXPECT_DOUBLE_EQ(empty.commTimeMean(), 0.0);
+    EXPECT_EQ(empty.commTimeMax(), 0);
+}
+
+/** Full benchmark traces on every baseline topology. */
+class DriverBenchmarkSweep
+    : public ::testing::TestWithParam<minnoc::trace::Benchmark>
+{
+};
+
+TEST_P(DriverBenchmarkSweep, RunsOnAllBaselines)
+{
+    minnoc::trace::NasConfig cfg;
+    cfg.ranks = minnoc::trace::smallConfigRanks(GetParam());
+    cfg.iterations = 1;
+    const auto tr = generateBenchmark(GetParam(), cfg);
+
+    const auto xbar = topo::buildCrossbar(cfg.ranks);
+    const auto mesh = topo::buildMesh(cfg.ranks);
+    const auto torus = topo::buildTorus(cfg.ranks);
+
+    const auto rx = runTrace(tr, *xbar.topo, *xbar.routing);
+    const auto rm = runTrace(tr, *mesh.topo, *mesh.routing);
+    const auto rt = runTrace(tr, *torus.topo, *torus.routing);
+
+    EXPECT_EQ(rx.packetsDelivered, tr.numSends());
+    EXPECT_EQ(rm.packetsDelivered, tr.numSends());
+    EXPECT_EQ(rt.packetsDelivered, tr.numSends());
+
+    // The non-blocking crossbar is the performance reference: nothing
+    // beats it by more than scheduling noise.
+    EXPECT_LE(rx.execTime, rm.execTime + 5);
+    EXPECT_LE(rx.execTime, rt.execTime + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DriverBenchmarkSweep,
+                         ::testing::Values(minnoc::trace::Benchmark::BT,
+                                           minnoc::trace::Benchmark::CG,
+                                           minnoc::trace::Benchmark::FFT,
+                                           minnoc::trace::Benchmark::MG,
+                                           minnoc::trace::Benchmark::SP),
+                         [](const auto &info) {
+                             return minnoc::trace::benchmarkName(
+                                 info.param);
+                         });
+
+TEST(TraceDriver, DeterministicAcrossRuns)
+{
+    minnoc::trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = generateBenchmark(minnoc::trace::Benchmark::CG, cfg);
+    const auto mesh = topo::buildMesh(8);
+    const auto a = runTrace(tr, *mesh.topo, *mesh.routing);
+    const auto b = runTrace(tr, *mesh.topo, *mesh.routing);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.commTime, b.commTime);
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the undirected simple graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/ugraph.hpp"
+
+using namespace minnoc::graph;
+
+TEST(Ugraph, EmptyGraph)
+{
+    Ugraph g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_DOUBLE_EQ(g.density(), 0.0);
+}
+
+TEST(Ugraph, AddEdgeSymmetric)
+{
+    Ugraph g(3);
+    EXPECT_TRUE(g.addEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(2, 0));
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Ugraph, DuplicateEdgeRejected)
+{
+    Ugraph g(2);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(1, 0));
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Ugraph, SelfLoopRejected)
+{
+    Ugraph g(2);
+    EXPECT_FALSE(g.addEdge(1, 1));
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_FALSE(g.hasEdge(1, 1));
+}
+
+TEST(Ugraph, GrowWithAddNode)
+{
+    Ugraph g(2);
+    g.addEdge(0, 1);
+    const NodeId n = g.addNode();
+    EXPECT_EQ(n, 2u);
+    EXPECT_TRUE(g.addEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(0, 1)); // old edges survive growth
+    EXPECT_FALSE(g.hasEdge(1, 2));
+}
+
+TEST(Ugraph, MaxDegree)
+{
+    Ugraph g(4);
+    EXPECT_EQ(g.maxDegree(), 0u);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.maxDegree(), 3u);
+}
+
+TEST(Ugraph, IsClique)
+{
+    Ugraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.isClique({0, 1, 2}));
+    EXPECT_FALSE(g.isClique({0, 1, 3}));
+    EXPECT_TRUE(g.isClique({0}));
+    EXPECT_TRUE(g.isClique({}));
+}
+
+TEST(Ugraph, Density)
+{
+    Ugraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    g.addEdge(0, 3);
+    EXPECT_DOUBLE_EQ(g.density(), 3.0 / 6.0);
+}
+
+TEST(Ugraph, NeighborsList)
+{
+    Ugraph g(5);
+    g.addEdge(2, 0);
+    g.addEdge(2, 4);
+    const auto &nbrs = g.neighbors(2);
+    EXPECT_EQ(nbrs.size(), 2u);
+}
+
+TEST(Ugraph, OutOfRangePanics)
+{
+    Ugraph g(2);
+    EXPECT_DEATH(g.addEdge(0, 5), "out of range");
+    EXPECT_DEATH(g.neighbors(7), "out of range");
+}
+
+TEST(Ugraph, LargeCompleteGraph)
+{
+    const std::size_t n = 50;
+    Ugraph g(n);
+    for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = a + 1; b < n; ++b)
+            g.addEdge(a, b);
+    }
+    EXPECT_EQ(g.numEdges(), n * (n - 1) / 2);
+    EXPECT_DOUBLE_EQ(g.density(), 1.0);
+    EXPECT_EQ(g.maxDegree(), n - 1);
+}

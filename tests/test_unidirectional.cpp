@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for unidirectional-link finalization (paper footnote 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/design_io.hpp"
+#include "core/methodology.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/digraph.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc;
+using namespace minnoc::core;
+
+namespace {
+
+/** An intentionally asymmetric pattern: a one-way ring of messages. */
+CliqueSet
+oneWayRing(std::uint32_t procs)
+{
+    CliqueSet ks(procs);
+    std::vector<Comm> comms;
+    for (ProcId p = 0; p < procs; ++p)
+        comms.emplace_back(p, static_cast<ProcId>((p + 1) % procs));
+    ks.addClique(comms);
+    return ks;
+}
+
+DesignOutcome
+designUni(const CliqueSet &ks, bool unidirectional)
+{
+    MethodologyConfig cfg;
+    cfg.partitioner.constraints.maxDegree = 5;
+    cfg.finalize.unidirectional = unidirectional;
+    cfg.restarts = 4;
+    return runMethodology(ks, cfg);
+}
+
+/** Directed switch graph over provisioned channels. */
+graph::Digraph
+channelGraph(const FinalizedDesign &d)
+{
+    graph::Digraph g(d.numSwitches);
+    for (const auto &p : d.pipes) {
+        if (p.linksFwd > 0)
+            g.addEdge(p.key.a, p.key.b);
+        if (p.linksBwd > 0)
+            g.addEdge(p.key.b, p.key.a);
+    }
+    return g;
+}
+
+} // namespace
+
+TEST(Unidirectional, DuplexModeFillsBothDirections)
+{
+    const auto outcome = designUni(oneWayRing(8), false);
+    EXPECT_FALSE(outcome.design.unidirectional);
+    for (const auto &p : outcome.design.pipes) {
+        EXPECT_EQ(p.linksFwd, p.links);
+        EXPECT_EQ(p.linksBwd, p.links);
+    }
+}
+
+TEST(Unidirectional, AsymmetricPatternProvisionsAsymmetrically)
+{
+    const auto outcome = designUni(oneWayRing(8), true);
+    EXPECT_TRUE(outcome.design.unidirectional);
+    EXPECT_TRUE(outcome.violations.empty());
+    // A one-way ring should produce at least one pipe that is narrower
+    // in one direction than the other (or balanced by the connectivity
+    // patch — but never wider than the duplex provision).
+    std::uint32_t fwdTotal = 0;
+    std::uint32_t bwdTotal = 0;
+    for (const auto &p : outcome.design.pipes) {
+        EXPECT_LE(p.linksFwd, p.links);
+        EXPECT_LE(p.linksBwd, p.links);
+        EXPECT_EQ(p.links, std::max(p.linksFwd, p.linksBwd));
+        fwdTotal += p.linksFwd;
+        bwdTotal += p.linksBwd;
+    }
+    // Channels in total must not exceed the duplex equivalent.
+    const auto duplex = designUni(oneWayRing(8), false);
+    std::uint32_t duplexChannels = 0;
+    for (const auto &p : duplex.design.pipes)
+        duplexChannels += 2 * p.links;
+    EXPECT_LE(fwdTotal + bwdTotal, duplexChannels);
+}
+
+TEST(Unidirectional, DirectedConnectivityHolds)
+{
+    for (const std::uint32_t procs : {4u, 8u, 16u}) {
+        const auto outcome = designUni(oneWayRing(procs), true);
+        const auto g = channelGraph(outcome.design);
+        EXPECT_TRUE(graph::isStronglyConnected(g))
+            << procs << "-proc ring design is not strongly connected";
+    }
+}
+
+TEST(Unidirectional, BenchmarkDesignsStayContentionFree)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    for (const auto bench :
+         {trace::Benchmark::CG, trace::Benchmark::MG}) {
+        cfg.ranks = trace::smallConfigRanks(bench);
+        const auto tr = trace::generateBenchmark(bench, cfg);
+        auto ks = trace::analyzeByCall(tr);
+        const auto outcome = designUni(ks, true);
+        EXPECT_TRUE(outcome.violations.empty())
+            << trace::benchmarkName(bench);
+        EXPECT_TRUE(
+            graph::isStronglyConnected(channelGraph(outcome.design)));
+    }
+}
+
+TEST(Unidirectional, BuildsAndSimulates)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    const auto outcome = designUni(trace::analyzeByCall(tr), true);
+    const auto plan = topo::planFloor(outcome.design);
+    const auto net = topo::buildFromDesign(outcome.design, plan);
+    EXPECT_NO_FATAL_FAILURE(
+        topo::validateRouting(*net.topo, *net.routing));
+    const auto res = sim::runTrace(tr, *net.topo, *net.routing);
+    EXPECT_EQ(res.packetsDelivered, tr.numSends());
+    EXPECT_EQ(res.deadlockRecoveries, 0u);
+}
+
+TEST(Unidirectional, SavesWireAreaOnAsymmetricPatterns)
+{
+    const auto uni = designUni(oneWayRing(16), true);
+    const auto duplex = designUni(oneWayRing(16), false);
+    const auto uniPlan = topo::planFloor(uni.design);
+    const auto duplexPlan = topo::planFloor(duplex.design);
+    // Half-channel accounting: the one-way ring needs roughly half the
+    // wire of the duplex provision (plus the connectivity patch).
+    EXPECT_LT(uniPlan.linkArea, duplexPlan.linkArea + 1);
+}
+
+TEST(Unidirectional, SurvivesDesignIoRoundTrip)
+{
+    const auto outcome = designUni(oneWayRing(8), true);
+    std::stringstream ss;
+    saveDesign(outcome.design, ss);
+    const auto loaded = loadDesign(ss);
+    EXPECT_TRUE(loaded.unidirectional);
+    ASSERT_EQ(loaded.pipes.size(), outcome.design.pipes.size());
+    for (std::size_t i = 0; i < loaded.pipes.size(); ++i) {
+        EXPECT_EQ(loaded.pipes[i].linksFwd,
+                  outcome.design.pipes[i].linksFwd);
+        EXPECT_EQ(loaded.pipes[i].linksBwd,
+                  outcome.design.pipes[i].linksBwd);
+    }
+}

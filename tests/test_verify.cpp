@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the Theorem-1 verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "util/rng.hpp"
+
+using namespace minnoc::core;
+using minnoc::Rng;
+
+namespace {
+
+/** Hand-build a two-switch design with one pipe of @p links links and
+ * the given per-direction comm -> link assignment. */
+FinalizedDesign
+twoSwitchDesign(const CliqueSet &ks, std::uint32_t links,
+                const std::map<CommId, std::uint32_t> &fwd,
+                const std::map<CommId, std::uint32_t> &bwd)
+{
+    FinalizedDesign d;
+    d.numProcs = ks.numProcs();
+    d.numSwitches = 2;
+    d.switchProcs = {{}, {}};
+    d.procHome.resize(d.numProcs);
+    // Even procs on switch 0, odd on switch 1.
+    for (ProcId p = 0; p < d.numProcs; ++p) {
+        d.procHome[p] = p % 2;
+        d.switchProcs[p % 2].push_back(p);
+    }
+    d.comms.resize(ks.numComms());
+    d.routes.resize(ks.numComms());
+    for (CommId c = 0; c < ks.numComms(); ++c) {
+        d.comms[c] = ks.comm(c);
+        const auto s = d.procHome[d.comms[c].src];
+        const auto t = d.procHome[d.comms[c].dst];
+        if (s == t)
+            d.routes[c] = {s};
+        else
+            d.routes[c] = {s, t};
+    }
+    FinalizedPipe pipe;
+    pipe.key = PipeKey(0, 1);
+    pipe.links = links;
+    pipe.fwdLink = fwd;
+    pipe.bwdLink = bwd;
+    d.pipes.push_back(pipe);
+    return d;
+}
+
+} // namespace
+
+TEST(Verify, EmptyDesignContentionFree)
+{
+    CliqueSet ks(2);
+    FinalizedDesign d;
+    d.numProcs = 2;
+    d.numSwitches = 1;
+    d.switchProcs = {{0, 1}};
+    d.procHome = {0, 0};
+    EXPECT_TRUE(checkContentionFree(d, ks).empty());
+    EXPECT_TRUE(resourceConflictSet(d).empty());
+}
+
+TEST(Verify, ConflictingCommsOnSeparateLinksPass)
+{
+    CliqueSet ks(4);
+    const CommId a = ks.internComm(Comm(0, 1)); // 0 on S0, 1 on S1
+    const CommId b = ks.internComm(Comm(2, 3)); // 2 on S0, 3 on S1
+    ks.addCliqueByIds({a, b});
+    const auto d = twoSwitchDesign(ks, 2, {{a, 0}, {b, 1}}, {});
+    EXPECT_TRUE(checkContentionFree(d, ks).empty());
+    // They still do not share resources at all.
+    EXPECT_TRUE(resourceConflictSet(d).empty());
+}
+
+TEST(Verify, ConflictingCommsOnSameLinkFlagged)
+{
+    CliqueSet ks(4);
+    const CommId a = ks.internComm(Comm(0, 1));
+    const CommId b = ks.internComm(Comm(2, 3));
+    ks.addCliqueByIds({a, b});
+    const auto d = twoSwitchDesign(ks, 1, {{a, 0}, {b, 0}}, {});
+    const auto violations = checkContentionFree(d, ks);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].pipe, PipeKey(0, 1));
+    EXPECT_TRUE(violations[0].forward);
+    EXPECT_EQ(violations[0].link, 0u);
+    const auto text = violations[0].toString(ks);
+    EXPECT_NE(text.find("share link"), std::string::npos);
+}
+
+TEST(Verify, NonConflictingSharingIsAllowed)
+{
+    CliqueSet ks(4);
+    const CommId a = ks.internComm(Comm(0, 1));
+    const CommId b = ks.internComm(Comm(2, 3));
+    ks.addCliqueByIds({a});
+    ks.addCliqueByIds({b}); // different periods: no potential contention
+    const auto d = twoSwitchDesign(ks, 1, {{a, 0}, {b, 0}}, {});
+    EXPECT_TRUE(checkContentionFree(d, ks).empty());
+    // But they DO share a resource.
+    const auto conflicts = resourceConflictSet(d);
+    ASSERT_EQ(conflicts.size(), 1u);
+    EXPECT_EQ(conflicts[0],
+              (std::pair<CommId, CommId>{std::min(a, b), std::max(a, b)}));
+}
+
+TEST(Verify, OppositeDirectionsNeverConflict)
+{
+    CliqueSet ks(4);
+    const CommId a = ks.internComm(Comm(0, 1)); // fwd S0->S1
+    const CommId b = ks.internComm(Comm(1, 0)); // bwd S1->S0
+    ks.addCliqueByIds({a, b});
+    const auto d = twoSwitchDesign(ks, 1, {{a, 0}}, {{b, 0}});
+    EXPECT_TRUE(checkContentionFree(d, ks).empty());
+    EXPECT_TRUE(resourceConflictSet(d).empty());
+}
+
+TEST(Verify, TheoremOneIsSufficientNotNecessary)
+{
+    // C and R both non-empty but disjoint: still contention-free.
+    CliqueSet ks(6);
+    const CommId a = ks.internComm(Comm(0, 1));
+    const CommId b = ks.internComm(Comm(2, 3));
+    const CommId c = ks.internComm(Comm(4, 5));
+    ks.addCliqueByIds({a, b}); // a-b potentially contend
+    ks.addCliqueByIds({c});
+    // a and c share a link (no temporal conflict); b rides alone.
+    const auto d =
+        twoSwitchDesign(ks, 2, {{a, 0}, {c, 0}, {b, 1}}, {});
+    EXPECT_FALSE(resourceConflictSet(d).empty());
+    EXPECT_FALSE(ks.contentionSet().empty());
+    EXPECT_TRUE(checkContentionFree(d, ks).empty());
+}

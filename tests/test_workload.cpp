@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for multi-application workload merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "core/workload.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+using namespace minnoc::core;
+
+namespace {
+
+CliqueSet
+benchCliques(trace::Benchmark b, std::uint32_t ranks)
+{
+    trace::NasConfig cfg;
+    cfg.ranks = ranks;
+    cfg.iterations = 1;
+    return trace::analyzeByCall(trace::generateBenchmark(b, cfg));
+}
+
+} // namespace
+
+TEST(Workload, MergePreservesAllCliques)
+{
+    CliqueSet a(4);
+    a.addClique({Comm(0, 1), Comm(2, 3)});
+    CliqueSet b(4);
+    b.addClique({Comm(1, 0)});
+    b.addClique({Comm(0, 1), Comm(2, 3)}); // duplicate of a's clique
+
+    const auto merged = mergeCliqueSets({a, b});
+    EXPECT_EQ(merged.numCliques(), 2u); // duplicate collapsed
+    EXPECT_EQ(merged.numProcs(), 4u);
+    EXPECT_TRUE(coveredBy(a, merged));
+    EXPECT_TRUE(coveredBy(b, merged));
+}
+
+TEST(Workload, MergeRejectsMismatchedProcs)
+{
+    CliqueSet a(4);
+    a.addClique({Comm(0, 1)});
+    CliqueSet b(8);
+    b.addClique({Comm(0, 1)});
+    EXPECT_DEATH(mergeCliqueSets({a, b}), "mismatch");
+}
+
+TEST(Workload, MergeRejectsEmpty)
+{
+    EXPECT_DEATH(mergeCliqueSets(std::vector<const CliqueSet *>{}),
+                 "no inputs");
+}
+
+TEST(Workload, CoveredByDetectsMissingComm)
+{
+    CliqueSet part(4);
+    part.addClique({Comm(0, 1), Comm(2, 3)});
+    CliqueSet whole(4);
+    whole.addClique({Comm(0, 1)});
+    EXPECT_FALSE(coveredBy(part, whole));
+}
+
+TEST(Workload, CoveredByDetectsSplitClique)
+{
+    // Both comms exist in `whole` but never together in one clique:
+    // a network contention-free for `whole` may still collide them.
+    CliqueSet part(4);
+    part.addClique({Comm(0, 1), Comm(2, 3)});
+    CliqueSet whole(4);
+    whole.addClique({Comm(0, 1)});
+    whole.addClique({Comm(2, 3)});
+    EXPECT_FALSE(coveredBy(part, whole));
+}
+
+TEST(Workload, CoveredBySubsetCliqueIsFine)
+{
+    CliqueSet part(6);
+    part.addClique({Comm(0, 1)});
+    CliqueSet whole(6);
+    whole.addClique({Comm(0, 1), Comm(2, 3), Comm(4, 5)});
+    EXPECT_TRUE(coveredBy(part, whole));
+}
+
+TEST(Workload, MergedDesignServesBothApplications)
+{
+    // Design once for CG-16 + FFT-16 together: the result must satisfy
+    // Theorem 1 for each application's own clique set.
+    const auto cg = benchCliques(trace::Benchmark::CG, 16);
+    const auto fft = benchCliques(trace::Benchmark::FFT, 16);
+    const auto merged = mergeCliqueSets({cg, fft});
+    EXPECT_TRUE(coveredBy(cg, merged));
+    EXPECT_TRUE(coveredBy(fft, merged));
+
+    MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = 5;
+    mcfg.restarts = 8;
+    const auto outcome = runMethodology(merged, mcfg);
+    // The merged workload must be contention-free on the design...
+    EXPECT_TRUE(outcome.violations.empty());
+    // ...which implies each component application is too.
+    EXPECT_TRUE(checkContentionFree(outcome.design, merged).empty());
+}

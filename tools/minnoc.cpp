@@ -1,0 +1,321 @@
+/**
+ * @file
+ * minnoc command-line tool: generate traces, analyze patterns, design
+ * networks, and simulate — the whole methodology pipeline from a
+ * shell.
+ *
+ *   minnoc gen --bench CG --ranks 16 [--iterations 3] --out cg.trace
+ *   minnoc analyze cg.trace
+ *   minnoc design cg.trace [--max-degree 5] --out cg.design
+ *   minnoc show cg.design
+ *   minnoc simulate cg.trace --network mesh|torus|crossbar|cg.design
+ *   minnoc compare cg.trace            (all four networks, one table)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/design_io.hpp"
+#include "topo/dot.hpp"
+#include "core/methodology.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+#include "util/log.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+/** Minimal flag parser: --key value pairs plus positionals. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    static Args
+    parse(int argc, char **argv, int start)
+    {
+        Args args;
+        for (int i = start; i < argc; ++i) {
+            const std::string tok = argv[i];
+            if (tok.rfind("--", 0) == 0) {
+                if (i + 1 >= argc)
+                    fatal("flag ", tok, " needs a value");
+                args.flags[tok.substr(2)] = argv[++i];
+            } else {
+                args.positional.push_back(tok);
+            }
+        }
+        return args;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        const auto it = flags.find(key);
+        return it == flags.end() ? def : it->second;
+    }
+
+    std::uint32_t
+    getU32(const std::string &key, std::uint32_t def) const
+    {
+        const auto it = flags.find(key);
+        return it == flags.end()
+                   ? def
+                   : static_cast<std::uint32_t>(
+                         std::strtoul(it->second.c_str(), nullptr, 10));
+    }
+};
+
+trace::Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    return trace::Trace::load(in);
+}
+
+core::FinalizedDesign
+loadDesignFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open design file '", path, "'");
+    return core::loadDesign(in);
+}
+
+int
+cmdGen(const Args &args)
+{
+    trace::NasConfig cfg;
+    const auto bench = trace::benchmarkFromName(args.get("bench", "CG"));
+    cfg.ranks = args.getU32("ranks", trace::largeConfigRanks(bench));
+    cfg.iterations = args.getU32("iterations", 3);
+    cfg.seed = args.getU32("seed", 1);
+    const auto tr = trace::generateBenchmark(bench, cfg);
+
+    const auto out = args.get("out");
+    if (out.empty()) {
+        tr.save(std::cout);
+    } else {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        tr.save(os);
+        std::printf("wrote %s: %u ranks, %zu messages\n", out.c_str(),
+                    tr.numRanks(), tr.numSends());
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("analyze: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+    auto ks = trace::analyzeByCall(tr);
+    const auto removed = ks.reduceToMaximum();
+    std::printf("trace '%s': %u ranks, %zu messages, %u call sites\n",
+                tr.name().c_str(), tr.numRanks(), tr.numSends(),
+                tr.numCalls());
+    std::printf("%zu contention periods (%zu dominated removed), %zu "
+                "distinct comms, largest period %zu\n",
+                ks.numCliques(), removed, ks.numComms(),
+                ks.maxCliqueSize());
+    if (args.get("verbose") == "1")
+        std::printf("%s", ks.toString().c_str());
+    return 0;
+}
+
+int
+cmdDesign(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("design: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree =
+        args.getU32("max-degree", 5);
+    mcfg.restarts = args.getU32("restarts", 16);
+    mcfg.partitioner.seed = args.getU32("seed", 1);
+
+    const auto outcome =
+        core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    std::printf("design: %s\n", outcome.summary().c_str());
+    if (!outcome.violations.empty()) {
+        warn("design is NOT contention-free (", outcome.violations.size(),
+             " residual pairs)");
+    }
+
+    const auto out = args.get("out");
+    if (out.empty()) {
+        core::saveDesign(outcome.design, std::cout);
+    } else {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        core::saveDesign(outcome.design, os);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return outcome.constraintsMet && outcome.violations.empty() ? 0 : 2;
+}
+
+int
+cmdShow(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("show: missing design file");
+    const auto design = loadDesignFile(args.positional[0]);
+    std::printf("%s", design.toString().c_str());
+    const auto plan = topo::planFloor(design);
+    const auto [meshSw, meshLk] = topo::meshAreas(design.numProcs);
+    std::printf("floorplanned areas: switch %u (mesh %u), link %u "
+                "(mesh %u)\n",
+                plan.switchArea, meshSw,
+                plan.linkArea + plan.procLinkArea, meshLk);
+    return 0;
+}
+
+topo::BuiltNetwork
+buildNamedNetwork(const std::string &name, std::uint32_t ranks)
+{
+    if (name == "mesh")
+        return topo::buildMesh(ranks);
+    if (name == "torus")
+        return topo::buildTorus(ranks);
+    if (name == "crossbar")
+        return topo::buildCrossbar(ranks);
+    // Otherwise: a design file.
+    const auto design = loadDesignFile(name);
+    if (design.numProcs != ranks)
+        fatal("design '", name, "' is for ", design.numProcs,
+              " procs but the trace has ", ranks);
+    const auto plan = topo::planFloor(design);
+    return topo::buildFromDesign(design, plan);
+}
+
+void
+printRun(const char *name, const trace::Trace &tr,
+         const topo::BuiltNetwork &net)
+{
+    const auto res = sim::runTrace(tr, *net.topo, *net.routing);
+    const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
+                                            res.execTime);
+    std::printf("%-10s exec=%lld comm=%.0f lat=%.1f hops=%.2f "
+                "util(max)=%.3f energy=%.0f deadlocks=%u\n",
+                name, static_cast<long long>(res.execTime),
+                res.commTimeMean(), res.avgPacketLatency,
+                res.avgPacketHops, res.maxLinkUtilization,
+                energy.total(), res.deadlockRecoveries);
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("simulate: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+    const auto name = args.get("network", "mesh");
+    const auto net = buildNamedNetwork(name, tr.numRanks());
+    printRun(name.c_str(), tr, net);
+    return 0;
+}
+
+int
+cmdDot(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("dot: missing design file");
+    const auto design = loadDesignFile(args.positional[0]);
+    const auto out = args.get("out");
+    if (out.empty()) {
+        topo::writeDesignDot(design, std::cout);
+    } else {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        topo::writeDesignDot(design, os);
+        std::printf("wrote %s (render with: dot -Tpng -O %s)\n",
+                    out.c_str(), out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("compare: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree =
+        args.getU32("max-degree", 5);
+    const auto outcome =
+        core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    const auto plan = topo::planFloor(outcome.design);
+    const auto generated = topo::buildFromDesign(outcome.design, plan);
+
+    printRun("crossbar", tr, topo::buildCrossbar(tr.numRanks()));
+    printRun("mesh", tr, topo::buildMesh(tr.numRanks()));
+    printRun("torus", tr, topo::buildTorus(tr.numRanks()));
+    printRun("generated", tr, generated);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: minnoc <command> [args]\n"
+        "  gen      --bench BT|CG|FFT|MG|SP --ranks N [--iterations I]\n"
+        "           [--seed S] [--out FILE]\n"
+        "  analyze  TRACE [--verbose 1]\n"
+        "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
+        "  show     DESIGN\n"
+        "  simulate TRACE --network mesh|torus|crossbar|DESIGN\n"
+        "  compare  TRACE [--max-degree D]\n"
+        "  dot      DESIGN [--out FILE]        (graphviz export)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args = Args::parse(argc, argv, 2);
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    if (cmd == "design")
+        return cmdDesign(args);
+    if (cmd == "show")
+        return cmdShow(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
+    if (cmd == "dot")
+        return cmdDot(args);
+    usage();
+    return 1;
+}
