@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fastcolor.dir/ablation_fastcolor.cpp.o"
+  "CMakeFiles/ablation_fastcolor.dir/ablation_fastcolor.cpp.o.d"
+  "ablation_fastcolor"
+  "ablation_fastcolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fastcolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosspattern.dir/crosspattern.cpp.o"
+  "CMakeFiles/crosspattern.dir/crosspattern.cpp.o.d"
+  "crosspattern"
+  "crosspattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosspattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_analysis.dir/deadlock_analysis.cpp.o"
+  "CMakeFiles/deadlock_analysis.dir/deadlock_analysis.cpp.o.d"
+  "deadlock_analysis"
+  "deadlock_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cg_pattern.dir/fig1_cg_pattern.cpp.o"
+  "CMakeFiles/fig1_cg_pattern.dir/fig1_cg_pattern.cpp.o.d"
+  "fig1_cg_pattern"
+  "fig1_cg_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cg_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_design_walkthrough.dir/fig5_design_walkthrough.cpp.o"
+  "CMakeFiles/fig5_design_walkthrough.dir/fig5_design_walkthrough.cpp.o.d"
+  "fig5_design_walkthrough"
+  "fig5_design_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_design_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

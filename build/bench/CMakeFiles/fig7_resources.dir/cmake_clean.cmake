@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_resources.dir/fig7_resources.cpp.o"
+  "CMakeFiles/fig7_resources.dir/fig7_resources.cpp.o.d"
+  "fig7_resources"
+  "fig7_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

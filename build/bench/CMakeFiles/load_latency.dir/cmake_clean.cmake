@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_latency.dir/load_latency.cpp.o"
+  "CMakeFiles/load_latency.dir/load_latency.cpp.o.d"
+  "load_latency"
+  "load_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_comparison.dir/power_comparison.cpp.o"
+  "CMakeFiles/power_comparison.dir/power_comparison.cpp.o.d"
+  "power_comparison"
+  "power_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_ablation.dir/vc_ablation.cpp.o"
+  "CMakeFiles/vc_ablation.dir/vc_ablation.cpp.o.d"
+  "vc_ablation"
+  "vc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_design.dir/workload_design.cpp.o"
+  "CMakeFiles/workload_design.dir/workload_design.cpp.o.d"
+  "workload_design"
+  "workload_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_from_trace.cpp" "examples/CMakeFiles/design_from_trace.dir/design_from_trace.cpp.o" "gcc" "examples/CMakeFiles/design_from_trace.dir/design_from_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/minnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/minnoc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minnoc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/minnoc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

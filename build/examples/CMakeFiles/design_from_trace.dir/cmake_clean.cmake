@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_from_trace.dir/design_from_trace.cpp.o"
+  "CMakeFiles/design_from_trace.dir/design_from_trace.cpp.o.d"
+  "design_from_trace"
+  "design_from_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_from_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

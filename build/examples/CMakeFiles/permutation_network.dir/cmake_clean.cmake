@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_network.dir/permutation_network.cpp.o"
+  "CMakeFiles/permutation_network.dir/permutation_network.cpp.o.d"
+  "permutation_network"
+  "permutation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

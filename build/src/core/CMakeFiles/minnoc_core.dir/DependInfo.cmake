@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clique_set.cpp" "src/core/CMakeFiles/minnoc_core.dir/clique_set.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/clique_set.cpp.o.d"
+  "/root/repo/src/core/comm_pattern.cpp" "src/core/CMakeFiles/minnoc_core.dir/comm_pattern.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/comm_pattern.cpp.o.d"
+  "/root/repo/src/core/design_io.cpp" "src/core/CMakeFiles/minnoc_core.dir/design_io.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/design_io.cpp.o.d"
+  "/root/repo/src/core/design_network.cpp" "src/core/CMakeFiles/minnoc_core.dir/design_network.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/design_network.cpp.o.d"
+  "/root/repo/src/core/finalize.cpp" "src/core/CMakeFiles/minnoc_core.dir/finalize.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/finalize.cpp.o.d"
+  "/root/repo/src/core/methodology.cpp" "src/core/CMakeFiles/minnoc_core.dir/methodology.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/methodology.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/minnoc_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/route_optimizer.cpp" "src/core/CMakeFiles/minnoc_core.dir/route_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/route_optimizer.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/minnoc_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/verify.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/minnoc_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/minnoc_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/minnoc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

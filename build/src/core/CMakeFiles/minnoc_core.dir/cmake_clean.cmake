@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc_core.dir/clique_set.cpp.o"
+  "CMakeFiles/minnoc_core.dir/clique_set.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/comm_pattern.cpp.o"
+  "CMakeFiles/minnoc_core.dir/comm_pattern.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/design_io.cpp.o"
+  "CMakeFiles/minnoc_core.dir/design_io.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/design_network.cpp.o"
+  "CMakeFiles/minnoc_core.dir/design_network.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/finalize.cpp.o"
+  "CMakeFiles/minnoc_core.dir/finalize.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/methodology.cpp.o"
+  "CMakeFiles/minnoc_core.dir/methodology.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/partitioner.cpp.o"
+  "CMakeFiles/minnoc_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/route_optimizer.cpp.o"
+  "CMakeFiles/minnoc_core.dir/route_optimizer.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/verify.cpp.o"
+  "CMakeFiles/minnoc_core.dir/verify.cpp.o.d"
+  "CMakeFiles/minnoc_core.dir/workload.cpp.o"
+  "CMakeFiles/minnoc_core.dir/workload.cpp.o.d"
+  "libminnoc_core.a"
+  "libminnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

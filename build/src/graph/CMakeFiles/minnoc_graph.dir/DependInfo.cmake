@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/clique.cpp" "src/graph/CMakeFiles/minnoc_graph.dir/clique.cpp.o" "gcc" "src/graph/CMakeFiles/minnoc_graph.dir/clique.cpp.o.d"
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/minnoc_graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/minnoc_graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/graph/CMakeFiles/minnoc_graph.dir/connectivity.cpp.o" "gcc" "src/graph/CMakeFiles/minnoc_graph.dir/connectivity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/minnoc_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/minnoc_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/ugraph.cpp" "src/graph/CMakeFiles/minnoc_graph.dir/ugraph.cpp.o" "gcc" "src/graph/CMakeFiles/minnoc_graph.dir/ugraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc_graph.dir/clique.cpp.o"
+  "CMakeFiles/minnoc_graph.dir/clique.cpp.o.d"
+  "CMakeFiles/minnoc_graph.dir/coloring.cpp.o"
+  "CMakeFiles/minnoc_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/minnoc_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/minnoc_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/minnoc_graph.dir/digraph.cpp.o"
+  "CMakeFiles/minnoc_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/minnoc_graph.dir/ugraph.cpp.o"
+  "CMakeFiles/minnoc_graph.dir/ugraph.cpp.o.d"
+  "libminnoc_graph.a"
+  "libminnoc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

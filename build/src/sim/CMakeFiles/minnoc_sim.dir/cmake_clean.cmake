@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc_sim.dir/network.cpp.o"
+  "CMakeFiles/minnoc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/minnoc_sim.dir/trace_driver.cpp.o"
+  "CMakeFiles/minnoc_sim.dir/trace_driver.cpp.o.d"
+  "libminnoc_sim.a"
+  "libminnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

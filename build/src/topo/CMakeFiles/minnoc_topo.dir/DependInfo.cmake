@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/builders.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/builders.cpp.o.d"
+  "/root/repo/src/topo/deadlock_analysis.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/deadlock_analysis.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/deadlock_analysis.cpp.o.d"
+  "/root/repo/src/topo/dot.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/dot.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/dot.cpp.o.d"
+  "/root/repo/src/topo/floorplan.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/floorplan.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/floorplan.cpp.o.d"
+  "/root/repo/src/topo/power.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/power.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/power.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/routing.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/routing.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/minnoc_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/minnoc_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/minnoc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc_topo.dir/builders.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/deadlock_analysis.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/deadlock_analysis.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/dot.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/dot.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/floorplan.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/floorplan.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/power.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/power.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/routing.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/routing.cpp.o.d"
+  "CMakeFiles/minnoc_topo.dir/topology.cpp.o"
+  "CMakeFiles/minnoc_topo.dir/topology.cpp.o.d"
+  "libminnoc_topo.a"
+  "libminnoc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

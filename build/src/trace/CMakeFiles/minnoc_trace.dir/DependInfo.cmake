@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/minnoc_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/minnoc_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/nas_generators.cpp" "src/trace/CMakeFiles/minnoc_trace.dir/nas_generators.cpp.o" "gcc" "src/trace/CMakeFiles/minnoc_trace.dir/nas_generators.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/minnoc_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/minnoc_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/minnoc_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/minnoc_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/minnoc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

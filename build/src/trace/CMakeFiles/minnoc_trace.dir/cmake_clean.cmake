@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/minnoc_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/minnoc_trace.dir/nas_generators.cpp.o"
+  "CMakeFiles/minnoc_trace.dir/nas_generators.cpp.o.d"
+  "CMakeFiles/minnoc_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/minnoc_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/minnoc_trace.dir/trace.cpp.o"
+  "CMakeFiles/minnoc_trace.dir/trace.cpp.o.d"
+  "libminnoc_trace.a"
+  "libminnoc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminnoc_trace.a"
+)

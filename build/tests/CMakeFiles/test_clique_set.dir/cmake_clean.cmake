@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_set.dir/test_clique_set.cpp.o"
+  "CMakeFiles/test_clique_set.dir/test_clique_set.cpp.o.d"
+  "test_clique_set"
+  "test_clique_set.pdb"
+  "test_clique_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_color_gap.dir/test_color_gap.cpp.o"
+  "CMakeFiles/test_color_gap.dir/test_color_gap.cpp.o.d"
+  "test_color_gap"
+  "test_color_gap.pdb"
+  "test_color_gap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_color_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_pattern.dir/test_comm_pattern.cpp.o"
+  "CMakeFiles/test_comm_pattern.dir/test_comm_pattern.cpp.o.d"
+  "test_comm_pattern"
+  "test_comm_pattern.pdb"
+  "test_comm_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consolidate.dir/test_consolidate.cpp.o"
+  "CMakeFiles/test_consolidate.dir/test_consolidate.cpp.o.d"
+  "test_consolidate"
+  "test_consolidate.pdb"
+  "test_consolidate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consolidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

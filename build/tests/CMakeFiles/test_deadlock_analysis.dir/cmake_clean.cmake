@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_analysis.dir/test_deadlock_analysis.cpp.o"
+  "CMakeFiles/test_deadlock_analysis.dir/test_deadlock_analysis.cpp.o.d"
+  "test_deadlock_analysis"
+  "test_deadlock_analysis.pdb"
+  "test_deadlock_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_io.dir/test_design_io.cpp.o"
+  "CMakeFiles/test_design_io.dir/test_design_io.cpp.o.d"
+  "test_design_io"
+  "test_design_io.pdb"
+  "test_design_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_network.dir/test_design_network.cpp.o"
+  "CMakeFiles/test_design_network.dir/test_design_network.cpp.o.d"
+  "test_design_network"
+  "test_design_network.pdb"
+  "test_design_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

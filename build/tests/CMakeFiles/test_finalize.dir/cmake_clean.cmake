@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finalize.dir/test_finalize.cpp.o"
+  "CMakeFiles/test_finalize.dir/test_finalize.cpp.o.d"
+  "test_finalize"
+  "test_finalize.pdb"
+  "test_finalize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

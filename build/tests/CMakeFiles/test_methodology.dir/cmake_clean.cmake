@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methodology.dir/test_methodology.cpp.o"
+  "CMakeFiles/test_methodology.dir/test_methodology.cpp.o.d"
+  "test_methodology"
+  "test_methodology.pdb"
+  "test_methodology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

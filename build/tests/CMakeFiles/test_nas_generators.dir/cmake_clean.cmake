@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas_generators.dir/test_nas_generators.cpp.o"
+  "CMakeFiles/test_nas_generators.dir/test_nas_generators.cpp.o.d"
+  "test_nas_generators"
+  "test_nas_generators.pdb"
+  "test_nas_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

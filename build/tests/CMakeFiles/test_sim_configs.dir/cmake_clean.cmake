@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_configs.dir/test_sim_configs.cpp.o"
+  "CMakeFiles/test_sim_configs.dir/test_sim_configs.cpp.o.d"
+  "test_sim_configs"
+  "test_sim_configs.pdb"
+  "test_sim_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

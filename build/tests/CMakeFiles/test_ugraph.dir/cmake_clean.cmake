@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ugraph.dir/test_ugraph.cpp.o"
+  "CMakeFiles/test_ugraph.dir/test_ugraph.cpp.o.d"
+  "test_ugraph"
+  "test_ugraph.pdb"
+  "test_ugraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ugraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

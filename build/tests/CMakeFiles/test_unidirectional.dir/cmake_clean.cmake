@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unidirectional.dir/test_unidirectional.cpp.o"
+  "CMakeFiles/test_unidirectional.dir/test_unidirectional.cpp.o.d"
+  "test_unidirectional"
+  "test_unidirectional.pdb"
+  "test_unidirectional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

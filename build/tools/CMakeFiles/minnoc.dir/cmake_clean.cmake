@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minnoc.dir/minnoc.cpp.o"
+  "CMakeFiles/minnoc.dir/minnoc.cpp.o.d"
+  "minnoc"
+  "minnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
