@@ -50,6 +50,13 @@ struct SimConfig
     /** Cycles between deadlock scans. */
     Cycle deadlockScanInterval = 512;
 
+    /**
+     * Regressive recoveries allowed per packet before it is dropped
+     * with a diagnostic instead of retransmitted again (livelock
+     * guard; generous because recovery is rare and usually converges).
+     */
+    std::uint32_t maxRecoveries = 64;
+
     /** Hard wall on simulated time (guards against livelock bugs). */
     Cycle maxCycles = 2'000'000'000;
 };

@@ -6,10 +6,27 @@
 
 namespace minnoc::sim {
 
+namespace {
+
+/** Deterministic per-packet checksum (splitmix-style mix of the id). */
+std::uint64_t
+packetChecksum(PacketId id, core::ProcId src, core::ProcId dst,
+               std::uint64_t bytes)
+{
+    std::uint64_t z = id * 0x9e3779b97f4a7c15ULL + src +
+                      (static_cast<std::uint64_t>(dst) << 32) + bytes;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 Network::Network(const topo::Topology &topo,
                  const topo::RoutingFunction &routing,
-                 const SimConfig &config)
-    : _topo(&topo), _routing(&routing), _config(config)
+                 const SimConfig &config, FaultModel faults)
+    : _topo(&topo), _routing(&routing), _config(config),
+      _faults(std::move(faults))
 {
     const auto numLinks = static_cast<std::uint32_t>(topo.numLinks());
     _inputs.resize(numLinks);
@@ -31,6 +48,11 @@ Network::Network(const topo::Topology &topo,
     _inputUsed.assign(numLinks, false);
     _sourceUsed.assign(topo.numProcs(), false);
     _stats.linkFlits.assign(numLinks, 0);
+
+    // Fail-from-start link faults: swap in the degraded routing before
+    // any packet moves (nothing to purge yet).
+    if (_faults.hasLinkFaults() && _faults.failAtCycle() <= 0)
+        activateFaults(0);
 }
 
 bool
@@ -59,7 +81,16 @@ Network::enqueue(core::ProcId src, core::ProcId dst, std::uint64_t bytes,
     pkt.enqueuedAt = now;
     pkt.lastProgress = now;
     pkt.channelSeq = _sendSeq[{dst, src}]++;
+    pkt.checksum = packetChecksum(pkt.id, src, dst, bytes);
+    pkt.wireChecksum = pkt.checksum;
     _packets.push_back(pkt);
+    ++_stats.packetsEnqueued;
+    if (_deadChannels.count({dst, src})) {
+        // The channel has no surviving path: give up immediately so the
+        // sender unblocks and the receiver learns the sequence is lost.
+        dropPacket(pkt.id, "channel disconnected by link failure");
+        return pkt.id;
+    }
     _sources[src].queue.push_back(pkt.id);
     return pkt.id;
 }
@@ -68,7 +99,7 @@ bool
 Network::injected(PacketId id) const
 {
     const Packet &pkt = _packets.at(id);
-    return pkt.flitsInjected == pkt.numFlits;
+    return pkt.dropped || pkt.flitsInjected == pkt.numFlits;
 }
 
 bool
@@ -107,6 +138,11 @@ Network::step(Cycle now)
 
     std::fill(_inputUsed.begin(), _inputUsed.end(), false);
     std::fill(_sourceUsed.begin(), _sourceUsed.end(), false);
+
+    if (!_faultsActive && _faults.hasLinkFaults() &&
+        now >= _faults.failAtCycle()) {
+        activateFaults(now);
+    }
 
     arriveCredits(now);
     arriveFlits(now);
@@ -259,6 +295,7 @@ Network::forwardFlit(topo::LinkId inLink, std::uint32_t inVc, VcState &vc,
     ++out.outstanding[vc.outVc];
     _pipes[vc.outLink].flits.push_back(LinkPipe::InFlit{
         now + _topo->link(vc.outLink).delay(), flit, vc.outVc});
+    maybeCorrupt(flit);
     ++_stats.flitHops;
     ++_stats.linkFlits[vc.outLink];
     if (flit.isHead())
@@ -355,6 +392,7 @@ Network::injectFromSources(Cycle now)
         ++out.outstanding[src.vc];
         _pipes[inj].flits.push_back(LinkPipe::InFlit{
             now + _topo->link(inj).delay(), flit, src.vc});
+        maybeCorrupt(flit);
         ++pkt.flitsInjected;
         ++_flitsInNetwork;
         ++_stats.flitHops;
@@ -391,11 +429,31 @@ Network::deliverAtProc(const FlitRef &flit, topo::LinkId link,
         if (pkt.flitsDelivered != pkt.numFlits)
             panic("Network: tail delivered before body (packet ", pkt.id,
                   ")");
+        if (pkt.wireChecksum != pkt.checksum) {
+            // Checksum mismatch: a transient fault corrupted the packet
+            // in flight. The NI NACKs; the source retransmits after an
+            // exponential backoff, up to the bounded retry budget.
+            if (pkt.retries >= _faults.maxRetransmits()) {
+                ++_stats.retryExhaustions;
+                dropPacket(pkt.id, "corruption retry budget exhausted");
+            } else {
+                ++_stats.retransmissions;
+                ++pkt.retries;
+                pkt.wireChecksum = pkt.checksum;
+                requeuePacket(pkt.id, now,
+                              _faults.backoff(pkt.retries - 1));
+            }
+            return;
+        }
         pkt.deliveredAt = now;
         _delivered[{pkt.dst, pkt.src}][pkt.channelSeq] = pkt.id;
         ++_stats.packetsDelivered;
         _stats.packetLatency.sample(
             static_cast<double>(now - pkt.enqueuedAt));
+        if (pkt.retries == 0) {
+            _stats.cleanPacketLatency.sample(
+                static_cast<double>(now - pkt.enqueuedAt));
+        }
         _stats.packetHops.sample(static_cast<double>(pkt.hops));
     }
 }
@@ -409,7 +467,7 @@ Network::scanForDeadlocks(Cycle now)
     // and livelock.
     Packet *victim = nullptr;
     for (auto &pkt : _packets) {
-        if (pkt.delivered())
+        if (pkt.delivered() || pkt.dropped)
             continue;
         if (pkt.flitsInjected == 0 ||
             pkt.flitsInjected == pkt.flitsDelivered) {
@@ -431,7 +489,20 @@ Network::recoverPacket(PacketId id, Cycle now)
     warn("Network: deadlock recovery of packet ", id, " (", pkt.src, "->",
          pkt.dst, ") at cycle ", now);
     ++_stats.deadlockRecoveries;
+    if (pkt.retries >= _config.maxRecoveries) {
+        // The bound exists to turn a pathological kill/retransmit
+        // livelock into a counted drop with a diagnostic.
+        ++_stats.recoveryExhaustions;
+        dropPacket(id, "deadlock recovery budget exhausted");
+        return;
+    }
+    ++pkt.retries;
+    requeuePacket(id, now, _config.deadlockPenalty);
+}
 
+void
+Network::purgePacket(PacketId id)
+{
     // Purge in-flight flits (treat as never sent: restore the sender's
     // credit, cancel the outstanding count).
     for (topo::LinkId l = 0; l < _pipes.size(); ++l) {
@@ -471,33 +542,173 @@ Network::recoverPacket(PacketId id, Cycle now)
         }
     }
 
-    // Release every downstream VC reservation held by the victim.
-    for (auto &out : _outputs) {
+    // Release every downstream VC reservation held by the victim. A
+    // reservation is only freed once the tail is credited, so any
+    // credit still in flight on a VC the victim owns is for one of its
+    // own flits (already consumed downstream) — absorb it now rather
+    // than waiting out the wire delay. This happens on corruption
+    // NACKs, where the purge fires the same cycle the tail delivers.
+    for (topo::LinkId l = 0; l < _outputs.size(); ++l) {
+        auto &out = _outputs[l];
+        auto &pipe = _pipes[l];
         for (std::uint32_t v = 0; v < out.vcOwner.size(); ++v) {
-            if (out.vcOwner[v] == id) {
-                if (out.outstanding[v] != 0)
-                    panic("Network: recovery left outstanding flits");
-                out.vcOwner[v] = kNoPacket;
-                out.tailSent[v] = false;
+            if (out.vcOwner[v] != id)
+                continue;
+            for (auto it = pipe.credits.begin();
+                 it != pipe.credits.end() && out.outstanding[v] != 0;) {
+                if (it->vc == v) {
+                    ++out.credits[v];
+                    --out.outstanding[v];
+                    it = pipe.credits.erase(it);
+                } else {
+                    ++it;
+                }
             }
+            if (out.outstanding[v] != 0)
+                panic("Network: recovery left outstanding flits");
+            out.vcOwner[v] = kNoPacket;
+            out.tailSent[v] = false;
         }
     }
 
-    // Reset and retransmit from the source after the penalty.
+    // If the source NI was mid-wormhole on this packet, reset it.
+    Packet &pkt = _packets.at(id);
+    auto &src = _sources[pkt.src];
+    if (!src.queue.empty() && src.queue.front() == id) {
+        src.vcAssigned = false;
+        src.vc = kNoVc;
+    }
+}
+
+void
+Network::requeuePacket(PacketId id, Cycle now, Cycle backoff)
+{
+    purgePacket(id);
+    Packet &pkt = _packets.at(id);
     auto &src = _sources[pkt.src];
     const bool queued =
         std::find(src.queue.begin(), src.queue.end(), id) !=
         src.queue.end();
-    if (!queued)
-        src.queue.push_front(id);
-    if (!src.queue.empty() && src.queue.front() == id)
+    if (!queued) {
+        // Retransmit ahead of waiting packets, but never preempt a
+        // front packet mid-wormhole: its remaining flits must follow
+        // the head down the VC it already claimed.
+        auto pos = src.queue.begin();
+        if (src.vcAssigned && !src.queue.empty())
+            ++pos;
+        src.queue.insert(pos, id);
+    }
+    if (src.queue.front() == id)
         src.vcAssigned = false;
     pkt.flitsInjected = 0;
     pkt.flitsDelivered = 0;
     pkt.hops = 0;
-    pkt.holdUntil = now + _config.deadlockPenalty;
+    pkt.holdUntil = now + backoff;
     pkt.lastProgress = now;
-    ++pkt.retries;
+}
+
+void
+Network::dropPacket(PacketId id, const char *why)
+{
+    purgePacket(id);
+    Packet &pkt = _packets.at(id);
+    auto &src = _sources[pkt.src];
+    const auto it = std::find(src.queue.begin(), src.queue.end(), id);
+    if (it != src.queue.end()) {
+        if (it == src.queue.begin())
+            src.vcAssigned = false;
+        src.queue.erase(it);
+    }
+    pkt.dropped = true;
+    pkt.flitsInjected = 0;
+    pkt.flitsDelivered = 0;
+    ++_stats.packetsDropped;
+    // The receiver matches in channel-sequence order; record the hole so
+    // it can skip this message instead of blocking forever.
+    _lostSeqs[{pkt.dst, pkt.src}].insert(pkt.channelSeq);
+    warn("Network: dropping packet ", id, " (", pkt.src, "->", pkt.dst,
+         ", seq ", pkt.channelSeq, "): ", why);
+}
+
+void
+Network::activateFaults(Cycle now)
+{
+    _faultsActive = true;
+    _stats.failedLinks =
+        static_cast<std::uint32_t>(_faults.failedLinks().size());
+
+    // The routing swap invalidates every in-network position (the new
+    // table need not pass through a packet's current switch), so purge
+    // and source-retransmit everything currently in flight.
+    for (auto &pkt : _packets) {
+        if (pkt.delivered() || pkt.dropped || pkt.flitsInjected == 0)
+            continue;
+        ++_stats.retransmissions;
+        requeuePacket(pkt.id, now, _faults.backoff(0));
+    }
+
+    auto degraded = rerouteAroundFaults(*_topo, _faults.failedMask());
+    for (const auto &[s, d] : degraded.disconnected)
+        _deadChannels.insert({d, s});
+    _stats.disconnectedPairs =
+        static_cast<std::uint32_t>(degraded.disconnected.size());
+    _degradedRouting = std::move(degraded.routing);
+    _routing = _degradedRouting.get();
+    if (!degraded.disconnected.empty()) {
+        warn("Network: ", _stats.failedLinks, " failed links left ",
+             _stats.disconnectedPairs, " (src,dst) pairs disconnected");
+    }
+
+    // Give up on queued packets whose channel no longer exists.
+    for (auto &pkt : _packets) {
+        if (!pkt.delivered() && !pkt.dropped &&
+            _deadChannels.count({pkt.dst, pkt.src})) {
+            dropPacket(pkt.id, "channel disconnected by link failure");
+        }
+    }
+}
+
+void
+Network::maybeCorrupt(const FlitRef &flit)
+{
+    // One Bernoulli draw per packet per link traversal (taken when the
+    // head enters the link): "did any flit of this worm get hit while
+    // crossing?". Per-flit draws would make large packets undeliverable
+    // at any rate worth simulating.
+    if (!flit.isHead())
+        return;
+    if (_faults.corruptsTraversal()) {
+        ++_stats.corruptedFlits;
+        _packets[flit.packet].wireChecksum ^= _faults.corruptionWord();
+    }
+}
+
+bool
+Network::nextDeliveryLost(core::ProcId dst, core::ProcId src) const
+{
+    const auto it = _lostSeqs.find({dst, src});
+    if (it == _lostSeqs.end())
+        return false;
+    const auto seqIt = _consumeSeq.find({dst, src});
+    const std::uint64_t next =
+        seqIt == _consumeSeq.end() ? 0 : seqIt->second;
+    return it->second.count(next) != 0;
+}
+
+void
+Network::skipLostDelivery(core::ProcId dst, core::ProcId src)
+{
+    if (!nextDeliveryLost(dst, src))
+        panic("Network::skipLostDelivery: next message from ", src,
+              " at ", dst, " is not lost");
+    auto &lost = _lostSeqs[{dst, src}];
+    lost.erase(_consumeSeq[{dst, src}]++);
+}
+
+bool
+Network::channelDisconnected(core::ProcId src, core::ProcId dst) const
+{
+    return _deadChannels.count({dst, src}) != 0;
 }
 
 bool

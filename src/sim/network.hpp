@@ -21,9 +21,12 @@
 
 #include <deque>
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "config.hpp"
+#include "fault.hpp"
 #include "packet.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
@@ -34,11 +37,55 @@ namespace minnoc::sim {
 /** Aggregate network statistics. */
 struct NetworkStats
 {
+    std::uint64_t packetsEnqueued = 0;
     std::uint64_t packetsDelivered = 0;
+    /** Packets given up on: disconnected channel or retries exhausted. */
+    std::uint64_t packetsDropped = 0;
     std::uint64_t flitHops = 0;
     std::uint32_t deadlockRecoveries = 0;
+
+    /** Source retransmissions (corruption NACKs + fault-event purges). */
+    std::uint64_t retransmissions = 0;
+    /** Flit corruption events on link traversals. */
+    std::uint64_t corruptedFlits = 0;
+    /** Permanently failed links once the fault event is active. */
+    std::uint32_t failedLinks = 0;
+    /** (src, dst) pairs with no surviving path after link failures. */
+    std::uint32_t disconnectedPairs = 0;
+    /** Packets dropped because the corruption-retry budget ran out. */
+    std::uint32_t retryExhaustions = 0;
+    /** Packets dropped because deadlock recoveries exceeded the bound. */
+    std::uint32_t recoveryExhaustions = 0;
+
     ScalarStat packetLatency; ///< enqueue -> delivered, cycles
     ScalarStat packetHops;    ///< path length in links
+    /** Latency of packets delivered on the first try (no retransmits). */
+    ScalarStat cleanPacketLatency;
+
+    /** Fraction of enqueued packets eventually delivered. */
+    double
+    deliveredFraction() const
+    {
+        if (packetsEnqueued == 0)
+            return 1.0;
+        return static_cast<double>(packetsDelivered) /
+               static_cast<double>(packetsEnqueued);
+    }
+
+    /**
+     * Mean delivered latency relative to the first-try population:
+     * 1.0 on a clean network, above it when retransmissions stretched
+     * the tail.
+     */
+    double
+    latencyInflation() const
+    {
+        if (cleanPacketLatency.count() == 0 ||
+            cleanPacketLatency.mean() <= 0.0) {
+            return 1.0;
+        }
+        return packetLatency.mean() / cleanPacketLatency.mean();
+    }
 
     /** Flits that traversed each link (indexed by LinkId). */
     std::vector<std::uint64_t> linkFlits;
@@ -92,15 +139,22 @@ class Network
      * @param topo physical topology (must outlive the network)
      * @param routing routing function (must outlive the network)
      * @param config simulator parameters
+     * @param faults resolved fault model (default: no faults). With
+     *        fail-from-start link faults the routing is replaced by a
+     *        degraded shortest-path table immediately; with a positive
+     *        fail-at cycle the swap happens mid-run, purging and
+     *        retransmitting everything then in flight.
      */
     Network(const topo::Topology &topo,
-            const topo::RoutingFunction &routing, const SimConfig &config);
+            const topo::RoutingFunction &routing, const SimConfig &config,
+            FaultModel faults = FaultModel{});
 
     /** Queue a packet for injection; returns its id. */
     PacketId enqueue(core::ProcId src, core::ProcId dst,
                      std::uint64_t bytes, std::uint32_t callId, Cycle now);
 
-    /** True once the packet's tail flit left the source NI. */
+    /** True once the packet's tail flit left the source NI (or it was
+     *  dropped — senders must not block on an undeliverable packet). */
     bool injected(PacketId id) const;
 
     /** True if a delivered-but-unconsumed message from src waits at dst. */
@@ -118,9 +172,24 @@ class Network
     /** True when no flits exist anywhere and no injections are pending. */
     bool idle() const;
 
+    /**
+     * True when the next in-sequence message from @p src at @p dst is
+     * known lost (dropped packet) and will never be delivered. The
+     * consumer should acknowledge it via skipLostDelivery() and move
+     * on instead of blocking.
+     */
+    bool nextDeliveryLost(core::ProcId dst, core::ProcId src) const;
+
+    /** Advance the channel past a lost message (panics when none). */
+    void skipLostDelivery(core::ProcId dst, core::ProcId src);
+
+    /** True when link failures left (src -> dst) without any path. */
+    bool channelDisconnected(core::ProcId src, core::ProcId dst) const;
+
     const NetworkStats &stats() const { return _stats; }
     const Packet &packet(PacketId id) const { return _packets.at(id); }
     const SimConfig &config() const { return _config; }
+    const FaultModel &faults() const { return _faults; }
 
   private:
     static constexpr std::uint32_t kNoVc = static_cast<std::uint32_t>(-1);
@@ -187,6 +256,11 @@ class Network
     void injectFromSources(Cycle now);
     void scanForDeadlocks(Cycle now);
     void recoverPacket(PacketId id, Cycle now);
+    void purgePacket(PacketId id);
+    void requeuePacket(PacketId id, Cycle now, Cycle backoff);
+    void dropPacket(PacketId id, const char *why);
+    void activateFaults(Cycle now);
+    void maybeCorrupt(const FlitRef &flit);
     std::uint32_t allocateVc(OutputState &out);
     topo::LinkId chooseOutput(const std::vector<topo::LinkId> &candidates);
     void forwardFlit(topo::LinkId inLink, std::uint32_t inVc,
@@ -197,6 +271,16 @@ class Network
     const topo::Topology *_topo;
     const topo::RoutingFunction *_routing;
     SimConfig _config;
+    FaultModel _faults;
+    bool _faultsActive = false;
+    /** Replacement routing once link failures are active. */
+    std::unique_ptr<topo::TableRouting> _degradedRouting;
+    /** (dst, src) channels link failures disconnected. */
+    std::set<std::pair<core::ProcId, core::ProcId>> _deadChannels;
+    /** Per-channel sequence numbers of dropped (never-arriving) packets. */
+    std::map<std::pair<core::ProcId, core::ProcId>,
+             std::set<std::uint64_t>>
+        _lostSeqs;
 
     std::vector<Packet> _packets;
     std::vector<InputUnit> _inputs;   ///< per link (empty for proc sinks)

@@ -48,8 +48,24 @@ struct Packet
     /** Cycle of the most recent flit movement (deadlock detection). */
     Cycle lastProgress = 0;
 
-    /** Regressive-recovery retransmissions so far. */
+    /** Source retransmissions so far (recovery + corruption NACKs). */
     std::uint32_t retries = 0;
+
+    /**
+     * End-to-end integrity checksum, fixed at enqueue. Transient link
+     * faults perturb @ref wireChecksum in flight; the destination NI
+     * accepts the packet only when the two still agree.
+     */
+    std::uint64_t checksum = 0;
+
+    /** Checksum as accumulated over the wire (== checksum when clean). */
+    std::uint64_t wireChecksum = 0;
+
+    /**
+     * Permanently given up on: the channel was disconnected by link
+     * failures or the retry budget ran out. Never delivered.
+     */
+    bool dropped = false;
 
     /** Links the head flit has traversed (path length on delivery). */
     std::uint32_t hops = 0;

@@ -1,6 +1,8 @@
 #include "trace_driver.hpp"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "util/log.hpp"
 
@@ -67,6 +69,9 @@ runTrace(const trace::Trace &trace, Network &network)
     std::vector<RankState> state(ranks);
     const SimConfig &cfg = network.config();
 
+    std::uint64_t recvsLost = 0;
+    std::set<std::pair<core::ProcId, core::ProcId>> lostChannels;
+
     auto progress = [&](core::ProcId r, Cycle now) {
         auto &st = state[r];
         const auto &tl = trace.timeline(r);
@@ -119,12 +124,26 @@ runTrace(const trace::Trace &trace, Network &network)
                 break;
               case RankState::Phase::WaitRecv: {
                 const auto &op = tl[st.cursor];
-                if (!network.hasDelivered(r, op.peer))
-                    return;
-                network.consumeDelivered(r, op.peer);
-                st.readyAt = now + cfg.recvOverhead;
-                st.phase = RankState::Phase::RecvOverhead;
-                break;
+                if (network.hasDelivered(r, op.peer)) {
+                    network.consumeDelivered(r, op.peer);
+                    st.readyAt = now + cfg.recvOverhead;
+                    st.phase = RankState::Phase::RecvOverhead;
+                    break;
+                }
+                if (network.nextDeliveryLost(r, op.peer)) {
+                    // The message this receive would match was dropped
+                    // (disconnected channel or exhausted retries):
+                    // record the loss and move on instead of blocking
+                    // forever — graceful degradation.
+                    network.skipLostDelivery(r, op.peer);
+                    ++recvsLost;
+                    lostChannels.insert({op.peer, r});
+                    st.commTime += now - st.opStart;
+                    ++st.cursor;
+                    st.phase = RankState::Phase::Ready;
+                    break;
+                }
+                return;
               }
               case RankState::Phase::RecvOverhead:
                 if (now < st.readyAt)
@@ -198,6 +217,19 @@ runTrace(const trace::Trace &trace, Network &network)
     const auto &ns = network.stats();
     result.packetsDelivered = ns.packetsDelivered;
     result.deadlockRecoveries = ns.deadlockRecoveries;
+    result.packetsEnqueued = ns.packetsEnqueued;
+    result.packetsDropped = ns.packetsDropped;
+    result.retransmissions = ns.retransmissions;
+    result.corruptedFlits = ns.corruptedFlits;
+    result.failedLinks = ns.failedLinks;
+    result.disconnectedPairs = ns.disconnectedPairs;
+    result.retryExhaustions = ns.retryExhaustions;
+    result.recoveryExhaustions = ns.recoveryExhaustions;
+    result.deliveredFraction = ns.deliveredFraction();
+    result.latencyInflation = ns.latencyInflation();
+    result.recvsLost = recvsLost;
+    result.undeliverableChannels.assign(lostChannels.begin(),
+                                        lostChannels.end());
     result.avgPacketLatency = ns.packetLatency.mean();
     result.avgPacketHops = ns.packetHops.mean();
     result.maxLinkUtilization = ns.maxLinkUtilization(result.execTime);
@@ -214,6 +246,18 @@ runTrace(const trace::Trace &trace, const topo::Topology &topo,
         fatal("runTrace: trace has ", trace.numRanks(),
               " ranks but topology has ", topo.numProcs(), " procs");
     Network network(topo, routing, config);
+    return runTrace(trace, network);
+}
+
+SimResult
+runTrace(const trace::Trace &trace, const topo::Topology &topo,
+         const topo::RoutingFunction &routing, const SimConfig &config,
+         const FaultConfig &faults)
+{
+    if (trace.numRanks() != topo.numProcs())
+        fatal("runTrace: trace has ", trace.numRanks(),
+              " ranks but topology has ", topo.numProcs(), " procs");
+    Network network(topo, routing, config, FaultModel(topo, faults));
     return runTrace(trace, network);
 }
 

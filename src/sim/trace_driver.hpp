@@ -14,8 +14,10 @@
 #define MINNOC_SIM_TRACE_DRIVER_HPP
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault.hpp"
 #include "network.hpp"
 #include "trace/trace.hpp"
 
@@ -32,6 +34,26 @@ struct SimResult
     std::vector<Cycle> finishTime;
     std::uint64_t packetsDelivered = 0;
     std::uint32_t deadlockRecoveries = 0;
+
+    /** Fault accounting (all zero / 1.0 on a clean network). */
+    std::uint64_t packetsEnqueued = 0;
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t corruptedFlits = 0;
+    std::uint32_t failedLinks = 0;
+    std::uint32_t disconnectedPairs = 0;
+    std::uint32_t retryExhaustions = 0;
+    std::uint32_t recoveryExhaustions = 0;
+    /** Fraction of enqueued packets eventually delivered. */
+    double deliveredFraction = 1.0;
+    /** Mean latency relative to first-try deliveries (>= 1.0). */
+    double latencyInflation = 1.0;
+    /** Receives the driver skipped because the message was lost. */
+    std::uint64_t recvsLost = 0;
+    /** Distinct (src, dst) channels with at least one lost message. */
+    std::vector<std::pair<core::ProcId, core::ProcId>>
+        undeliverableChannels;
+
     double avgPacketLatency = 0.0;
     /** Mean path length in links over delivered packets. */
     double avgPacketHops = 0.0;
@@ -59,6 +81,15 @@ SimResult runTrace(const trace::Trace &trace, Network &network);
 SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
                    const topo::RoutingFunction &routing,
                    const SimConfig &config = {});
+
+/**
+ * Fault-injection variant: resolve @p faults against @p topo, build the
+ * (possibly degraded) network, and run. Undeliverable messages are
+ * skipped and accounted instead of hanging the replay.
+ */
+SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
+                   const topo::RoutingFunction &routing,
+                   const SimConfig &config, const FaultConfig &faults);
 
 } // namespace minnoc::sim
 

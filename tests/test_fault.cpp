@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for fault injection: deterministic seeding, disconnection
+ * detection, bounded corruption retries, fault-aware rerouting, and
+ * graceful degradation of the trace driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fault.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "trace/trace.hpp"
+
+using namespace minnoc;
+using namespace minnoc::sim;
+
+namespace {
+
+/** Step the network until idle or the cycle budget runs out. */
+Cycle
+runUntilIdle(Network &net, Cycle start = 0, Cycle budget = 200000)
+{
+    Cycle now = start;
+    while (!net.idle() && now < start + budget)
+        net.step(++now);
+    EXPECT_TRUE(net.idle()) << "network failed to drain";
+    return now;
+}
+
+/** First inter-switch link of @p topo (panics if none). */
+topo::LinkId
+firstSwitchLink(const topo::Topology &topo)
+{
+    for (topo::LinkId l = 0; l < topo.numLinks(); ++l) {
+        if (!topo.isProc(topo.link(l).from) &&
+            !topo.isProc(topo.link(l).to)) {
+            return l;
+        }
+    }
+    ADD_FAILURE() << "topology has no inter-switch link";
+    return topo::kNoLink;
+}
+
+/** A two-rank trace: 0 sends one message, 1 receives it. */
+trace::Trace
+oneMessageTrace(std::uint32_t ranks, core::ProcId src, core::ProcId dst,
+                std::uint64_t bytes)
+{
+    trace::Trace t("one-message", ranks);
+    t.push(src, trace::TraceOp::send(dst, bytes, 0));
+    t.push(dst, trace::TraceOp::recv(src, bytes, 0));
+    return t;
+}
+
+} // namespace
+
+TEST(FaultModel, RandomSelectionIsDeterministic)
+{
+    const auto built = topo::buildMesh(16);
+    FaultConfig cfg;
+    cfg.randomFailLinks = 3;
+    cfg.seed = 42;
+    const FaultModel a(*built.topo, cfg);
+    const FaultModel b(*built.topo, cfg);
+    EXPECT_EQ(a.failedLinks(), b.failedLinks());
+    EXPECT_EQ(a.failedLinks().size(), 3u);
+
+    cfg.seed = 43;
+    const FaultModel c(*built.topo, cfg);
+    EXPECT_NE(a.failedLinks(), c.failedLinks());
+}
+
+TEST(FaultModel, RandomSelectionPrefersInterSwitchLinks)
+{
+    const auto built = topo::buildMesh(16);
+    FaultConfig cfg;
+    cfg.randomFailLinks = 5;
+    cfg.seed = 9;
+    const FaultModel m(*built.topo, cfg);
+    for (const auto l : m.failedLinks()) {
+        EXPECT_FALSE(built.topo->isProc(built.topo->link(l).from));
+        EXPECT_FALSE(built.topo->isProc(built.topo->link(l).to));
+    }
+}
+
+TEST(FaultModel, BackoffGrowsAndCaps)
+{
+    FaultConfig cfg;
+    cfg.backoffBase = 64;
+    cfg.backoffCap = 1000;
+    const auto built = topo::buildCrossbar(2);
+    FaultModel m(*built.topo, cfg);
+    EXPECT_EQ(m.backoff(0), 64);
+    EXPECT_EQ(m.backoff(1), 128);
+    EXPECT_EQ(m.backoff(2), 256);
+    EXPECT_EQ(m.backoff(10), 1000); // capped
+    EXPECT_EQ(m.backoff(63), 1000); // shift clamp: no UB, still capped
+}
+
+TEST(FaultRerouting, SingleMeshLinkFailureKeepsAllPairsConnected)
+{
+    const auto built = topo::buildMesh(16);
+    const auto failed = firstSwitchLink(*built.topo);
+    std::vector<bool> mask(built.topo->numLinks(), false);
+    mask[failed] = true;
+
+    const auto degraded = rerouteAroundFaults(*built.topo, mask);
+    EXPECT_TRUE(degraded.disconnected.empty());
+    ASSERT_NE(degraded.routing, nullptr);
+    // Every pair has a path, no path crosses the failed link, and the
+    // table is walkable end to end.
+    topo::validateRouting(*built.topo, *degraded.routing);
+    for (core::ProcId s = 0; s < 16; ++s) {
+        for (core::ProcId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            ASSERT_TRUE(degraded.routing->hasPath(s, d));
+            for (const auto l : degraded.routing->path(s, d))
+                EXPECT_NE(l, failed);
+        }
+    }
+}
+
+TEST(FaultRerouting, EjectionLinkFailureDisconnectsExactlyOneColumn)
+{
+    const auto built = topo::buildMesh(16);
+    std::vector<bool> mask(built.topo->numLinks(), false);
+    mask[built.topo->ejectionLink(5)] = true;
+
+    const auto degraded = rerouteAroundFaults(*built.topo, mask);
+    // Nobody can reach proc 5; everything else still works.
+    EXPECT_EQ(degraded.disconnected.size(), 15u);
+    for (const auto &[s, d] : degraded.disconnected)
+        EXPECT_EQ(d, 5u);
+}
+
+TEST(FaultNetwork, TransientCorruptionRetransmitsAndDelivers)
+{
+    const auto built = topo::buildMesh(16);
+    FaultConfig fcfg;
+    // Low enough that even 8-traversal corner paths get a clean attempt
+    // within the retry budget, high enough that 16 packets see several
+    // corruption events under this seed.
+    fcfg.flitErrorRate = 0.05;
+    fcfg.maxRetransmits = 16;
+    fcfg.seed = 11;
+    Network net(*built.topo, *built.routing, SimConfig{},
+                FaultModel(*built.topo, fcfg));
+    for (core::ProcId p = 0; p < 16; ++p)
+        net.enqueue(p, static_cast<core::ProcId>(15 - p), 256, 0, 0);
+    runUntilIdle(net);
+    EXPECT_EQ(net.stats().packetsDelivered, 16u);
+    EXPECT_GT(net.stats().retransmissions, 0u);
+    EXPECT_GT(net.stats().corruptedFlits, 0u);
+    EXPECT_EQ(net.stats().packetsDropped, 0u);
+    EXPECT_GT(net.stats().latencyInflation(), 1.0);
+}
+
+TEST(FaultNetwork, RetryBudgetExhaustionDropsPacket)
+{
+    const auto built = topo::buildCrossbar(4);
+    FaultConfig fcfg;
+    fcfg.flitErrorRate = 1.0; // every traversal corrupts
+    fcfg.maxRetransmits = 2;
+    Network net(*built.topo, *built.routing, SimConfig{},
+                FaultModel(*built.topo, fcfg));
+    const auto id = net.enqueue(0, 1, 64, 0, 0);
+    runUntilIdle(net);
+    EXPECT_TRUE(net.packet(id).dropped);
+    EXPECT_EQ(net.stats().packetsDelivered, 0u);
+    EXPECT_EQ(net.stats().packetsDropped, 1u);
+    EXPECT_EQ(net.stats().retryExhaustions, 1u);
+    EXPECT_EQ(net.stats().retransmissions, 2u);
+    // The receiver is told the message is lost rather than left waiting.
+    EXPECT_FALSE(net.hasDelivered(1, 0));
+    EXPECT_TRUE(net.nextDeliveryLost(1, 0));
+    net.skipLostDelivery(1, 0);
+    EXPECT_FALSE(net.nextDeliveryLost(1, 0));
+}
+
+TEST(FaultNetwork, FailedFromStartDisconnectsChannel)
+{
+    const auto built = topo::buildMesh(16);
+    FaultConfig fcfg;
+    fcfg.failLinks = {built.topo->injectionLink(3)};
+    Network net(*built.topo, *built.routing, SimConfig{},
+                FaultModel(*built.topo, fcfg));
+    EXPECT_TRUE(net.channelDisconnected(3, 7));
+    EXPECT_FALSE(net.channelDisconnected(7, 3));
+    const auto dead = net.enqueue(3, 7, 64, 0, 0);
+    const auto live = net.enqueue(7, 3, 64, 0, 0);
+    runUntilIdle(net);
+    EXPECT_TRUE(net.packet(dead).dropped);
+    EXPECT_TRUE(net.packet(live).delivered());
+    EXPECT_TRUE(net.injected(dead)) << "sender must not block on a drop";
+    EXPECT_EQ(net.stats().disconnectedPairs, 15u);
+    EXPECT_LT(net.stats().deliveredFraction(), 1.0);
+}
+
+TEST(FaultNetwork, MidRunFailureReroutesInFlightTraffic)
+{
+    const auto built = topo::buildMesh(16);
+    const auto failed = firstSwitchLink(*built.topo);
+    FaultConfig fcfg;
+    fcfg.failLinks = {failed};
+    fcfg.failAtCycle = 20;
+    Network net(*built.topo, *built.routing, SimConfig{},
+                FaultModel(*built.topo, fcfg));
+    // Long corner-to-corner packets certain to be in flight at cycle 20.
+    net.enqueue(0, 15, 2048, 0, 0);
+    net.enqueue(15, 0, 2048, 0, 0);
+    EXPECT_EQ(net.stats().failedLinks, 0u);
+    runUntilIdle(net);
+    EXPECT_EQ(net.stats().failedLinks, 1u);
+    EXPECT_EQ(net.stats().packetsDelivered, 2u);
+    EXPECT_EQ(net.stats().packetsDropped, 0u);
+    // The activation purge retransmits whatever was in the network.
+    EXPECT_GT(net.stats().retransmissions, 0u);
+}
+
+TEST(FaultNetwork, SameSeedReproducesIdenticalStats)
+{
+    const auto built = topo::buildMesh(16);
+    FaultConfig fcfg;
+    fcfg.randomFailLinks = 2;
+    fcfg.flitErrorRate = 0.2;
+    fcfg.seed = 77;
+    auto run = [&]() {
+        Network net(*built.topo, *built.routing, SimConfig{},
+                    FaultModel(*built.topo, fcfg));
+        for (core::ProcId p = 0; p < 16; ++p)
+            net.enqueue(p, static_cast<core::ProcId>((p + 3) % 16), 192,
+                        0, 0);
+        runUntilIdle(net);
+        return net.stats();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.corruptedFlits, b.corruptedFlits);
+    EXPECT_EQ(a.packetsDropped, b.packetsDropped);
+    EXPECT_EQ(a.packetLatency.mean(), b.packetLatency.mean());
+    EXPECT_EQ(a.linkFlits, b.linkFlits);
+}
+
+TEST(FaultTraceDriver, LostMessageSkipsRecvInsteadOfHanging)
+{
+    const auto built = topo::buildMesh(4);
+    const auto tr = oneMessageTrace(4, 0, 1, 256);
+    FaultConfig fcfg;
+    fcfg.failLinks = {built.topo->injectionLink(0)};
+    const auto res = sim::runTrace(tr, *built.topo, *built.routing,
+                                   SimConfig{}, fcfg);
+    EXPECT_EQ(res.recvsLost, 1u);
+    EXPECT_EQ(res.packetsDropped, 1u);
+    EXPECT_LT(res.deliveredFraction, 1.0);
+    ASSERT_EQ(res.undeliverableChannels.size(), 1u);
+    EXPECT_EQ(res.undeliverableChannels[0].first, 0u);
+    EXPECT_EQ(res.undeliverableChannels[0].second, 1u);
+}
+
+TEST(FaultTraceDriver, CleanNetworkReportsFullDelivery)
+{
+    const auto built = topo::buildMesh(4);
+    const auto tr = oneMessageTrace(4, 2, 3, 256);
+    const auto res = sim::runTrace(tr, *built.topo, *built.routing,
+                                   SimConfig{}, FaultConfig{});
+    EXPECT_EQ(res.recvsLost, 0u);
+    EXPECT_EQ(res.deliveredFraction, 1.0);
+    EXPECT_EQ(res.latencyInflation, 1.0);
+    EXPECT_TRUE(res.undeliverableChannels.empty());
+}
+
+TEST(FaultModel, RejectsBadConfig)
+{
+    const auto built = topo::buildCrossbar(4);
+    FaultConfig bad;
+    bad.flitErrorRate = 1.5;
+    EXPECT_DEATH(FaultModel(*built.topo, bad), "flit error rate");
+    FaultConfig badLink;
+    badLink.failLinks = {static_cast<topo::LinkId>(10000)};
+    EXPECT_DEATH(FaultModel(*built.topo, badLink), "link");
+}

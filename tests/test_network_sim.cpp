@@ -222,6 +222,108 @@ TEST(NetworkSim, DeadlockRecoveryKillsAndRedelivers)
     EXPECT_GE(net.stats().deadlockRecoveries, 1u);
 }
 
+namespace {
+
+/** The 3-switch unidirectional ring whose three 2-hop routes form the
+ *  classic cyclic wait under a single VC. Returns the topology; the
+ *  caller installs the ring routing via makeRingRouting. */
+topo::Topology
+makeDeadlockRing()
+{
+    topo::Topology ring(3, 3, "ring3");
+    for (core::ProcId p = 0; p < 3; ++p)
+        ring.addDuplex(ring.procNode(p), ring.switchNode(p), 1);
+    ring.addLink(ring.switchNode(0), ring.switchNode(1), 1);
+    ring.addLink(ring.switchNode(1), ring.switchNode(2), 1);
+    ring.addLink(ring.switchNode(2), ring.switchNode(0), 1);
+    return ring;
+}
+
+topo::TableRouting
+makeRingRouting(const topo::Topology &ring)
+{
+    const auto l01 = static_cast<topo::LinkId>(6);
+    const auto l12 = static_cast<topo::LinkId>(7);
+    const auto l20 = static_cast<topo::LinkId>(8);
+    topo::TableRouting routing(ring, "ring");
+    routing.setPath(0, 2, {ring.injectionLink(0), l01, l12,
+                           ring.ejectionLink(2)});
+    routing.setPath(1, 0, {ring.injectionLink(1), l12, l20,
+                           ring.ejectionLink(0)});
+    routing.setPath(2, 1, {ring.injectionLink(2), l20, l01,
+                           ring.ejectionLink(1)});
+    return routing;
+}
+
+} // namespace
+
+TEST(NetworkSim, TinyTimeoutRecoveryRestoresCreditsAndDelivers)
+{
+    // An aggressive timeout fires recovery on packets that are merely
+    // slow, not just truly deadlocked: the kill-and-retransmit path must
+    // still converge, and the purge must restore every credit so the
+    // network keeps working afterwards.
+    const auto ring = makeDeadlockRing();
+    const auto routing = makeRingRouting(ring);
+    SimConfig cfg;
+    cfg.numVcs = 1;
+    cfg.vcDepth = 1;
+    cfg.deadlockTimeout = 40; // far below a 1001-flit serialization
+    cfg.deadlockScanInterval = 16;
+    cfg.deadlockPenalty = 50;
+    Network net(ring, routing, cfg);
+    net.enqueue(0, 2, 4000, 0, 0);
+    net.enqueue(1, 0, 4000, 0, 0);
+    net.enqueue(2, 1, 4000, 0, 0);
+
+    Cycle now = 0;
+    while (!net.idle() && now < 500000)
+        net.step(++now);
+    ASSERT_TRUE(net.idle());
+    EXPECT_EQ(net.stats().packetsDelivered, 3u);
+    EXPECT_GT(net.stats().deadlockRecoveries, 0u);
+    EXPECT_EQ(net.stats().recoveryExhaustions, 0u);
+
+    // Credits restored: a second wave over the same links also drains.
+    net.enqueue(0, 2, 4000, 0, now);
+    net.enqueue(1, 0, 4000, 0, now);
+    net.enqueue(2, 1, 4000, 0, now);
+    const auto resume = now;
+    while (!net.idle() && now < resume + 500000)
+        net.step(++now);
+    ASSERT_TRUE(net.idle());
+    EXPECT_EQ(net.stats().packetsDelivered, 6u);
+}
+
+TEST(NetworkSim, RecoveryBudgetExhaustionDropsInsteadOfLivelock)
+{
+    const auto ring = makeDeadlockRing();
+    const auto routing = makeRingRouting(ring);
+    SimConfig cfg;
+    cfg.numVcs = 1;
+    cfg.vcDepth = 1;
+    cfg.deadlockTimeout = 200;
+    cfg.deadlockScanInterval = 64;
+    cfg.deadlockPenalty = 50;
+    cfg.maxRecoveries = 0; // first recovery immediately exhausts
+    Network net(ring, routing, cfg);
+    net.enqueue(0, 2, 4000, 0, 0);
+    net.enqueue(1, 0, 4000, 0, 0);
+    net.enqueue(2, 1, 4000, 0, 0);
+
+    Cycle now = 0;
+    while (!net.idle() && now < 500000)
+        net.step(++now);
+    ASSERT_TRUE(net.idle()) << "drops must break the cycle, not hang";
+    EXPECT_GE(net.stats().recoveryExhaustions, 1u);
+    EXPECT_EQ(net.stats().packetsDropped,
+              static_cast<std::uint64_t>(net.stats().recoveryExhaustions));
+    // Killing one victim unblocks the other two (or they drop too);
+    // either way every packet is accounted for.
+    EXPECT_EQ(net.stats().packetsDelivered + net.stats().packetsDropped,
+              3u);
+}
+
 TEST(NetworkSim, MonotoneClockEnforced)
 {
     const auto built = topo::buildCrossbar(2);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: sanitized build + full test suite.
+#
+# Usage: tools/ci.sh [build-dir]
+#
+# Configures a dedicated build tree with MINNOC_SANITIZE=ON
+# (ASan + UBSan), builds everything, and runs ctest. Any sanitizer
+# report fails the run (halt_on_error / abort on UB).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$repo" -B "$build" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMINNOC_SANITIZE=ON
+cmake --build "$build" -j "$jobs"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"

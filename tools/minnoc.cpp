@@ -12,18 +12,21 @@
  *   minnoc compare cg.trace            (all four networks, one table)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/design_io.hpp"
 #include "topo/dot.hpp"
 #include "core/methodology.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace_driver.hpp"
 #include "topo/builders.hpp"
 #include "topo/floorplan.hpp"
@@ -36,25 +39,48 @@ using namespace minnoc;
 
 namespace {
 
-/** Minimal flag parser: --key value pairs plus positionals. */
+/**
+ * Minimal flag parser: `--key value` or `--key=value` pairs plus
+ * positionals. Each subcommand declares its valid flags; anything else
+ * fails fast with the list instead of being silently ignored.
+ */
 struct Args
 {
     std::vector<std::string> positional;
     std::map<std::string, std::string> flags;
 
     static Args
-    parse(int argc, char **argv, int start)
+    parse(int argc, char **argv, int start,
+          const std::vector<std::string> &allowed)
     {
         Args args;
         for (int i = start; i < argc; ++i) {
             const std::string tok = argv[i];
-            if (tok.rfind("--", 0) == 0) {
-                if (i + 1 >= argc)
-                    fatal("flag ", tok, " needs a value");
-                args.flags[tok.substr(2)] = argv[++i];
-            } else {
+            if (tok.rfind("--", 0) != 0) {
                 args.positional.push_back(tok);
+                continue;
             }
+            std::string key;
+            std::string value;
+            const auto eq = tok.find('=');
+            if (eq != std::string::npos) {
+                key = tok.substr(2, eq - 2);
+                value = tok.substr(eq + 1);
+            } else {
+                key = tok.substr(2);
+                if (i + 1 >= argc)
+                    fatal("flag --", key, " needs a value");
+                value = argv[++i];
+            }
+            if (std::find(allowed.begin(), allowed.end(), key) ==
+                allowed.end()) {
+                std::string valid;
+                for (const auto &f : allowed)
+                    valid += (valid.empty() ? "--" : ", --") + f;
+                fatal("unknown flag --", key, " (valid flags: ",
+                      valid.empty() ? "none" : valid, ")");
+            }
+            args.flags[key] = value;
         }
         return args;
     }
@@ -69,11 +95,34 @@ struct Args
     std::uint32_t
     getU32(const std::string &key, std::uint32_t def) const
     {
+        return static_cast<std::uint32_t>(getU64(key, def));
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t def) const
+    {
         const auto it = flags.find(key);
-        return it == flags.end()
-                   ? def
-                   : static_cast<std::uint32_t>(
-                         std::strtoul(it->second.c_str(), nullptr, 10));
+        if (it == flags.end())
+            return def;
+        char *end = nullptr;
+        const auto v = std::strtoull(it->second.c_str(), &end, 10);
+        if (it->second.empty() || *end != '\0')
+            fatal("flag --", key, ": '", it->second,
+                  "' is not an unsigned integer");
+        return v;
+    }
+
+    double
+    getDouble(const std::string &key, double def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        char *end = nullptr;
+        const auto v = std::strtod(it->second.c_str(), &end);
+        if (it->second.empty() || *end != '\0')
+            fatal("flag --", key, ": '", it->second, "' is not a number");
+        return v;
     }
 };
 
@@ -207,10 +256,9 @@ buildNamedNetwork(const std::string &name, std::uint32_t ranks)
 }
 
 void
-printRun(const char *name, const trace::Trace &tr,
-         const topo::BuiltNetwork &net)
+printResult(const char *name, const topo::BuiltNetwork &net,
+            const sim::SimResult &res, bool faulty)
 {
-    const auto res = sim::runTrace(tr, *net.topo, *net.routing);
     const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
                                             res.execTime);
     std::printf("%-10s exec=%lld comm=%.0f lat=%.1f hops=%.2f "
@@ -219,6 +267,45 @@ printRun(const char *name, const trace::Trace &tr,
                 res.commTimeMean(), res.avgPacketLatency,
                 res.avgPacketHops, res.maxLinkUtilization,
                 energy.total(), res.deadlockRecoveries);
+    if (faulty) {
+        std::printf("           faults: failed_links=%u "
+                    "disconnected_pairs=%u corrupted_flits=%llu "
+                    "retransmissions=%llu dropped=%llu recvs_lost=%llu "
+                    "delivered_fraction=%.4f latency_inflation=%.3f\n",
+                    res.failedLinks, res.disconnectedPairs,
+                    static_cast<unsigned long long>(res.corruptedFlits),
+                    static_cast<unsigned long long>(res.retransmissions),
+                    static_cast<unsigned long long>(res.packetsDropped),
+                    static_cast<unsigned long long>(res.recvsLost),
+                    res.deliveredFraction, res.latencyInflation);
+        for (const auto &[s, d] : res.undeliverableChannels)
+            std::printf("           undeliverable channel: %u -> %u\n", s,
+                        d);
+    }
+}
+
+void
+printRun(const char *name, const trace::Trace &tr,
+         const topo::BuiltNetwork &net)
+{
+    printResult(name, net, sim::runTrace(tr, *net.topo, *net.routing),
+                false);
+}
+
+/** Parse a comma-separated link-id list ("3,17,42"). */
+std::vector<topo::LinkId>
+parseLinkList(const std::string &spec)
+{
+    std::vector<topo::LinkId> ids;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        ids.push_back(static_cast<topo::LinkId>(
+            std::strtoul(item.c_str(), nullptr, 10)));
+    }
+    return ids;
 }
 
 int
@@ -229,7 +316,26 @@ cmdSimulate(const Args &args)
     const auto tr = loadTrace(args.positional[0]);
     const auto name = args.get("network", "mesh");
     const auto net = buildNamedNetwork(name, tr.numRanks());
-    printRun(name.c_str(), tr, net);
+
+    sim::SimConfig scfg;
+    scfg.maxRecoveries = args.getU32("max-recoveries", scfg.maxRecoveries);
+
+    sim::FaultConfig fcfg;
+    fcfg.randomFailLinks = args.getU32("fail-links", 0);
+    fcfg.failLinks = parseLinkList(args.get("fail-link-ids"));
+    fcfg.flitErrorRate = args.getDouble("flit-error-rate", 0.0);
+    fcfg.seed = args.getU64("fault-seed", 1);
+    fcfg.failAtCycle = static_cast<sim::Cycle>(args.getU64("fail-at", 0));
+    fcfg.maxRetransmits =
+        args.getU32("max-retransmits", fcfg.maxRetransmits);
+
+    const bool faulty = fcfg.randomFailLinks > 0 ||
+                        !fcfg.failLinks.empty() ||
+                        fcfg.flitErrorRate > 0.0;
+    const auto res =
+        faulty ? sim::runTrace(tr, *net.topo, *net.routing, scfg, fcfg)
+               : sim::runTrace(tr, *net.topo, *net.routing, scfg);
+    printResult(name.c_str(), net, res, faulty);
     return 0;
 }
 
@@ -280,16 +386,34 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: minnoc <command> [args]\n"
+        "usage: minnoc <command> [args]   (flags accept --k v and --k=v)\n"
         "  gen      --bench BT|CG|FFT|MG|SP --ranks N [--iterations I]\n"
         "           [--seed S] [--out FILE]\n"
         "  analyze  TRACE [--verbose 1]\n"
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "  show     DESIGN\n"
         "  simulate TRACE --network mesh|torus|crossbar|DESIGN\n"
+        "           [--fail-links N] [--fail-link-ids 3,17]\n"
+        "           [--fail-at CYCLE] [--flit-error-rate P]\n"
+        "           [--fault-seed S] [--max-retransmits R]\n"
+        "           [--max-recoveries R]\n"
         "  compare  TRACE [--max-degree D]\n"
         "  dot      DESIGN [--out FILE]        (graphviz export)\n");
 }
+
+/** Valid flags per subcommand (anything else is an error). */
+const std::map<std::string, std::vector<std::string>> kCommandFlags = {
+    {"gen", {"bench", "ranks", "iterations", "seed", "out"}},
+    {"analyze", {"verbose"}},
+    {"design", {"max-degree", "restarts", "seed", "out"}},
+    {"show", {}},
+    {"simulate",
+     {"network", "fail-links", "fail-link-ids", "fail-at",
+      "flit-error-rate", "fault-seed", "max-retransmits",
+      "max-recoveries"}},
+    {"compare", {"max-degree"}},
+    {"dot", {"out"}},
+};
 
 } // namespace
 
@@ -301,7 +425,12 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string cmd = argv[1];
-    const Args args = Args::parse(argc, argv, 2);
+    const auto flagsIt = kCommandFlags.find(cmd);
+    if (flagsIt == kCommandFlags.end()) {
+        usage();
+        return 1;
+    }
+    const Args args = Args::parse(argc, argv, 2, flagsIt->second);
     if (cmd == "gen")
         return cmdGen(args);
     if (cmd == "analyze")
@@ -314,8 +443,5 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (cmd == "compare")
         return cmdCompare(args);
-    if (cmd == "dot")
-        return cmdDot(args);
-    usage();
-    return 1;
+    return cmdDot(args);
 }
