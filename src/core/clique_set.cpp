@@ -21,6 +21,7 @@ CliqueSet::internComm(const Comm &c)
     if (inserted) {
         _comms.push_back(c);
         _contendValid = false;
+        _masksValid = false;
     }
     return it->second;
 }
@@ -60,7 +61,30 @@ CliqueSet::addCliqueByIds(std::vector<CommId> ids)
     }
     _cliques.push_back(std::move(clique));
     _contendValid = false;
+    _masksValid = false;
     return true;
+}
+
+const std::vector<CommBitset> &
+CliqueSet::cliqueMasks() const
+{
+    if (!_masksValid) {
+        _masks.assign(_cliques.size(), CommBitset(_comms.size()));
+        for (std::size_t i = 0; i < _cliques.size(); ++i) {
+            for (const CommId c : _cliques[i].comms)
+                _masks[i].insert(c);
+        }
+        _masksValid = true;
+    }
+    return _masks;
+}
+
+void
+CliqueSet::prepareCaches() const
+{
+    cliqueMasks();
+    if (!_contendValid)
+        buildContendIndex();
 }
 
 std::size_t
@@ -107,8 +131,10 @@ CliqueSet::reduceToMaximum()
     }
     const std::size_t removed = _cliques.size() - kept.size();
     _cliques = std::move(kept);
-    if (removed)
+    if (removed) {
         _contendValid = false;
+        _masksValid = false;
+    }
     return removed;
 }
 

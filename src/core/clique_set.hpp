@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "comm_bitset.hpp"
 #include "types.hpp"
 
 namespace minnoc::core {
@@ -85,6 +86,20 @@ class CliqueSet
     const std::vector<Clique> &cliques() const { return _cliques; }
     std::size_t numCliques() const { return _cliques.size(); }
 
+    /**
+     * One bitmask per clique (bit c set iff comm c belongs to the
+     * clique), sized to numComms(). Built lazily and cached; this is
+     * what turns Fast_Color into AND + popcount.
+     */
+    const std::vector<CommBitset> &cliqueMasks() const;
+
+    /**
+     * Force-build every lazy cache (clique masks, contention index).
+     * The lazy builders mutate shared state and are not safe to race;
+     * call this once before handing the set to concurrent readers.
+     */
+    void prepareCaches() const;
+
     /** Size of the largest clique (0 when empty). */
     std::size_t maxCliqueSize() const;
 
@@ -123,6 +138,10 @@ class CliqueSet
     /** Lazily built co-occurrence bitmatrix, invalidated on mutation. */
     mutable std::vector<bool> _contend;
     mutable bool _contendValid = false;
+
+    /** Lazily built per-clique bitmasks, invalidated on mutation. */
+    mutable std::vector<CommBitset> _masks;
+    mutable bool _masksValid = false;
 };
 
 } // namespace minnoc::core

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fixed-width bitset over dense communication ids.
+ *
+ * The partitioner's Fast_Color lower bound is evaluated thousands of
+ * times inside the move-enumeration loop; representing a pipe's
+ * directional comm set as one bit per CommId turns every clique
+ * intersection into AND + popcount over 64-bit words instead of an
+ * ordered-set merge. The width is fixed at construction (the number of
+ * distinct communications of the pattern) so that equal comm sets always
+ * compare equal word-for-word.
+ */
+
+#ifndef MINNOC_CORE_COMM_BITSET_HPP
+#define MINNOC_CORE_COMM_BITSET_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace minnoc::core {
+
+/** One bit per dense communication id; width fixed via resize(). */
+class CommBitset
+{
+  public:
+    CommBitset() = default;
+
+    /** A cleared bitset able to hold ids in [0, @p bits). */
+    explicit CommBitset(std::size_t bits) { resize(bits); }
+
+    /** Reset to @p bits capacity with every bit cleared. */
+    void
+    resize(std::size_t bits)
+    {
+        _bits = bits;
+        _words.assign((bits + 63) / 64, 0);
+    }
+
+    std::size_t numBits() const { return _bits; }
+
+    /** Set bit @p c; true if it was previously clear. */
+    bool
+    insert(std::uint32_t c)
+    {
+        checkRange(c);
+        std::uint64_t &w = _words[c >> 6];
+        const std::uint64_t bit = 1ULL << (c & 63);
+        const bool added = (w & bit) == 0;
+        w |= bit;
+        return added;
+    }
+
+    /** Clear bit @p c; true if it was previously set. */
+    bool
+    erase(std::uint32_t c)
+    {
+        checkRange(c);
+        std::uint64_t &w = _words[c >> 6];
+        const std::uint64_t bit = 1ULL << (c & 63);
+        const bool removed = (w & bit) != 0;
+        w &= ~bit;
+        return removed;
+    }
+
+    /** True when bit @p c is set (false for out-of-range ids). */
+    bool
+    test(std::uint32_t c) const
+    {
+        if (c >= _bits)
+            return false;
+        return (_words[c >> 6] >> (c & 63)) & 1;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const std::uint64_t w : _words)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    bool
+    empty() const
+    {
+        for (const std::uint64_t w : _words) {
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    bool operator==(const CommBitset &o) const = default;
+
+    /** Call @p fn(id) for every set bit in ascending id order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _words.size(); ++i) {
+            std::uint64_t w = _words[i];
+            while (w) {
+                const auto b = static_cast<std::uint32_t>(
+                    std::countr_zero(w));
+                fn(static_cast<std::uint32_t>(i * 64 + b));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** The set bits as a sorted id vector. */
+    std::vector<std::uint32_t>
+    toVector() const
+    {
+        std::vector<std::uint32_t> ids;
+        ids.reserve(size());
+        forEach([&ids](std::uint32_t c) { ids.push_back(c); });
+        return ids;
+    }
+
+    /** Raw 64-bit words (for AND + popcount loops). */
+    const std::vector<std::uint64_t> &words() const { return _words; }
+
+  private:
+    void
+    checkRange(std::uint32_t c) const
+    {
+        if (c >= _bits)
+            panic("CommBitset: id ", c, " out of range (width ", _bits,
+                  ")");
+    }
+
+    std::size_t _bits = 0;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_COMM_BITSET_HPP

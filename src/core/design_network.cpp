@@ -1,14 +1,39 @@
 #include "design_network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <sstream>
 
 #include "util/log.hpp"
 
 namespace minnoc::core {
 
+namespace {
+
+// Process-wide so the bench can aggregate over the many short-lived
+// DesignNetwork instances a methodology run creates (one per restart).
+std::atomic<std::uint64_t> g_fcCalls{0};
+std::atomic<std::uint64_t> g_fcHits{0};
+
+} // namespace
+
+FastColorStats
+fastColorStats()
+{
+    return FastColorStats{g_fcCalls.load(std::memory_order_relaxed),
+                          g_fcHits.load(std::memory_order_relaxed)};
+}
+
+void
+resetFastColorStats()
+{
+    g_fcCalls.store(0, std::memory_order_relaxed);
+    g_fcHits.store(0, std::memory_order_relaxed);
+}
+
 DesignNetwork::DesignNetwork(const CliqueSet &cliques)
-    : _cliques(&cliques)
+    : _cliques(&cliques), _numComms(cliques.numComms())
 {
     const std::uint32_t procs = cliques.numProcs();
     if (procs == 0)
@@ -77,11 +102,17 @@ DesignNetwork::addRouteToPipes(CommId c, const std::vector<SwitchId> &r)
     for (std::size_t i = 0; i + 1 < r.size(); ++i) {
         const SwitchId from = r[i];
         const SwitchId to = r[i + 1];
-        Pipe &p = _pipes[PipeKey(from, to)];
+        auto [it, created] = _pipes.try_emplace(PipeKey(from, to));
+        Pipe &p = it->second;
+        if (created) {
+            p.fwd.resize(_numComms);
+            p.bwd.resize(_numComms);
+        }
         auto &dir = (from < to) ? p.fwd : p.bwd;
-        if (!dir.insert(c).second)
+        if (!dir.insert(c))
             panic("DesignNetwork: comm ", c, " crosses pipe ", from, "-",
                   to, " twice in one direction");
+        p.dirty = true;
     }
 }
 
@@ -95,8 +126,9 @@ DesignNetwork::removeRouteFromPipes(CommId c, const std::vector<SwitchId> &r)
         if (it == _pipes.end())
             panic("DesignNetwork: route segment on missing pipe");
         auto &dir = (from < to) ? it->second.fwd : it->second.bwd;
-        if (dir.erase(c) != 1)
+        if (!dir.erase(c))
             panic("DesignNetwork: comm ", c, " missing from pipe set");
+        it->second.dirty = true;
         if (it->second.empty())
             _pipes.erase(it);
     }
@@ -147,7 +179,49 @@ DesignNetwork::pipe(const PipeKey &key) const
 }
 
 std::uint32_t
-DesignNetwork::fastColorSet(const std::set<CommId> &comms) const
+DesignNetwork::computeFastColor(const CommBitset &comms) const
+{
+    std::uint32_t best = 0;
+    const auto &sw = comms.words();
+    for (const auto &mask : _cliques->cliqueMasks()) {
+        const auto &mw = mask.words();
+        const std::size_t n = std::min(mw.size(), sw.size());
+        std::uint32_t common = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            common += static_cast<std::uint32_t>(
+                std::popcount(mw[i] & sw[i]));
+        best = std::max(best, common);
+    }
+    return best;
+}
+
+std::uint32_t
+DesignNetwork::fastColorSet(const CommBitset &comms) const
+{
+    g_fcCalls.fetch_add(1, std::memory_order_relaxed);
+    return computeFastColor(comms);
+}
+
+std::uint32_t
+DesignNetwork::fastColorSetPlus(const CommBitset &comms, CommId extra) const
+{
+    g_fcCalls.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t best = 0;
+    const auto &sw = comms.words();
+    for (const auto &mask : _cliques->cliqueMasks()) {
+        const auto &mw = mask.words();
+        const std::size_t n = std::min(mw.size(), sw.size());
+        std::uint32_t common = mask.test(extra) ? 1u : 0u;
+        for (std::size_t i = 0; i < n; ++i)
+            common += static_cast<std::uint32_t>(
+                std::popcount(mw[i] & sw[i]));
+        best = std::max(best, common);
+    }
+    return best;
+}
+
+std::uint32_t
+DesignNetwork::fastColorSetReference(const std::set<CommId> &comms) const
 {
     std::uint32_t best = 0;
     for (const auto &k : _cliques->cliques()) {
@@ -168,10 +242,40 @@ DesignNetwork::fastColorSet(const std::set<CommId> &comms) const
 }
 
 std::uint32_t
+DesignNetwork::pipeFastColor(const Pipe &p) const
+{
+    g_fcCalls.fetch_add(1, std::memory_order_relaxed);
+    if (p.dirty) {
+        p.fcFwd = computeFastColor(p.fwd);
+        p.fcBwd = computeFastColor(p.bwd);
+        p.dirty = false;
+    } else {
+        g_fcHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::max(p.fcFwd, p.fcBwd);
+}
+
+std::uint32_t
 DesignNetwork::fastColor(const PipeKey &key) const
 {
-    const Pipe &p = pipe(key);
-    return std::max(fastColorSet(p.fwd), fastColorSet(p.bwd));
+    const auto it = _pipes.find(key);
+    if (it == _pipes.end()) {
+        // An absent pipe is trivially zero; count it as a served query.
+        g_fcCalls.fetch_add(1, std::memory_order_relaxed);
+        g_fcHits.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+    return pipeFastColor(it->second);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+DesignNetwork::fastColorDirs(const PipeKey &key) const
+{
+    const auto it = _pipes.find(key);
+    if (it == _pipes.end())
+        return {0, 0};
+    pipeFastColor(it->second);
+    return {it->second.fcFwd, it->second.fcBwd};
 }
 
 std::uint32_t
@@ -179,9 +283,25 @@ DesignNetwork::estimatedDegree(SwitchId s) const
 {
     std::uint32_t degree =
         static_cast<std::uint32_t>(procsOf(s).size());
-    for (const auto &key : pipesOf(s))
-        degree += fastColor(key);
+    for (const auto &[key, pipe] : _pipes) {
+        if (key.a == s || key.b == s)
+            degree += pipeFastColor(pipe);
+    }
     return degree;
+}
+
+std::vector<std::uint32_t>
+DesignNetwork::estimatedDegrees() const
+{
+    std::vector<std::uint32_t> degrees(_switchProcs.size());
+    for (SwitchId s = 0; s < _switchProcs.size(); ++s)
+        degrees[s] = static_cast<std::uint32_t>(_switchProcs[s].size());
+    for (const auto &[key, pipe] : _pipes) {
+        const std::uint32_t fc = pipeFastColor(pipe);
+        degrees[key.a] += fc;
+        degrees[key.b] += fc;
+    }
+    return degrees;
 }
 
 std::uint32_t
@@ -189,7 +309,18 @@ DesignNetwork::totalEstimatedLinks() const
 {
     std::uint32_t total = 0;
     for (const auto &[key, pipe] : _pipes)
-        total += fastColor(key);
+        total += pipeFastColor(pipe);
+    return total;
+}
+
+std::uint32_t
+DesignNetwork::cutEstimate(SwitchId si, SwitchId sj) const
+{
+    std::uint32_t total = 0;
+    for (const auto &[key, pipe] : _pipes) {
+        if (key.a == si || key.b == si || key.a == sj || key.b == sj)
+            total += pipeFastColor(pipe);
+    }
     return total;
 }
 
@@ -299,8 +430,14 @@ DesignNetwork::checkInvariants() const
         for (std::size_t i = 0; i + 1 < r.size(); ++i) {
             if (r[i] == r[i + 1])
                 panic("invariant: route has immediate repeat");
-            Pipe &p = rebuilt[PipeKey(r[i], r[i + 1])];
-            ((r[i] < r[i + 1]) ? p.fwd : p.bwd).insert(c);
+            auto [it, created] =
+                rebuilt.try_emplace(PipeKey(r[i], r[i + 1]));
+            if (created) {
+                it->second.fwd.resize(_numComms);
+                it->second.bwd.resize(_numComms);
+            }
+            ((r[i] < r[i + 1]) ? it->second.fwd : it->second.bwd)
+                .insert(c);
         }
     }
     if (rebuilt.size() != _pipes.size())
@@ -310,6 +447,13 @@ DesignNetwork::checkInvariants() const
         if (it == rebuilt.end() || it->second.fwd != pipe.fwd ||
             it->second.bwd != pipe.bwd) {
             panic("invariant: pipe comm sets out of sync");
+        }
+        // The estimation cache must match a from-scratch Fast_Color.
+        if (!pipe.dirty &&
+            (pipe.fcFwd != computeFastColor(pipe.fwd) ||
+             pipe.fcBwd != computeFastColor(pipe.bwd))) {
+            panic("invariant: stale Fast_Color cache on pipe ", key.a,
+                  "-", key.b);
         }
     }
 }

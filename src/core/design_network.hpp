@@ -13,6 +13,13 @@
  * pipe needs per direction is lower-bounded by the largest intersection
  * of any communication clique with the pipe's directional comm set, and
  * a full-duplex pipe needs the max of its two directions.
+ *
+ * Fast_Color is the partitioner's hot path — it runs on every candidate
+ * move of the bisection loop — so the directional comm sets are stored
+ * as CommBitsets (intersection = AND + popcount against precomputed
+ * clique masks) and each pipe caches its two directional estimates
+ * behind a dirty bit that route mutations invalidate. Only pipes a
+ * mutation actually perturbed are ever recomputed.
  */
 
 #ifndef MINNOC_CORE_DESIGN_NETWORK_HPP
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "clique_set.hpp"
+#include "comm_bitset.hpp"
 #include "types.hpp"
 #include "util/rng.hpp"
 
@@ -51,14 +59,34 @@ struct PipeKey
  * A pipe: the bundle of links between two switches, characterized by the
  * two opposing sets of communications that traverse it (Section 3.1).
  * "Forward" is the canonical a -> b direction.
+ *
+ * The cached per-direction Fast_Color values are owned by
+ * DesignNetwork: mutations mark the pipe dirty and readers recompute
+ * lazily, so external code should go through DesignNetwork::fastColor.
  */
 struct Pipe
 {
-    std::set<CommId> fwd;
-    std::set<CommId> bwd;
+    CommBitset fwd;
+    CommBitset bwd;
 
     bool empty() const { return fwd.empty() && bwd.empty(); }
+
+    /** Cached Fast_Color per direction; valid only when !dirty. */
+    mutable std::uint32_t fcFwd = 0;
+    mutable std::uint32_t fcBwd = 0;
+    mutable bool dirty = true;
 };
+
+/** Counters of the Fast_Color estimation cache (benchmarking). */
+struct FastColorStats
+{
+    std::uint64_t calls = 0;     ///< fastColor / fastColorSet queries
+    std::uint64_t cacheHits = 0; ///< queries answered from a pipe cache
+};
+
+/** Process-wide Fast_Color counters (atomic; cheap, thread-safe). */
+FastColorStats fastColorStats();
+void resetFastColorStats();
 
 /**
  * Mutable partitioning state: switches, processor homes, routes, pipes.
@@ -110,12 +138,32 @@ class DesignNetwork
     /**
      * Fast_Color (Section 3.3): lower-bound estimate of the number of
      * full-duplex links pipe @p key needs, i.e. the max over cliques K
-     * and directions dir of |K intersect C_dir(pipe)|.
+     * and directions dir of |K intersect C_dir(pipe)|. Served from the
+     * pipe's cache unless a mutation dirtied it.
      */
     std::uint32_t fastColor(const PipeKey &key) const;
 
+    /** Cached per-direction Fast_Color of @p key: (fwd, bwd). */
+    std::pair<std::uint32_t, std::uint32_t>
+    fastColorDirs(const PipeKey &key) const;
+
     /** Fast_Color of an explicit directional comm set. */
-    std::uint32_t fastColorSet(const std::set<CommId> &comms) const;
+    std::uint32_t fastColorSet(const CommBitset &comms) const;
+
+    /**
+     * Fast_Color of (@p comms + the single id @p extra) without
+     * materializing the union; @p extra must not be in @p comms.
+     */
+    std::uint32_t fastColorSetPlus(const CommBitset &comms,
+                                   CommId extra) const;
+
+    /**
+     * The original ordered-set Fast_Color implementation, kept as the
+     * reference oracle for the bitset path. Test-only: quadratic-ish
+     * merge counting per clique; do not use on hot paths.
+     */
+    std::uint32_t
+    fastColorSetReference(const std::set<CommId> &comms) const;
 
     /**
      * Estimated switch degree: attached processors plus the estimated
@@ -123,8 +171,19 @@ class DesignNetwork
      */
     std::uint32_t estimatedDegree(SwitchId s) const;
 
+    /** estimatedDegree of every switch in one pass over the pipes. */
+    std::vector<std::uint32_t> estimatedDegrees() const;
+
     /** Sum of fastColor over all pipes: the partitioning objective. */
     std::uint32_t totalEstimatedLinks() const;
+
+    /**
+     * Summed fastColor over the pipes incident to @p si or @p sj (each
+     * pipe counted once): the cut cost the move-enumeration loop ranks
+     * candidates by. One incidence scan over cached values — no key
+     * vector is built or sorted.
+     */
+    std::uint32_t cutEstimate(SwitchId si, SwitchId sj) const;
 
     /**
      * Split switch @p s: create a new switch, move half of s's
@@ -157,7 +216,14 @@ class DesignNetwork
     void recomputeEndpoints(CommId c);
     static std::vector<SwitchId> normalized(std::vector<SwitchId> r);
 
+    /** Cached duplex estimate of @p p; recomputes when dirty. */
+    std::uint32_t pipeFastColor(const Pipe &p) const;
+
+    /** Raw bitset Fast_Color without touching the stat counters. */
+    std::uint32_t computeFastColor(const CommBitset &comms) const;
+
     const CliqueSet *_cliques;
+    std::size_t _numComms = 0; ///< bitset width of every pipe comm set
     std::vector<std::vector<ProcId>> _switchProcs;
     std::vector<SwitchId> _home;              // per proc
     std::vector<std::vector<SwitchId>> _routes; // per comm

@@ -86,10 +86,10 @@ namespace {
  * from clique co-occurrence and exact-color it.
  */
 graph::Coloring
-colorDirection(const CliqueSet &cliques, const std::set<CommId> &comms,
+colorDirection(const CliqueSet &cliques, const CommBitset &comms,
                const FinalizeConfig &config, bool &exact)
 {
-    std::vector<CommId> ids(comms.begin(), comms.end());
+    const std::vector<CommId> ids = comms.toVector();
     graph::Ugraph cg(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
         for (std::size_t j = i + 1; j < ids.size(); ++j) {
@@ -160,8 +160,8 @@ finalizeDesign(const DesignNetwork &net, const FinalizeConfig &config)
         FinalizedPipe fp;
         fp.key = PipeKey(remap[key.a], remap[key.b]);
 
-        std::vector<CommId> fwdIds(p.fwd.begin(), p.fwd.end());
-        std::vector<CommId> bwdIds(p.bwd.begin(), p.bwd.end());
+        const std::vector<CommId> fwdIds = p.fwd.toVector();
+        const std::vector<CommId> bwdIds = p.bwd.toVector();
         const auto fwdColoring =
             colorDirection(cliques, p.fwd, config, out.colorsExact);
         const auto bwdColoring =

@@ -2,9 +2,11 @@
 
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "route_optimizer.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minnoc::core {
 
@@ -162,7 +164,7 @@ estimatesSatisfied(const DesignNetwork &net, const DesignConstraints &dc)
 void
 mergeSwitches(DesignNetwork &net, DesignOutcome &outcome,
               const MethodologyConfig &config,
-              const PartitionerConfig &pcfg, Rng &rng)
+              const PartitionerConfig &pcfg, Rng &rng, ThreadPool *pool)
 {
     const auto &dc = pcfg.constraints;
     // Merging shares switches but lengthens some routes; cap the total
@@ -200,7 +202,7 @@ mergeSwitches(DesignNetwork &net, DesignOutcome &outcome,
                     net.moveProc(p, s);
                 consolidateRoutes(net, pcfg.consolidatePasses,
                                   dc.maxDegree, &rng,
-                                  pcfg.unidirectionalCost);
+                                  pcfg.unidirectionalCost, pool);
                 if (estimatesSatisfied(net, dc)) {
                     auto merged = finalizeDesign(net, config.finalize);
                     const auto linkBudget =
@@ -278,22 +280,60 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
     CliqueSet cliques = cliquesIn;
     if (config.reduceCliques)
         cliques.reduceToMaximum();
+    // Restart workers share the clique set read-only; its lazy caches
+    // (clique masks, contention index) must exist before they race.
+    cliques.prepareCaches();
 
     const std::uint32_t attempts = std::max(1u, config.restarts);
+    std::uint32_t threads =
+        config.threads ? config.threads
+                       : std::thread::hardware_concurrency();
+    threads = std::min(std::max(threads, 1u), attempts);
+
+    std::optional<ThreadPool> pool;
+    if (threads > 1)
+        pool.emplace(threads);
+
     DesignOutcome best;
     std::optional<DesignNetwork> bestNet;
-    for (std::uint32_t i = 0; i < attempts; ++i) {
-        auto result =
-            runOnce(cliques, config, config.partitioner.seed + i);
+
+    // The sequential preference order: fold restart i into the running
+    // best, then stop once a feasible design has been found and at
+    // least min(attempts, 4) seeds were sampled. Returns true to stop.
+    auto select = [&](SeedResult &result, std::uint32_t i) {
         if (!bestNet ||
             betterThan(result.outcome, best,
                        config.partitioner.constraints)) {
             best = std::move(result.outcome);
             bestNet.emplace(std::move(result.net));
         }
-        if (best.constraintsMet && i + 1 >= std::min(attempts, 4u)) {
-            // Feasible and we have sampled a few seeds: good enough.
-            break;
+        return best.constraintsMet && i + 1 >= std::min(attempts, 4u);
+    };
+
+    if (!pool) {
+        for (std::uint32_t i = 0; i < attempts; ++i) {
+            auto result =
+                runOnce(cliques, config, config.partitioner.seed + i);
+            if (select(result, i))
+                break;
+        }
+    } else {
+        // Waves of independent restarts; selection then replays the
+        // wave in seed order and discards anything past the sequential
+        // stopping point, so the winner matches threads = 1 exactly.
+        bool done = false;
+        for (std::uint32_t i = 0; i < attempts && !done;) {
+            const std::uint32_t wave = std::min(threads, attempts - i);
+            std::vector<std::optional<SeedResult>> results(wave);
+            pool->parallelFor(wave, [&](std::size_t w) {
+                results[w].emplace(runOnce(
+                    cliques, config,
+                    config.partitioner.seed + i +
+                        static_cast<std::uint32_t>(w)));
+            });
+            for (std::uint32_t w = 0; w < wave && !done; ++w)
+                done = select(*results[w], i + w);
+            i += wave;
         }
     }
     if (!best.constraintsMet) {
@@ -307,7 +347,8 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
         if (config.finalize.unidirectional)
             pcfg.unidirectionalCost = true;
         Rng rng(config.partitioner.seed ^ 0x5bd1e995);
-        mergeSwitches(*bestNet, best, config, pcfg, rng);
+        mergeSwitches(*bestNet, best, config, pcfg, rng,
+                      pool ? &*pool : nullptr);
     }
 
     // Theorem-1 verification of the final design.

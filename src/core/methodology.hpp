@@ -58,6 +58,15 @@ struct MethodologyConfig
      * are finalization-checked and accepted only at <= 1 extra link.
      */
     bool mergeSwitches = true;
+
+    /**
+     * Worker threads for the restart loop (restarts are independent and
+     * run in waves). 0 = hardware concurrency. The wave selection
+     * replays the sequential preference order, so the chosen design is
+     * identical at every thread count; threads = 1 runs the exact
+     * single-threaded code path.
+     */
+    std::uint32_t threads = 0;
 };
 
 /** Everything a methodology run produces. */

@@ -15,15 +15,9 @@ namespace {
 std::uint32_t
 cutCost(const DesignNetwork &net, SwitchId si, SwitchId sj)
 {
-    std::vector<PipeKey> keys = net.pipesOf(si);
-    for (const auto &k : net.pipesOf(sj))
-        keys.push_back(k);
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    std::uint32_t total = 0;
-    for (const auto &k : keys)
-        total += net.fastColor(k);
-    return total;
+    // One incidence scan over cached Fast_Color values; no per-call key
+    // vector to build, sort, and dedupe.
+    return net.cutEstimate(si, sj);
 }
 
 /** Switches currently violating the constraints (by estimate). */
@@ -31,10 +25,11 @@ std::vector<SwitchId>
 violatingSwitches(const DesignNetwork &net, const DesignConstraints &dc)
 {
     std::vector<SwitchId> bad;
+    const auto degrees = net.estimatedDegrees();
     for (SwitchId s = 0; s < net.numSwitches(); ++s) {
         const auto procs =
             static_cast<std::uint32_t>(net.procsOf(s).size());
-        if (!dc.satisfied(net.estimatedDegree(s), procs))
+        if (!dc.satisfied(degrees[s], procs))
             bad.push_back(s);
     }
     return bad;
@@ -63,19 +58,22 @@ enumerateMoves(DesignNetwork &net, SwitchId si, SwitchId sj,
     const std::uint32_t before = cutCost(net, si, sj);
 
     auto consider = [&](SwitchId from, SwitchId to) {
+        // Every candidate is applied and undone, so the switch sizes —
+        // and with them the balance rule — are invariant across the
+        // per-proc loop: check once, outside it.
+        const auto fromSize =
+            static_cast<std::int64_t>(net.procsOf(from).size()) - 1;
+        const auto toSize =
+            static_cast<std::int64_t>(net.procsOf(to).size()) + 1;
+        // Balance rule (paper: skew at most 2) plus a no-emptying
+        // guard: un-splitting a switch would loop the algorithm.
+        if (fromSize < 1 ||
+            std::llabs(toSize - fromSize) >
+                static_cast<std::int64_t>(maxImbalance)) {
+            return;
+        }
         const std::vector<ProcId> procs = net.procsOf(from); // copy
         for (const ProcId p : procs) {
-            const auto fromSize =
-                static_cast<std::int64_t>(net.procsOf(from).size()) - 1;
-            const auto toSize =
-                static_cast<std::int64_t>(net.procsOf(to).size()) + 1;
-            // Balance rule (paper: skew at most 2) plus a no-emptying
-            // guard: un-splitting a switch would loop the algorithm.
-            if (fromSize < 1 ||
-                std::llabs(toSize - fromSize) >
-                    static_cast<std::int64_t>(maxImbalance)) {
-                continue;
-            }
             net.moveProc(p, to);
             const std::uint32_t after = cutCost(net, si, sj);
             net.moveProc(p, from);
@@ -96,8 +94,9 @@ std::pair<std::uint64_t, std::uint32_t>
 placementMeasure(const DesignNetwork &net, const DesignConstraints &dc)
 {
     std::uint64_t viol = 0;
+    const auto degrees = net.estimatedDegrees();
     for (SwitchId s = 0; s < net.numSwitches(); ++s) {
-        const auto d = net.estimatedDegree(s);
+        const auto d = degrees[s];
         if (d > dc.maxDegree)
             viol += d - dc.maxDegree;
     }

@@ -1,6 +1,8 @@
 #include "route_optimizer.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "util/log.hpp"
 
@@ -87,10 +89,10 @@ optimizePipesOf(DesignNetwork &net, SwitchId s, SwitchId sibling,
             continue;
 
         // Snapshot the comm ids first: edits mutate the pipe sets.
-        std::vector<CommId> comms;
         const Pipe &p = net.pipe(key);
-        comms.insert(comms.end(), p.fwd.begin(), p.fwd.end());
-        comms.insert(comms.end(), p.bwd.begin(), p.bwd.end());
+        std::vector<CommId> comms = p.fwd.toVector();
+        const std::vector<CommId> bwdIds = p.bwd.toVector();
+        comms.insert(comms.end(), bwdIds.begin(), bwdIds.end());
         std::sort(comms.begin(), comms.end());
         comms.erase(std::unique(comms.begin(), comms.end()), comms.end());
 
@@ -116,10 +118,10 @@ optimizePipesOf(DesignNetwork &net, SwitchId s, SwitchId sibling,
     // Straightening pass: remove detours through the sibling that no
     // longer pay for themselves.
     for (const auto &key : net.pipesOf(sibling)) {
-        std::vector<CommId> comms;
         const Pipe &p = net.pipe(key);
-        comms.insert(comms.end(), p.fwd.begin(), p.fwd.end());
-        comms.insert(comms.end(), p.bwd.begin(), p.bwd.end());
+        std::vector<CommId> comms = p.fwd.toVector();
+        const std::vector<CommId> bwdIds = p.bwd.toVector();
+        comms.insert(comms.end(), bwdIds.begin(), bwdIds.end());
         for (const CommId c : comms) {
             const auto &r = net.route(c);
             for (std::size_t i = 1; i + 1 < r.size(); ++i) {
@@ -157,21 +159,30 @@ std::uint64_t
 degreeViolation(const DesignNetwork &net, std::uint32_t max_degree)
 {
     std::uint64_t total = 0;
-    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
-        const auto d = net.estimatedDegree(s);
+    for (const auto d : net.estimatedDegrees()) {
         if (d > max_degree)
             total += d - max_degree;
     }
     return total;
 }
 
-/** Per-pipe baseline for pricing one communication's reroute. */
+/**
+ * Per-pipe baseline for pricing one communication's reroute: the pipe's
+ * directional comm sets with the victim (and its paired reverse)
+ * removed, plus memo slots for the with-victim Fast_Color values the
+ * Dijkstra hop pricing asks for repeatedly (-1 = not computed yet).
+ */
 struct PipeBaseline
 {
-    std::set<CommId> fwd; ///< forward comms with the victim removed
-    std::set<CommId> bwd; ///< backward comms with the victim removed
+    CommBitset fwd; ///< forward comms with the victim removed
+    CommBitset bwd; ///< backward comms with the victim removed
     std::uint32_t fcFwd = 0;
     std::uint32_t fcBwd = 0;
+
+    mutable std::int64_t withCFwd = -1;   ///< fastColor(fwd + c)
+    mutable std::int64_t withCBwd = -1;   ///< fastColor(bwd + c)
+    mutable std::int64_t withRevFwd = -1; ///< fastColor(fwd + rev)
+    mutable std::int64_t withRevBwd = -1; ///< fastColor(bwd + rev)
 
     /** Duplex width: a full-duplex bundle serves both directions. */
     std::uint32_t width() const { return std::max(fcFwd, fcBwd); }
@@ -179,6 +190,88 @@ struct PipeBaseline
     /** Channel count under unidirectional provisioning. */
     std::uint32_t channels() const { return fcFwd + fcBwd; }
 };
+
+/** Sorted pipe-key -> baseline table (keys come sorted from pipes()). */
+struct BaselineTable
+{
+    std::vector<PipeKey> keys;
+    std::vector<PipeBaseline> entries;
+
+    const PipeBaseline *
+    find(const PipeKey &k) const
+    {
+        const auto it = std::lower_bound(keys.begin(), keys.end(), k);
+        if (it == keys.end() || !(*it == k))
+            return nullptr;
+        return &entries[static_cast<std::size_t>(it - keys.begin())];
+    }
+};
+
+/** Pipe-count threshold below which a parallel build is not worth it. */
+constexpr std::size_t kParallelBaselineThreshold = 64;
+
+/**
+ * Snapshot every existing pipe with @p c (and @p rev when paired)
+ * removed. Pipes the victims do not cross keep their live comm sets and
+ * reuse the cached Fast_Color values; only the handful of pipes on the
+ * victims' routes recompute. With a pool, entries build in parallel
+ * chunks (each chunk owns a disjoint slice; the network is only read).
+ */
+BaselineTable
+buildBaseline(const DesignNetwork &net, CommId c, CommId rev,
+              ThreadPool *pool)
+{
+    BaselineTable table;
+    table.keys = net.pipes();
+    table.entries.resize(table.keys.size());
+
+    auto build = [&](std::size_t i) {
+        const PipeKey &key = table.keys[i];
+        const Pipe &p = net.pipe(key);
+        PipeBaseline &pb = table.entries[i];
+        pb.fwd = p.fwd;
+        pb.bwd = p.bwd;
+        const bool touched =
+            p.fwd.test(c) || p.bwd.test(c) ||
+            (rev != CliqueSet::kNoComm &&
+             (p.fwd.test(rev) || p.bwd.test(rev)));
+        if (!touched) {
+            const auto [ff, fb] = net.fastColorDirs(key);
+            pb.fcFwd = ff;
+            pb.fcBwd = fb;
+            return;
+        }
+        pb.fwd.erase(c);
+        pb.bwd.erase(c);
+        if (rev != CliqueSet::kNoComm) {
+            pb.fwd.erase(rev);
+            pb.bwd.erase(rev);
+        }
+        pb.fcFwd = net.fastColorSet(pb.fwd);
+        pb.fcBwd = net.fastColorSet(pb.bwd);
+    };
+
+    const std::size_t n = table.keys.size();
+    if (pool && n >= kParallelBaselineThreshold) {
+        // Workers must never race the lazy caches: force-build the
+        // clique masks and clean every pipe's Fast_Color cache first so
+        // the parallel section reads shared state without writing it.
+        net.cliques().prepareCaches();
+        net.totalEstimatedLinks();
+        const std::size_t chunks = std::min<std::size_t>(pool->size(), n);
+        const std::size_t per = (n + chunks - 1) / chunks;
+        pool->parallelFor(chunks, [&](std::size_t chunk) {
+            const std::size_t lo = chunk * per;
+            const std::size_t hi = std::min(lo + per, n);
+            for (std::size_t i = lo; i < hi; ++i)
+                build(i);
+        });
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            build(i);
+    }
+    return table;
+}
 
 /**
  * One consolidation attempt for a single communication. When the
@@ -190,7 +283,7 @@ struct PipeBaseline
  */
 bool
 consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
-               bool uni_cost)
+               bool uni_cost, ThreadPool *pool)
 {
     const std::vector<SwitchId> oldRoute = net.route(c);
     if (oldRoute.size() < 2)
@@ -215,22 +308,7 @@ consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
     // Pipes are full-duplex bundles: width = max of the directional
     // needs, so a hop riding the empty reverse direction of a busy pipe
     // is free.
-    std::map<PipeKey, PipeBaseline> base;
-    for (const auto &key : net.pipes()) {
-        const Pipe &p = net.pipe(key);
-        PipeBaseline pb;
-        pb.fwd = p.fwd;
-        pb.bwd = p.bwd;
-        pb.fwd.erase(c);
-        pb.bwd.erase(c);
-        if (rev != CliqueSet::kNoComm) {
-            pb.fwd.erase(rev);
-            pb.bwd.erase(rev);
-        }
-        pb.fcFwd = net.fastColorSet(pb.fwd);
-        pb.fcBwd = net.fastColorSet(pb.bwd);
-        base.emplace(key, std::move(pb));
-    }
+    const BaselineTable base = buildBaseline(net, c, rev, pool);
 
     // Switches already at or beyond the degree budget: hops touching
     // them are penalized so traffic drains away from hubs instead of
@@ -238,30 +316,36 @@ consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
     // one giant hub switch).
     std::vector<bool> overloaded(net.numSwitches(), false);
     if (max_degree) {
+        const auto degrees = net.estimatedDegrees();
         for (SwitchId s = 0; s < net.numSwitches(); ++s)
-            overloaded[s] = net.estimatedDegree(s) > max_degree;
+            overloaded[s] = degrees[s] > max_degree;
     }
 
     // Marginal link cost of sending c across hop (u, v) — and, when
-    // paired, the reverse communication across (v, u).
+    // paired, the reverse communication across (v, u). With-victim
+    // Fast_Color values memoize in the baseline entry, so repeated
+    // relaxations of the same pipe cost one popcount scan total.
     auto hopCost = [&](SwitchId u, SwitchId v) -> std::uint32_t {
-        const auto it = base.find(PipeKey(u, v));
-        if (it == base.end())
+        const PipeBaseline *pb = base.find(PipeKey(u, v));
+        if (!pb)
             return static_cast<std::uint32_t>(-1); // pipe absent
-        const PipeBaseline &pb = it->second;
         const bool forward = u < v;
-        auto with = forward ? pb.fwd : pb.bwd;
-        with.insert(c);
-        std::uint32_t fcWith = net.fastColorSet(with);
-        std::uint32_t fcOther = forward ? pb.fcBwd : pb.fcFwd;
+        std::int64_t &withC = forward ? pb->withCFwd : pb->withCBwd;
+        if (withC < 0)
+            withC = net.fastColorSetPlus(forward ? pb->fwd : pb->bwd, c);
+        const auto fcWith = static_cast<std::uint32_t>(withC);
+        std::uint32_t fcOther = forward ? pb->fcBwd : pb->fcFwd;
         if (rev != CliqueSet::kNoComm) {
-            auto other = forward ? pb.bwd : pb.fwd;
-            other.insert(rev);
-            fcOther = net.fastColorSet(other);
+            std::int64_t &withR = forward ? pb->withRevBwd : pb->withRevFwd;
+            if (withR < 0) {
+                withR = net.fastColorSetPlus(
+                    forward ? pb->bwd : pb->fwd, rev);
+            }
+            fcOther = static_cast<std::uint32_t>(withR);
         }
         if (uni_cost)
-            return fcWith + fcOther - pb.channels();
-        return std::max(fcWith, fcOther) - pb.width();
+            return fcWith + fcOther - pb->channels();
+        return std::max(fcWith, fcOther) - pb->width();
     };
 
     // Weighted hop price: links dominate, overloaded endpoints repel,
@@ -285,6 +369,13 @@ consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
         currentCost += hopPrice(oldRoute[i], oldRoute[i + 1]);
 
     // Dijkstra over existing pipes from src's switch to dst's switch.
+    // Neighbor lists come from the sorted key table, so relaxation
+    // order matches the old whole-map scan.
+    std::vector<std::vector<SwitchId>> adjacent(net.numSwitches());
+    for (const auto &key : base.keys) {
+        adjacent[key.a].push_back(key.b);
+        adjacent[key.b].push_back(key.a);
+    }
     std::map<SwitchId, std::uint64_t> dist;
     std::map<SwitchId, SwitchId> parent;
     std::set<std::pair<std::uint64_t, SwitchId>> frontier;
@@ -297,14 +388,7 @@ consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
             break;
         if (d > dist[v])
             continue;
-        for (const auto &[key, pb] : base) {
-            SwitchId w = kNoSwitch;
-            if (key.a == v)
-                w = key.b;
-            else if (key.b == v)
-                w = key.a;
-            else
-                continue;
+        for (const SwitchId w : adjacent[v]) {
             const std::uint64_t nd = d + hopPrice(v, w);
             const auto it = dist.find(w);
             if (it == dist.end() || nd < it->second) {
@@ -359,7 +443,8 @@ namespace {
  * if the global (violation, links) measure improves.
  */
 bool
-repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
+repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
+          ThreadPool *pool)
 {
     const std::vector<SwitchId> oldRoute = net.route(c);
     if (oldRoute.size() < 2)
@@ -367,10 +452,17 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
     const SwitchId src = oldRoute.front();
     const SwitchId dst = oldRoute.back();
 
+    // One bulk degree pass feeds both the overload map and the spare
+    // budget (for pricing new pipes).
+    const auto degrees = net.estimatedDegrees();
     std::vector<bool> overloaded(net.numSwitches(), false);
+    std::vector<std::int64_t> spare(net.numSwitches(), 0);
     bool touches = false;
-    for (SwitchId s = 0; s < net.numSwitches(); ++s)
-        overloaded[s] = net.estimatedDegree(s) > max_degree;
+    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
+        overloaded[s] = degrees[s] > max_degree;
+        spare[s] = static_cast<std::int64_t>(max_degree) -
+                   static_cast<std::int64_t>(degrees[s]);
+    }
     for (const SwitchId s : oldRoute)
         touches |= overloaded[s];
     if (!touches)
@@ -388,32 +480,10 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
             rev = CliqueSet::kNoComm;
     }
 
-    // Spare degree per switch (for pricing new pipes).
-    std::vector<std::int64_t> spare(net.numSwitches(), 0);
-    for (SwitchId s = 0; s < net.numSwitches(); ++s) {
-        spare[s] = static_cast<std::int64_t>(max_degree) -
-                   static_cast<std::int64_t>(net.estimatedDegree(s));
-    }
-
     // Baseline pipe state with the victim pair removed, so candidate
     // hops can be priced by their marginal width contribution (riding
     // an existing link conflict-free is much cheaper than widening).
-    std::map<PipeKey, PipeBaseline> base;
-    for (const auto &key : net.pipes()) {
-        const Pipe &p = net.pipe(key);
-        PipeBaseline pb;
-        pb.fwd = p.fwd;
-        pb.bwd = p.bwd;
-        pb.fwd.erase(c);
-        pb.bwd.erase(c);
-        if (rev != CliqueSet::kNoComm) {
-            pb.fwd.erase(rev);
-            pb.bwd.erase(rev);
-        }
-        pb.fcFwd = net.fastColorSet(pb.fwd);
-        pb.fcBwd = net.fastColorSet(pb.bwd);
-        base.emplace(key, std::move(pb));
-    }
+    const BaselineTable base = buildBaseline(net, c, rev, pool);
 
     // Dijkstra proposal: width widening is expensive, overloaded
     // interiors are avoided hard, a new pipe is allowed when both ends
@@ -424,26 +494,32 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
     constexpr std::uint64_t kHop = 1;
     auto price = [&](SwitchId u, SwitchId v) -> std::uint64_t {
         std::uint64_t p = kHop;
-        const auto it = base.find(PipeKey(u, v));
-        if (it == base.end()) {
+        const PipeBaseline *pb = base.find(PipeKey(u, v));
+        if (!pb) {
             // New pipe: one fresh link, both endpoints must afford it.
             if (spare[u] < 1 || spare[v] < 1)
                 return static_cast<std::uint64_t>(-1) / 8;
             p += kLink + kNewPipe;
         } else {
-            const PipeBaseline &pb = it->second;
             const bool forward = u < v;
-            auto with = forward ? pb.fwd : pb.bwd;
-            with.insert(c);
-            std::uint32_t fcWith = net.fastColorSet(with);
-            std::uint32_t fcOther = forward ? pb.fcBwd : pb.fcFwd;
+            std::int64_t &withC = forward ? pb->withCFwd : pb->withCBwd;
+            if (withC < 0) {
+                withC = net.fastColorSetPlus(
+                    forward ? pb->fwd : pb->bwd, c);
+            }
+            const auto fcWith = static_cast<std::uint32_t>(withC);
+            std::uint32_t fcOther = forward ? pb->fcBwd : pb->fcFwd;
             if (rev != CliqueSet::kNoComm) {
-                auto other = forward ? pb.bwd : pb.fwd;
-                other.insert(rev);
-                fcOther = net.fastColorSet(other);
+                std::int64_t &withR =
+                    forward ? pb->withRevBwd : pb->withRevFwd;
+                if (withR < 0) {
+                    withR = net.fastColorSetPlus(
+                        forward ? pb->bwd : pb->fwd, rev);
+                }
+                fcOther = static_cast<std::uint32_t>(withR);
             }
             const std::uint32_t widen =
-                std::max(fcWith, fcOther) - pb.width();
+                std::max(fcWith, fcOther) - pb->width();
             p += static_cast<std::uint64_t>(widen) * kLink;
             // Widening a pipe consumes endpoint degree too.
             if (widen && (spare[u] < 1 || spare[v] < 1) &&
@@ -524,7 +600,7 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree)
 
 RouteOptStats
 repairDegrees(DesignNetwork &net, std::uint32_t max_degree,
-              std::uint32_t max_passes, Rng *rng)
+              std::uint32_t max_passes, Rng *rng, ThreadPool *pool)
 {
     RouteOptStats stats;
     const auto numComms =
@@ -540,7 +616,7 @@ repairDegrees(DesignNetwork &net, std::uint32_t max_degree,
         bool changed = false;
         for (const CommId c : order) {
             ++stats.triedMoves;
-            if (repairOne(net, c, max_degree)) {
+            if (repairOne(net, c, max_degree, pool)) {
                 ++stats.committedMoves;
                 changed = true;
             }
@@ -553,7 +629,8 @@ repairDegrees(DesignNetwork &net, std::uint32_t max_degree,
 
 RouteOptStats
 consolidateRoutes(DesignNetwork &net, std::uint32_t max_passes,
-                  std::uint32_t max_degree, Rng *rng, bool uni_cost)
+                  std::uint32_t max_degree, Rng *rng, bool uni_cost,
+                  ThreadPool *pool)
 {
     RouteOptStats stats;
     const auto numComms =
@@ -568,7 +645,7 @@ consolidateRoutes(DesignNetwork &net, std::uint32_t max_passes,
         bool changed = false;
         for (const CommId c : order) {
             ++stats.triedMoves;
-            if (consolidateOne(net, c, max_degree, uni_cost)) {
+            if (consolidateOne(net, c, max_degree, uni_cost, pool)) {
                 ++stats.committedMoves;
                 changed = true;
             }

@@ -90,6 +90,22 @@ class Rng
         return uniform() < p;
     }
 
+    /**
+     * Derive an independent child generator for parallel branch
+     * @p stream without advancing this generator. Children of equal
+     * (parent state, stream) pairs are identical, children of different
+     * streams are decorrelated, so concurrent workers can each take a
+     * deterministic stream regardless of execution order.
+     */
+    Rng
+    split(std::uint64_t stream) const
+    {
+        std::uint64_t x = _state[0] ^ rotl(_state[1], 13) ^
+                          rotl(_state[2], 27) ^ rotl(_state[3], 41);
+        x += 0x9e3779b97f4a7c15ULL * (stream + 1);
+        return Rng(splitmix64(x));
+    }
+
     /** Fisher-Yates shuffle of a random-access container. */
     template <typename Container>
     void

@@ -155,3 +155,45 @@ TEST(Rng, ShuffleEmptyAndSingle)
     rng.shuffle(one);
     EXPECT_EQ(one, std::vector<int>{7});
 }
+
+TEST(Rng, SplitIsDeterministicPerStream)
+{
+    Rng a(42);
+    Rng b(42);
+    Rng childA = a.split(3);
+    Rng childB = b.split(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+}
+
+TEST(Rng, SplitStreamsDecorrelate)
+{
+    Rng parent(42);
+    Rng s0 = parent.split(0);
+    Rng s1 = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (s0.next() == s1.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent)
+{
+    Rng a(7);
+    Rng b(7);
+    (void)a.split(0);
+    (void)a.split(1);
+    (void)a.split(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitChildDiffersFromParentStream)
+{
+    Rng parent(17);
+    Rng child = parent.split(0);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 3);
+}

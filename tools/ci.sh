@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
-# CI entry point: sanitized build + full test suite.
+# CI entry point: sanitized builds + full test suite + bench smoke.
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Configures a dedicated build tree with MINNOC_SANITIZE=ON
-# (ASan + UBSan), builds everything, and runs ctest. Any sanitizer
-# report fails the run (halt_on_error / abort on UB).
+# Three phases:
+#  1. ASan + UBSan build tree running the full ctest suite.
+#  2. TSan build tree running the concurrency-sensitive tests (thread
+#     pool, parallel-restart determinism, Fast_Color cache under the
+#     pool) — ASan and TSan cannot share a binary, hence the second
+#     tree.
+#  3. Release build tree running the partitioner_perf benchmark on one
+#     small pattern as a smoke test; its JSON lands in the build dir.
+#
+# Any sanitizer report fails the run (halt_on_error / abort on UB).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-asan}"
+build_tsan="${build%-asan}-tsan"
+build_bench="${build%-asan}-bench"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+echo "=== phase 1: ASan + UBSan ==="
 cmake -S "$repo" -B "$build" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMINNOC_SANITIZE=ON
@@ -21,3 +31,22 @@ cmake --build "$build" -j "$jobs"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "=== phase 2: TSan (threaded subsystems) ==="
+cmake -S "$repo" -B "$build_tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMINNOC_SANITIZE_THREAD=ON
+cmake --build "$build_tsan" -j "$jobs" \
+    --target test_thread_pool test_threads_determinism \
+    test_fastcolor_diff
+export TSAN_OPTIONS="halt_on_error=1"
+"$build_tsan/tests/test_thread_pool"
+"$build_tsan/tests/test_threads_determinism"
+"$build_tsan/tests/test_fastcolor_diff"
+
+echo "=== phase 3: Release bench smoke ==="
+cmake -S "$repo" -B "$build_bench" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_bench" -j "$jobs" --target partitioner_perf
+"$build_bench/bench/partitioner_perf" \
+    --bench CG --ranks 8 --iterations 1 \
+    --out "$build_bench/partitioner_perf.json"

@@ -199,6 +199,7 @@ cmdDesign(const Args &args)
         args.getU32("max-degree", 5);
     mcfg.restarts = args.getU32("restarts", 16);
     mcfg.partitioner.seed = args.getU32("seed", 1);
+    mcfg.threads = args.getU32("threads", 0);
 
     const auto outcome =
         core::runMethodology(trace::analyzeByCall(tr), mcfg);
@@ -369,6 +370,7 @@ cmdCompare(const Args &args)
     core::MethodologyConfig mcfg;
     mcfg.partitioner.constraints.maxDegree =
         args.getU32("max-degree", 5);
+    mcfg.threads = args.getU32("threads", 0);
     const auto outcome =
         core::runMethodology(trace::analyzeByCall(tr), mcfg);
     const auto plan = topo::planFloor(outcome.design);
@@ -391,6 +393,8 @@ usage()
         "           [--seed S] [--out FILE]\n"
         "  analyze  TRACE [--verbose 1]\n"
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
+        "           [--threads N]  (0 = hardware concurrency; any N\n"
+        "           yields the same design)\n"
         "  show     DESIGN\n"
         "  simulate TRACE --network mesh|torus|crossbar|DESIGN\n"
         "           [--fail-links N] [--fail-link-ids 3,17]\n"
@@ -405,13 +409,13 @@ usage()
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"gen", {"bench", "ranks", "iterations", "seed", "out"}},
     {"analyze", {"verbose"}},
-    {"design", {"max-degree", "restarts", "seed", "out"}},
+    {"design", {"max-degree", "restarts", "seed", "out", "threads"}},
     {"show", {}},
     {"simulate",
      {"network", "fail-links", "fail-link-ids", "fail-at",
       "flit-error-rate", "fault-seed", "max-retransmits",
       "max-recoveries"}},
-    {"compare", {"max-degree"}},
+    {"compare", {"max-degree", "threads"}},
     {"dot", {"out"}},
 };
 
