@@ -11,6 +11,27 @@
 namespace minnoc::core {
 
 std::string
+MethodologyConfig::signature() const
+{
+    const auto &p = partitioner;
+    std::ostringstream oss;
+    oss << "deg=" << p.constraints.maxDegree
+        << ";pps=" << p.constraints.maxProcsPerSwitch
+        << ";seed=" << p.seed << ";imb=" << p.maxImbalance
+        << ";splits=" << p.maxSplits << ";mps=" << p.maxMovesPerSplit
+        << ";anneal=" << p.anneal << ";t0=" << p.annealT0
+        << ";alpha=" << p.annealAlpha << ";mpl=" << p.annealMovesPerLevel
+        << ";opt=" << p.optimizeRoutes << ";cons=" << p.consolidate
+        << ";cp=" << p.consolidatePasses
+        << ";ucost=" << p.unidirectionalCost
+        << ";budget=" << finalize.exactNodeBudget
+        << ";uni=" << finalize.unidirectional << ";rounds=" << maxRounds
+        << ";reduce=" << reduceCliques << ";restarts=" << restarts
+        << ";merge=" << mergeSwitches;
+    return oss.str();
+}
+
+std::string
 DesignOutcome::summary() const
 {
     std::ostringstream oss;
@@ -273,7 +294,8 @@ betterThan(const DesignOutcome &a, const DesignOutcome &b,
 } // namespace
 
 DesignOutcome
-runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
+runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
+               ThreadPool *pool)
 {
     // Work on a private copy so the (optional) maximum-clique reduction
     // does not mutate the caller's set.
@@ -285,14 +307,8 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
     cliques.prepareCaches();
 
     const std::uint32_t attempts = std::max(1u, config.restarts);
-    std::uint32_t threads =
-        config.threads ? config.threads
-                       : std::thread::hardware_concurrency();
-    threads = std::min(std::max(threads, 1u), attempts);
-
-    std::optional<ThreadPool> pool;
-    if (threads > 1)
-        pool.emplace(threads);
+    const std::uint32_t threads =
+        pool ? std::min(pool->size(), attempts) : 1u;
 
     DesignOutcome best;
     std::optional<DesignNetwork> bestNet;
@@ -347,13 +363,27 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config)
         if (config.finalize.unidirectional)
             pcfg.unidirectionalCost = true;
         Rng rng(config.partitioner.seed ^ 0x5bd1e995);
-        mergeSwitches(*bestNet, best, config, pcfg, rng,
-                      pool ? &*pool : nullptr);
+        mergeSwitches(*bestNet, best, config, pcfg, rng, pool);
     }
 
     // Theorem-1 verification of the final design.
     best.violations = checkContentionFree(best.design, cliques);
     return best;
+}
+
+DesignOutcome
+runMethodology(const CliqueSet &cliques, const MethodologyConfig &config)
+{
+    const std::uint32_t attempts = std::max(1u, config.restarts);
+    std::uint32_t threads =
+        config.threads ? config.threads
+                       : std::thread::hardware_concurrency();
+    threads = std::min(std::max(threads, 1u), attempts);
+
+    std::optional<ThreadPool> pool;
+    if (threads > 1)
+        pool.emplace(threads);
+    return runMethodology(cliques, config, pool ? &*pool : nullptr);
 }
 
 } // namespace minnoc::core

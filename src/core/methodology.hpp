@@ -20,6 +20,10 @@
 #include "partitioner.hpp"
 #include "verify.hpp"
 
+namespace minnoc {
+class ThreadPool;
+}
+
 namespace minnoc::core {
 
 /** Configuration of a full methodology run. */
@@ -67,6 +71,16 @@ struct MethodologyConfig
      * single-threaded code path.
      */
     std::uint32_t threads = 0;
+
+    /**
+     * Canonical parameter string covering every knob that changes the
+     * produced design. Content-addressed caches (the DSE result store)
+     * hash it, so two configs with equal signatures are guaranteed to
+     * yield byte-identical designs for the same pattern. `threads` is
+     * deliberately excluded: the wave selection makes it
+     * result-invariant.
+     */
+    std::string signature() const;
 };
 
 /** Everything a methodology run produces. */
@@ -96,6 +110,19 @@ struct DesignOutcome
  */
 DesignOutcome runMethodology(const CliqueSet &cliques,
                              const MethodologyConfig &config = {});
+
+/**
+ * Re-entrant variant for callers that already run inside a worker pool
+ * (e.g. the DSE explorer evaluating many configurations at once).
+ * Restarts are scheduled on @p pool when one is given; with
+ * pool == nullptr the run is strictly sequential and inline —
+ * no threads are spawned regardless of `config.threads` or the
+ * hardware concurrency, so nested parallelism never oversubscribes.
+ * The produced design is identical either way.
+ */
+DesignOutcome runMethodology(const CliqueSet &cliques,
+                             const MethodologyConfig &config,
+                             ThreadPool *pool);
 
 } // namespace minnoc::core
 

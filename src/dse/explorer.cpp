@@ -1,0 +1,265 @@
+#include "explorer.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "core/methodology.hpp"
+#include "pareto.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "trace/analyzer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace minnoc::dse {
+
+namespace {
+
+/** The methodology configuration a job's parameter tuple selects. */
+core::MethodologyConfig
+methodologyConfigFor(const JobParams &params)
+{
+    core::MethodologyConfig mcfg;
+    mcfg.partitioner.constraints.maxDegree = params.maxDegree;
+    mcfg.partitioner.seed = params.seed;
+    mcfg.restarts = params.restarts;
+    mcfg.finalize.unidirectional = params.unidirectional;
+    // Jobs parallelize across the grid, not within a run; the
+    // re-entrant runMethodology overload below ignores this anyway.
+    mcfg.threads = 1;
+    return mcfg;
+}
+
+/** The simulator configuration a job's parameter tuple selects. */
+sim::SimConfig
+simConfigFor(const JobParams &params, const ExploreConfig &config)
+{
+    sim::SimConfig scfg = config.sim;
+    scfg.numVcs = params.numVcs;
+    scfg.vcDepth = params.vcDepth;
+    return scfg;
+}
+
+/** %.17g — enough digits for exact double round-tripping. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<JobParams>
+ExploreGrid::expand() const
+{
+    std::vector<JobParams> jobs;
+    for (const auto degree : maxDegrees) {
+        for (const auto r : restarts) {
+            for (const auto seed : seeds) {
+                for (const auto uni : unidirectional) {
+                    for (const auto vc : vcs) {
+                        JobParams p;
+                        p.maxDegree = degree;
+                        p.restarts = r;
+                        p.seed = seed;
+                        p.unidirectional = uni != 0;
+                        p.numVcs = vc;
+                        p.vcDepth = vcDepth;
+                        jobs.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+std::string
+jobSignature(const JobParams &params, const ExploreConfig &config)
+{
+    return methodologyConfigFor(params).signature() + "|" +
+           config.floorplan.signature() + "|" +
+           config.power.signature() + "|" +
+           simConfigFor(params, config).signature();
+}
+
+JobMetrics
+evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
+            const JobParams &params, const ExploreConfig &config)
+{
+    const auto mcfg = methodologyConfigFor(params);
+    // Re-entrant, strictly sequential run: the explorer's own pool
+    // provides the parallelism, one job per worker.
+    const auto outcome = core::runMethodology(cliques, mcfg, nullptr);
+
+    const auto plan = topo::planFloor(outcome.design, config.floorplan);
+    const auto net = topo::buildFromDesign(outcome.design, plan);
+
+    const auto scfg = simConfigFor(params, config);
+    const auto res = sim::runTrace(trace, *net.topo, *net.routing, scfg);
+    const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
+                                            res.execTime, config.power);
+
+    JobMetrics m;
+    m.switches = outcome.design.numSwitches;
+    m.links = outcome.design.totalLinks();
+    m.channels = outcome.design.totalChannels();
+    m.constraintsMet = outcome.constraintsMet;
+    m.violations =
+        static_cast<std::uint32_t>(outcome.violations.size());
+    m.rounds = outcome.rounds;
+    m.switchArea = plan.switchArea;
+    m.linkArea = plan.linkArea;
+    m.procLinkArea = plan.procLinkArea;
+    m.execTime = res.execTime;
+    m.avgLatency = res.avgPacketLatency;
+    m.avgHops = res.avgPacketHops;
+    m.maxLinkUtil = res.maxLinkUtilization;
+    m.energy = energy.total();
+    return m;
+}
+
+ExploreReport
+explore(const trace::Trace &trace, const ExploreConfig &config)
+{
+    // The pattern bytes are the first cache-key ingredient: the exact
+    // serialized trace, so any change to the workload re-keys its jobs.
+    std::ostringstream patternStream;
+    trace.save(patternStream);
+    const std::string patternBytes = patternStream.str();
+
+    // Analyze once; every job shares the clique set read-only (its
+    // lazy caches are materialized before the workers race).
+    auto cliques = trace::analyzeByCall(trace);
+    cliques.prepareCaches();
+
+    const auto jobs = config.grid.expand();
+    const ResultCache cache(config.cacheDir, config.useCache);
+
+    ExploreReport report;
+    report.pattern = trace.name();
+    report.ranks = trace.numRanks();
+    report.points.resize(jobs.size());
+
+    const auto evalOne = [&](std::size_t i) {
+        const auto &params = jobs[i];
+        const auto sig = jobSignature(params, config);
+        const auto key = jobKey(patternBytes, sig);
+        DsePoint pt;
+        pt.params = params;
+        if (auto hit = cache.load(key, sig)) {
+            pt.metrics = *hit;
+            pt.fromCache = true;
+        } else {
+            pt.metrics = evaluateJob(trace, cliques, params, config);
+            cache.store(key, sig, pt.metrics);
+        }
+        report.points[i] = std::move(pt);
+    };
+
+    std::uint32_t threads =
+        config.threads ? config.threads
+                       : std::thread::hardware_concurrency();
+    threads = std::min<std::uint32_t>(
+        std::max(threads, 1u),
+        static_cast<std::uint32_t>(std::max<std::size_t>(jobs.size(), 1)));
+    if (threads > 1) {
+        ThreadPool pool(threads);
+        pool.parallelFor(jobs.size(), evalOne);
+    } else {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            evalOne(i);
+    }
+
+    for (const auto &pt : report.points)
+        (pt.fromCache ? report.cacheHits : report.cacheMisses)++;
+
+    // Pareto reduction over (area, latency, energy).
+    std::vector<Objectives> objectives;
+    objectives.reserve(report.points.size());
+    for (const auto &pt : report.points)
+        objectives.push_back(objectivesOf(pt.metrics));
+    const auto dominated = dominatedFlags(objectives);
+    for (std::size_t i = 0; i < report.points.size(); ++i)
+        report.points[i].dominated = dominated[i];
+    report.frontier = frontierIndices(dominated);
+    return report;
+}
+
+std::string
+ExploreReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"report\": \"minnoc-dse-explore\",\n"
+        << "  \"schema\": \"" << kCacheSalt << "\",\n"
+        << "  \"pattern\": \"" << pattern << "\",\n"
+        << "  \"ranks\": " << ranks << ",\n"
+        << "  \"objectives\": [\"area\", \"avg_latency\", \"energy\"],\n"
+        << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &pt = points[i];
+        const auto &p = pt.params;
+        const auto &m = pt.metrics;
+        oss << "    {\"index\": " << i << ", \"max_degree\": "
+            << p.maxDegree << ", \"restarts\": " << p.restarts
+            << ", \"seed\": " << p.seed << ", \"unidirectional\": "
+            << (p.unidirectional ? 1 : 0) << ", \"vcs\": " << p.numVcs
+            << ", \"vc_depth\": " << p.vcDepth
+            << ", \"switches\": " << m.switches << ", \"links\": "
+            << m.links << ", \"channels\": " << m.channels
+            << ", \"constraints_met\": " << (m.constraintsMet ? 1 : 0)
+            << ", \"violations\": " << m.violations
+            << ", \"switch_area\": " << m.switchArea
+            << ", \"link_area\": " << m.linkArea
+            << ", \"proc_link_area\": " << m.procLinkArea
+            << ", \"area\": " << m.totalArea() << ", \"exec_time\": "
+            << m.execTime << ", \"avg_latency\": "
+            << fmtDouble(m.avgLatency) << ", \"avg_hops\": "
+            << fmtDouble(m.avgHops) << ", \"max_link_util\": "
+            << fmtDouble(m.maxLinkUtil) << ", \"energy\": "
+            << fmtDouble(m.energy) << ", \"dominated\": "
+            << (pt.dominated ? "true" : "false") << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n  \"frontier\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i)
+        oss << (i ? ", " : "") << frontier[i];
+    oss << "]\n}\n";
+    return oss.str();
+}
+
+std::string
+ExploreReport::summaryTable() const
+{
+    std::ostringstream oss;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%-3s %3s %4s %4s %3s %3s | %3s %5s %5s | %9s %9s | "
+                  "%10s | %s\n",
+                  "idx", "deg", "rst", "seed", "uni", "vcs", "sw",
+                  "links", "area", "latency", "exec", "energy", "");
+    oss << line;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &pt = points[i];
+        const auto &p = pt.params;
+        const auto &m = pt.metrics;
+        std::snprintf(
+            line, sizeof line,
+            "%-3zu %3u %4u %4llu %3u %3u | %3u %5u %5u | %9.2f %9lld | "
+            "%10.0f | %s%s\n",
+            i, p.maxDegree, p.restarts,
+            static_cast<unsigned long long>(p.seed),
+            p.unidirectional ? 1 : 0, p.numVcs, m.switches, m.links,
+            m.totalArea(), m.avgLatency,
+            static_cast<long long>(m.execTime), m.energy,
+            pt.dominated ? "" : "* frontier",
+            pt.fromCache ? " (cached)" : "");
+        oss << line;
+    }
+    return oss.str();
+}
+
+} // namespace minnoc::dse

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Design-space exploration engine.
+ *
+ * The paper evaluates one generated network per pattern; the real value
+ * of the methodology is the sweep. The explorer takes a communication
+ * pattern plus a parameter grid (switch degree, restarts, seeds, link
+ * directionality, VC configuration), fans the full
+ * design -> floorplan -> simulate -> power pipeline out onto a worker
+ * pool — one strictly sequential, re-entrant methodology run per job —
+ * and reduces the evaluated points to a Pareto frontier over
+ * (area, latency, energy). Jobs are content-hashed and memoized in the
+ * on-disk ResultCache, so a warm rerun recomputes nothing, and every
+ * artifact (report JSON included) is byte-identical at any thread
+ * count: job order is the grid expansion order, never completion order.
+ */
+
+#ifndef MINNOC_DSE_EXPLORER_HPP
+#define MINNOC_DSE_EXPLORER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache.hpp"
+#include "core/clique_set.hpp"
+#include "job.hpp"
+#include "sim/config.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+#include "trace/trace.hpp"
+
+namespace minnoc::dse {
+
+/**
+ * The swept parameter grid; expand() emits the cross product in a
+ * fixed nested order (degree, restarts, seed, directionality, VCs),
+ * which is also the point order of every report.
+ */
+struct ExploreGrid
+{
+    std::vector<std::uint32_t> maxDegrees = {4, 5, 6};
+    std::vector<std::uint32_t> restarts = {8};
+    std::vector<std::uint64_t> seeds = {1};
+    /** 0 = duplex links, 1 = unidirectional channels. */
+    std::vector<std::uint32_t> unidirectional = {0, 1};
+    std::vector<std::uint32_t> vcs = {2, 3};
+    std::uint32_t vcDepth = 4;
+
+    std::vector<JobParams> expand() const;
+};
+
+/** Everything one exploration run needs besides the pattern. */
+struct ExploreConfig
+{
+    ExploreGrid grid;
+
+    /** Worker threads (0 = hardware concurrency). */
+    std::uint32_t threads = 0;
+
+    /** Result-cache directory; empty selects defaultCacheDir(). */
+    std::string cacheDir;
+    /** Disable the cache entirely (cold evaluation, no stores). */
+    bool useCache = true;
+
+    /** Fixed per-run stage configurations (hashed into job keys). */
+    topo::FloorplanConfig floorplan;
+    topo::PowerModel power;
+    /** Base simulator config; the grid overrides numVcs / vcDepth. */
+    sim::SimConfig sim;
+};
+
+/** The reduced output of one exploration run. */
+struct ExploreReport
+{
+    std::string pattern; ///< trace name
+    std::uint32_t ranks = 0;
+    /** Every evaluated point, in grid order, dominated flags set. */
+    std::vector<DsePoint> points;
+    /** Indices of the non-dominated points, ascending. */
+    std::vector<std::size_t> frontier;
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+
+    /**
+     * Machine-readable JSON: all points (parameters, metrics,
+     * dominated flag) plus the frontier index list. Cache statistics
+     * are deliberately excluded so cold and warm runs emit identical
+     * bytes.
+     */
+    std::string toJson() const;
+
+    /** Human summary table, frontier points starred. */
+    std::string summaryTable() const;
+};
+
+/**
+ * The canonical parameter signature of one job: the concatenated
+ * stage signatures (methodology | floorplan | power | simulator).
+ * This string — not the raw tuple — is hashed into the cache key, so
+ * every knob of every stage participates in invalidation.
+ */
+std::string jobSignature(const JobParams &params,
+                         const ExploreConfig &config);
+
+/**
+ * Evaluate one job from scratch: methodology (sequential, re-entrant),
+ * floorplan, trace-driven simulation, energy accounting.
+ */
+JobMetrics evaluateJob(const trace::Trace &trace,
+                       const core::CliqueSet &cliques,
+                       const JobParams &params,
+                       const ExploreConfig &config);
+
+/**
+ * Explore @p trace over the grid: analyze the pattern once, evaluate
+ * every job (cache-first) on a thread pool, extract the frontier.
+ */
+ExploreReport explore(const trace::Trace &trace,
+                      const ExploreConfig &config);
+
+} // namespace minnoc::dse
+
+#endif // MINNOC_DSE_EXPLORER_HPP

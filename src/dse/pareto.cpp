@@ -1,0 +1,49 @@
+#include "pareto.hpp"
+
+namespace minnoc::dse {
+
+Objectives
+objectivesOf(const JobMetrics &metrics)
+{
+    Objectives o;
+    o.area = static_cast<double>(metrics.totalArea());
+    o.latency = metrics.avgLatency;
+    o.energy = metrics.energy;
+    return o;
+}
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    if (a.area > b.area || a.latency > b.latency || a.energy > b.energy)
+        return false;
+    return a.area < b.area || a.latency < b.latency ||
+           a.energy < b.energy;
+}
+
+std::vector<bool>
+dominatedFlags(const std::vector<Objectives> &points)
+{
+    std::vector<bool> dominated(points.size(), false);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = 0; j < points.size() && !dominated[i];
+             ++j) {
+            if (i != j && dominates(points[j], points[i]))
+                dominated[i] = true;
+        }
+    }
+    return dominated;
+}
+
+std::vector<std::size_t>
+frontierIndices(const std::vector<bool> &dominated)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < dominated.size(); ++i) {
+        if (!dominated[i])
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace minnoc::dse

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pareto frontier extraction over the exploration objectives.
+ *
+ * The methodology trades resources for performance (paper Figures 7-8);
+ * the explorer exposes that trade-off as a three-objective minimization
+ * over (silicon area, average packet latency, energy), in the spirit of
+ * Kao & Fink's Pareto-optimization framing of NoC synthesis. All
+ * objectives are minimized; a point is dominated when some other point
+ * is no worse on every axis and strictly better on at least one.
+ */
+
+#ifndef MINNOC_DSE_PARETO_HPP
+#define MINNOC_DSE_PARETO_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "job.hpp"
+
+namespace minnoc::dse {
+
+/** One point in objective space (all axes minimized). */
+struct Objectives
+{
+    double area = 0.0;
+    double latency = 0.0;
+    double energy = 0.0;
+};
+
+/** The objective vector of one evaluated job. */
+Objectives objectivesOf(const JobMetrics &metrics);
+
+/** True iff @p a dominates @p b: a <= b on every axis, < on one. */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * Flag every dominated point (O(n^2), fine for grids of thousands).
+ * Ties — identical objective vectors — dominate nothing and are all
+ * kept on the frontier.
+ */
+std::vector<bool> dominatedFlags(const std::vector<Objectives> &points);
+
+/** Indices of the non-dominated points, ascending. */
+std::vector<std::size_t>
+frontierIndices(const std::vector<bool> &dominated);
+
+} // namespace minnoc::dse
+
+#endif // MINNOC_DSE_PARETO_HPP

@@ -14,6 +14,8 @@
 #define MINNOC_SIM_CONFIG_HPP
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 
 namespace minnoc::sim {
 
@@ -59,6 +61,23 @@ struct SimConfig
 
     /** Hard wall on simulated time (guards against livelock bugs). */
     Cycle maxCycles = 2'000'000'000;
+
+    /**
+     * Canonical parameter string for content-addressed caching: equal
+     * signatures guarantee identical simulation results for the same
+     * trace and network.
+     */
+    std::string
+    signature() const
+    {
+        std::ostringstream oss;
+        oss << "vcs=" << numVcs << ";vcd=" << vcDepth
+            << ";flit=" << flitBytes << ";so=" << sendOverhead
+            << ";ro=" << recvOverhead << ";dto=" << deadlockTimeout
+            << ";dp=" << deadlockPenalty << ";dsi=" << deadlockScanInterval
+            << ";rec=" << maxRecoveries << ";max=" << maxCycles;
+        return oss.str();
+    }
 };
 
 } // namespace minnoc::sim

@@ -8,6 +8,16 @@
 
 namespace minnoc::topo {
 
+std::string
+FloorplanConfig::signature() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "fpseed=" << seed << ";sweeps=" << sweeps << ";t0=" << t0
+        << ";alpha=" << alpha;
+    return oss.str();
+}
+
 std::uint32_t
 Floorplan::switchDistance(core::SwitchId a, core::SwitchId b) const
 {

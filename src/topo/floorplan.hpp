@@ -56,6 +56,12 @@ struct FloorplanConfig
     std::uint32_t sweeps = 64;
     double t0 = 4.0;
     double alpha = 0.92;
+
+    /**
+     * Canonical parameter string for content-addressed caching: equal
+     * signatures guarantee identical placements for the same design.
+     */
+    std::string signature() const;
 };
 
 /**
@@ -77,6 +83,13 @@ struct Floorplan
     std::uint32_t linkArea = 0;
     /** Total processor-to-switch link area (0 when corner-adjacent). */
     std::uint32_t procLinkArea = 0;
+
+    /** Combined silicon cost: switch + link + proc-link area. */
+    std::uint32_t
+    totalArea() const
+    {
+        return switchArea + linkArea + procLinkArea;
+    }
 
     /** Link length (for wire delay) between two switches: max(1, dist). */
     std::uint32_t switchDistance(core::SwitchId a, core::SwitchId b) const;

@@ -7,6 +7,18 @@
 namespace minnoc::topo {
 
 std::string
+PowerModel::signature() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "esw=" << switchEnergyPerFlit
+        << ";ewire=" << wireEnergyPerFlitTile
+        << ";lsw=" << switchLeakagePerCycle
+        << ";lwire=" << wireLeakagePerTileCycle;
+    return oss.str();
+}
+
+std::string
 EnergyReport::toString() const
 {
     std::ostringstream oss;

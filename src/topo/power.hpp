@@ -42,6 +42,12 @@ struct PowerModel
 
     /** Leakage power per tile of wire per cycle. */
     double wireLeakagePerTileCycle = 0.0002;
+
+    /**
+     * Canonical coefficient string for content-addressed caching:
+     * energy numbers computed under equal signatures are comparable.
+     */
+    std::string signature() const;
 };
 
 /** Energy breakdown of one simulated run. */

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Shared command-line flag parsing for the minnoc tools and benches.
+ *
+ * One `--key value` / `--key=value` parser with a per-command allowlist
+ * (unknown flags fail fast with the valid set) plus hardened numeric
+ * conversion: garbage, signs, empty strings and out-of-range values all
+ * produce a one-line fatal() instead of std::stoi exceptions or silent
+ * wraparound. Extracted from tools/minnoc.cpp so every subcommand and
+ * bench front-end shares the same behavior.
+ */
+
+#ifndef MINNOC_UTIL_CLI_HPP
+#define MINNOC_UTIL_CLI_HPP
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "log.hpp"
+
+namespace minnoc::cli {
+
+/**
+ * Parse @p text as an unsigned integer in [0, @p max]. @p what names
+ * the flag in the one-line error message. Rejects empty strings,
+ * leading signs (no silent negative wraparound), trailing garbage and
+ * values beyond @p max.
+ */
+inline std::uint64_t
+parseUnsigned(const std::string &what, const std::string &text,
+              std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    if (text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(text.front())))
+        fatal(what, ": '", text, "' is not an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const auto v = std::strtoull(text.c_str(), &end, 10);
+    if (*end != '\0')
+        fatal(what, ": '", text, "' is not an unsigned integer");
+    if (errno == ERANGE || v > max)
+        fatal(what, ": ", text, " is out of range (max ", max, ")");
+    return v;
+}
+
+/**
+ * Parse @p text as a finite double. Accepts a leading '-'; rejects
+ * empty strings, trailing garbage and overflow.
+ */
+inline double
+parseDouble(const std::string &what, const std::string &text)
+{
+    if (text.empty())
+        fatal(what, ": '' is not a number");
+    errno = 0;
+    char *end = nullptr;
+    const auto v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal(what, ": '", text, "' is not a number");
+    if (errno == ERANGE)
+        fatal(what, ": ", text, " is out of range");
+    return v;
+}
+
+/**
+ * Parse a comma-separated unsigned list ("4,5,6"); empty items and the
+ * empty string are rejected (a flag given with no usable values is a
+ * user error, not an empty sweep).
+ */
+inline std::vector<std::uint64_t>
+parseUnsignedList(const std::string &what, const std::string &text,
+                  std::uint64_t max =
+                      std::numeric_limits<std::uint64_t>::max())
+{
+    std::vector<std::uint64_t> values;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        values.push_back(parseUnsigned(what, item, max));
+    if (values.empty())
+        fatal(what, ": expected a comma-separated list, got '", text, "'");
+    return values;
+}
+
+/** parseUnsignedList narrowed to 32-bit elements. */
+inline std::vector<std::uint32_t>
+parseU32List(const std::string &what, const std::string &text)
+{
+    std::vector<std::uint32_t> values;
+    for (const auto v : parseUnsignedList(
+             what, text, std::numeric_limits<std::uint32_t>::max()))
+        values.push_back(static_cast<std::uint32_t>(v));
+    return values;
+}
+
+/**
+ * Parsed command line: `--key value` or `--key=value` pairs plus
+ * positionals. Each subcommand declares its valid flags; anything else
+ * fails fast with the list instead of being silently ignored.
+ */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    static Args
+    parse(int argc, char **argv, int start,
+          const std::vector<std::string> &allowed)
+    {
+        Args args;
+        for (int i = start; i < argc; ++i) {
+            const std::string tok = argv[i];
+            if (tok.rfind("--", 0) != 0) {
+                args.positional.push_back(tok);
+                continue;
+            }
+            std::string key;
+            std::string value;
+            const auto eq = tok.find('=');
+            if (eq != std::string::npos) {
+                key = tok.substr(2, eq - 2);
+                value = tok.substr(eq + 1);
+            } else {
+                key = tok.substr(2);
+                if (i + 1 >= argc)
+                    fatal("flag --", key, " needs a value");
+                value = argv[++i];
+            }
+            if (std::find(allowed.begin(), allowed.end(), key) ==
+                allowed.end()) {
+                std::string valid;
+                for (const auto &f : allowed)
+                    valid += (valid.empty() ? "--" : ", --") + f;
+                fatal("unknown flag --", key, " (valid flags: ",
+                      valid.empty() ? "none" : valid, ")");
+            }
+            args.flags[key] = value;
+        }
+        return args;
+    }
+
+    bool has(const std::string &key) const { return flags.count(key) > 0; }
+
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        const auto it = flags.find(key);
+        return it == flags.end() ? def : it->second;
+    }
+
+    std::uint32_t
+    getU32(const std::string &key, std::uint32_t def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        return static_cast<std::uint32_t>(parseUnsigned(
+            "flag --" + key, it->second,
+            std::numeric_limits<std::uint32_t>::max()));
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        return parseUnsigned("flag --" + key, it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        return parseDouble("flag --" + key, it->second);
+    }
+
+    /** Comma-separated 32-bit list flag ("--degrees 4,5,6"). */
+    std::vector<std::uint32_t>
+    getU32List(const std::string &key,
+               std::vector<std::uint32_t> def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        return parseU32List("flag --" + key, it->second);
+    }
+
+    /** Comma-separated 64-bit list flag ("--seeds 1,2,3"). */
+    std::vector<std::uint64_t>
+    getU64List(const std::string &key,
+               std::vector<std::uint64_t> def) const
+    {
+        const auto it = flags.find(key);
+        if (it == flags.end())
+            return def;
+        return parseUnsignedList("flag --" + key, it->second);
+    }
+};
+
+} // namespace minnoc::cli
+
+#endif // MINNOC_UTIL_CLI_HPP

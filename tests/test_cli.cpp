@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the shared CLI flag parser, with emphasis on the
+ * hardened numeric conversions: garbage, signs, empty strings and
+ * overflow must die with a one-line fatal() instead of throwing or
+ * silently wrapping around.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/cli.hpp"
+
+using namespace minnoc;
+using cli::Args;
+
+namespace {
+
+/** Build an Args from a brace list, argv[0] included for realism. */
+Args
+parseArgs(std::vector<const char *> argv,
+          const std::vector<std::string> &allowed)
+{
+    argv.insert(argv.begin(), "minnoc-test");
+    return Args::parse(static_cast<int>(argv.size()),
+                       const_cast<char **>(argv.data()), 1, allowed);
+}
+
+} // namespace
+
+TEST(Cli, ParsesBothFlagForms)
+{
+    const auto args = parseArgs(
+        {"trace.txt", "--threads", "4", "--seed=9"}, {"threads", "seed"});
+    ASSERT_EQ(args.positional.size(), 1u);
+    EXPECT_EQ(args.positional[0], "trace.txt");
+    EXPECT_EQ(args.getU32("threads", 0), 4u);
+    EXPECT_EQ(args.getU64("seed", 0), 9u);
+    EXPECT_TRUE(args.has("seed"));
+    EXPECT_FALSE(args.has("restarts"));
+}
+
+TEST(Cli, DefaultsWhenFlagAbsent)
+{
+    const auto args = parseArgs({}, {"threads"});
+    EXPECT_EQ(args.getU32("threads", 7), 7u);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.5), 0.5);
+    EXPECT_EQ(args.get("out", "x"), "x");
+}
+
+TEST(Cli, RejectsUnknownFlag)
+{
+    EXPECT_EXIT(parseArgs({"--bogus", "1"}, {"threads"}),
+                ::testing::ExitedWithCode(1), "unknown flag --bogus");
+}
+
+TEST(Cli, RejectsMissingValue)
+{
+    EXPECT_EXIT(parseArgs({"--threads"}, {"threads"}),
+                ::testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(Cli, RejectsGarbageInteger)
+{
+    const auto args = parseArgs({"--threads", "12abc"}, {"threads"});
+    EXPECT_EXIT(args.getU32("threads", 0), ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(Cli, RejectsNegativeInteger)
+{
+    // strtoull would silently wrap "-3" to a huge value; we must not.
+    const auto args = parseArgs({"--restarts", "-3"}, {"restarts"});
+    EXPECT_EXIT(args.getU32("restarts", 0),
+                ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(Cli, RejectsEmptyInteger)
+{
+    const auto args = parseArgs({"--seed="}, {"seed"});
+    EXPECT_EXIT(args.getU64("seed", 0), ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(Cli, RejectsLeadingWhitespaceInteger)
+{
+    const auto args = parseArgs({"--seed", " 5"}, {"seed"});
+    EXPECT_EXIT(args.getU64("seed", 0), ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(Cli, RejectsU64Overflow)
+{
+    const auto args =
+        parseArgs({"--seed", "99999999999999999999"}, {"seed"});
+    EXPECT_EXIT(args.getU64("seed", 0), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(Cli, RejectsU32Overflow)
+{
+    // Fits in 64 bits but not 32: must error, not truncate.
+    const auto args = parseArgs({"--threads", "4294967296"}, {"threads"});
+    EXPECT_EXIT(args.getU32("threads", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Cli, AcceptsU32Max)
+{
+    const auto args = parseArgs({"--threads", "4294967295"}, {"threads"});
+    EXPECT_EQ(args.getU32("threads", 0),
+              std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Cli, RejectsGarbageDouble)
+{
+    const auto args = parseArgs({"--rate", "fast"}, {"rate"});
+    EXPECT_EXIT(args.getDouble("rate", 0.0),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(Cli, RejectsTrailingGarbageDouble)
+{
+    const auto args = parseArgs({"--rate", "0.5x"}, {"rate"});
+    EXPECT_EXIT(args.getDouble("rate", 0.0),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(Cli, ParsesNegativeDouble)
+{
+    const auto args = parseArgs({"--rate", "-0.25"}, {"rate"});
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), -0.25);
+}
+
+TEST(Cli, ParsesU32List)
+{
+    const auto args = parseArgs({"--degrees", "4,5,6"}, {"degrees"});
+    EXPECT_EQ(args.getU32List("degrees", {}),
+              (std::vector<std::uint32_t>{4, 5, 6}));
+}
+
+TEST(Cli, RejectsEmptyListItem)
+{
+    const auto args = parseArgs({"--degrees", "4,,6"}, {"degrees"});
+    EXPECT_EXIT(args.getU32List("degrees", {}),
+                ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}
+
+TEST(Cli, RejectsEmptyList)
+{
+    const auto args = parseArgs({"--degrees="}, {"degrees"});
+    EXPECT_EXIT(args.getU32List("degrees", {}),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Cli, RejectsGarbageListItem)
+{
+    const auto args = parseArgs({"--seeds", "1,x,3"}, {"seeds"});
+    EXPECT_EXIT(args.getU64List("seeds", {}),
+                ::testing::ExitedWithCode(1),
+                "not an unsigned integer");
+}

@@ -103,6 +103,38 @@ TEST(DesignIo, TheoremOneSurvivesRoundTrip)
     EXPECT_TRUE(checkContentionFree(loaded, ks).empty());
 }
 
+TEST(DesignIo, MultiThreadedDesignsRoundTripBitIdentically)
+{
+    // Multi-threaded runs must serialize to the same bytes as their
+    // reload: save -> load -> re-save is the identity, and the loaded
+    // design still satisfies Theorem 1, for every NAS pattern.
+    for (const auto bench : trace::kAllBenchmarks) {
+        trace::NasConfig cfg;
+        cfg.ranks = trace::smallConfigRanks(bench);
+        cfg.iterations = 1;
+        const auto ks = trace::analyzeByCall(
+            trace::generateBenchmark(bench, cfg));
+        MethodologyConfig mcfg;
+        mcfg.partitioner.constraints.maxDegree = 5;
+        mcfg.restarts = 8;
+        mcfg.threads = 4;
+        const auto outcome = runMethodology(ks, mcfg);
+        SCOPED_TRACE(trace::benchmarkName(bench));
+        ASSERT_TRUE(outcome.constraintsMet);
+
+        std::stringstream ss;
+        saveDesign(outcome.design, ss);
+        const auto bytes = ss.str();
+        const auto loaded = loadDesign(ss);
+        EXPECT_TRUE(sameDesign(outcome.design, loaded));
+
+        std::stringstream again;
+        saveDesign(loaded, again);
+        EXPECT_EQ(again.str(), bytes); // bit-identical re-save
+        EXPECT_TRUE(checkContentionFree(loaded, ks).empty());
+    }
+}
+
 TEST(DesignIo, RejectsBadHeader)
 {
     std::stringstream ss("garbage 1 2 3");

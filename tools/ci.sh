@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Three phases:
+# Four phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -11,6 +11,10 @@
 #     tree.
 #  3. Release build tree running the partitioner_perf benchmark on one
 #     small pattern as a smoke test; its JSON lands in the build dir.
+#  4. Explore cache smoke: a tiny DSE grid on CG-8 run twice against a
+#     fresh cache dir under the build tree — the warm rerun must hit
+#     the cache on every job (zero design recomputations) and its
+#     frontier JSON must be byte-identical to the cold run's.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -50,3 +54,23 @@ cmake --build "$build_bench" -j "$jobs" --target partitioner_perf
 "$build_bench/bench/partitioner_perf" \
     --bench CG --ranks 8 --iterations 1 \
     --out "$build_bench/partitioner_perf.json"
+
+echo "=== phase 4: explore cache smoke ==="
+cmake --build "$build_bench" -j "$jobs" --target minnoc
+cache_dir="$build_bench/explore-cache"
+rm -rf "$cache_dir"
+"$build_bench/tools/minnoc" gen --bench CG --ranks 8 --iterations 1 \
+    --out "$build_bench/ci-cg.trace"
+explore_flags=(--degrees 4,5 --vcs 2,3 --restarts 2
+               --cache-dir "$cache_dir")
+"$build_bench/tools/minnoc" explore "$build_bench/ci-cg.trace" \
+    "${explore_flags[@]}" --out "$build_bench/cg_frontier.json"
+warm="$("$build_bench/tools/minnoc" explore "$build_bench/ci-cg.trace" \
+    "${explore_flags[@]}" --out "$build_bench/cg_frontier_warm.json")"
+echo "$warm"
+echo "$warm" | grep -q "0 misses" ||
+    { echo "FAIL: warm explore rerun recomputed designs"; exit 1; }
+echo "$warm" | grep -q "100.0% hit rate" ||
+    { echo "FAIL: warm explore rerun below 100% cache hits"; exit 1; }
+cmp "$build_bench/cg_frontier.json" "$build_bench/cg_frontier_warm.json" ||
+    { echo "FAIL: warm frontier JSON differs from cold"; exit 1; }

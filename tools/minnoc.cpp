@@ -9,21 +9,20 @@
  *   minnoc design cg.trace [--max-degree 5] --out cg.design
  *   minnoc show cg.design
  *   minnoc simulate cg.trace --network mesh|torus|crossbar|cg.design
+ *   minnoc explore cg.trace [--degrees 4,5,6] [--out report.json]
  *   minnoc compare cg.trace            (all four networks, one table)
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/design_io.hpp"
+#include "dse/explorer.hpp"
 #include "topo/dot.hpp"
 #include "core/methodology.hpp"
 #include "sim/fault.hpp"
@@ -33,98 +32,13 @@
 #include "topo/power.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/nas_generators.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 
 using namespace minnoc;
+using cli::Args;
 
 namespace {
-
-/**
- * Minimal flag parser: `--key value` or `--key=value` pairs plus
- * positionals. Each subcommand declares its valid flags; anything else
- * fails fast with the list instead of being silently ignored.
- */
-struct Args
-{
-    std::vector<std::string> positional;
-    std::map<std::string, std::string> flags;
-
-    static Args
-    parse(int argc, char **argv, int start,
-          const std::vector<std::string> &allowed)
-    {
-        Args args;
-        for (int i = start; i < argc; ++i) {
-            const std::string tok = argv[i];
-            if (tok.rfind("--", 0) != 0) {
-                args.positional.push_back(tok);
-                continue;
-            }
-            std::string key;
-            std::string value;
-            const auto eq = tok.find('=');
-            if (eq != std::string::npos) {
-                key = tok.substr(2, eq - 2);
-                value = tok.substr(eq + 1);
-            } else {
-                key = tok.substr(2);
-                if (i + 1 >= argc)
-                    fatal("flag --", key, " needs a value");
-                value = argv[++i];
-            }
-            if (std::find(allowed.begin(), allowed.end(), key) ==
-                allowed.end()) {
-                std::string valid;
-                for (const auto &f : allowed)
-                    valid += (valid.empty() ? "--" : ", --") + f;
-                fatal("unknown flag --", key, " (valid flags: ",
-                      valid.empty() ? "none" : valid, ")");
-            }
-            args.flags[key] = value;
-        }
-        return args;
-    }
-
-    std::string
-    get(const std::string &key, const std::string &def = "") const
-    {
-        const auto it = flags.find(key);
-        return it == flags.end() ? def : it->second;
-    }
-
-    std::uint32_t
-    getU32(const std::string &key, std::uint32_t def) const
-    {
-        return static_cast<std::uint32_t>(getU64(key, def));
-    }
-
-    std::uint64_t
-    getU64(const std::string &key, std::uint64_t def) const
-    {
-        const auto it = flags.find(key);
-        if (it == flags.end())
-            return def;
-        char *end = nullptr;
-        const auto v = std::strtoull(it->second.c_str(), &end, 10);
-        if (it->second.empty() || *end != '\0')
-            fatal("flag --", key, ": '", it->second,
-                  "' is not an unsigned integer");
-        return v;
-    }
-
-    double
-    getDouble(const std::string &key, double def) const
-    {
-        const auto it = flags.find(key);
-        if (it == flags.end())
-            return def;
-        char *end = nullptr;
-        const auto v = std::strtod(it->second.c_str(), &end);
-        if (it->second.empty() || *end != '\0')
-            fatal("flag --", key, ": '", it->second, "' is not a number");
-        return v;
-    }
-};
 
 trace::Trace
 loadTrace(const std::string &path)
@@ -298,14 +212,11 @@ std::vector<topo::LinkId>
 parseLinkList(const std::string &spec)
 {
     std::vector<topo::LinkId> ids;
-    std::stringstream ss(spec);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (item.empty())
-            continue;
-        ids.push_back(static_cast<topo::LinkId>(
-            std::strtoul(item.c_str(), nullptr, 10)));
-    }
+    if (spec.empty())
+        return ids;
+    for (const auto v :
+         cli::parseU32List("flag --fail-link-ids", spec))
+        ids.push_back(static_cast<topo::LinkId>(v));
     return ids;
 }
 
@@ -383,6 +294,62 @@ cmdCompare(const Args &args)
     return 0;
 }
 
+int
+cmdExplore(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("explore: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+
+    dse::ExploreConfig cfg;
+    cfg.grid.maxDegrees = args.getU32List("degrees", cfg.grid.maxDegrees);
+    cfg.grid.restarts = args.getU32List("restarts", cfg.grid.restarts);
+    cfg.grid.seeds = args.getU64List("seeds", cfg.grid.seeds);
+    cfg.grid.vcs = args.getU32List("vcs", cfg.grid.vcs);
+    cfg.grid.unidirectional =
+        args.getU32List("unidirectional", cfg.grid.unidirectional);
+    for (const auto u : cfg.grid.unidirectional) {
+        if (u > 1)
+            fatal("flag --unidirectional: values must be 0 or 1, got ",
+                  u);
+    }
+    cfg.grid.vcDepth = args.getU32("vc-depth", cfg.grid.vcDepth);
+    cfg.threads = args.getU32("threads", 0);
+    cfg.cacheDir = args.get("cache-dir");
+    cfg.useCache = args.getU32("cache", 1) != 0;
+
+    const auto report = dse::explore(tr, cfg);
+    const auto json = report.toJson();
+
+    // JSON is the machine artifact; keep the human summary off its
+    // stream so `minnoc explore t | jq .` stays parseable.
+    const auto out = args.get("out");
+    std::FILE *human = stdout;
+    if (out.empty()) {
+        std::fputs(json.c_str(), stdout);
+        human = stderr;
+    } else {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        os << json;
+        std::fprintf(human, "wrote %s\n", out.c_str());
+    }
+    std::fprintf(human, "explored %s-%u: %zu points, %zu on frontier\n",
+                 report.pattern.c_str(), report.ranks,
+                 report.points.size(), report.frontier.size());
+    std::fputs(report.summaryTable().c_str(), human);
+    const auto total = report.cacheHits + report.cacheMisses;
+    std::fprintf(human,
+                 "cache: %zu hits, %zu misses over %zu points "
+                 "(%.1f%% hit rate)\n",
+                 report.cacheHits, report.cacheMisses, total,
+                 total ? 100.0 * static_cast<double>(report.cacheHits) /
+                             static_cast<double>(total)
+                       : 0.0);
+    return 0;
+}
+
 void
 usage()
 {
@@ -402,6 +369,13 @@ usage()
         "           [--fault-seed S] [--max-retransmits R]\n"
         "           [--max-recoveries R]\n"
         "  compare  TRACE [--max-degree D]\n"
+        "  explore  TRACE [--degrees 4,5,6] [--restarts 8]\n"
+        "           [--seeds 1] [--vcs 2,3] [--unidirectional 0,1]\n"
+        "           [--vc-depth D] [--threads N] [--cache-dir DIR]\n"
+        "           [--cache 0|1] [--out FILE]\n"
+        "           (design-space sweep -> Pareto frontier JSON;\n"
+        "           results are content-cached and byte-identical at\n"
+        "           any --threads value)\n"
         "  dot      DESIGN [--out FILE]        (graphviz export)\n");
 }
 
@@ -416,6 +390,9 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
       "flit-error-rate", "fault-seed", "max-retransmits",
       "max-recoveries"}},
     {"compare", {"max-degree", "threads"}},
+    {"explore",
+     {"degrees", "restarts", "seeds", "vcs", "unidirectional",
+      "vc-depth", "threads", "cache-dir", "cache", "out"}},
     {"dot", {"out"}},
 };
 
@@ -447,5 +424,7 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (cmd == "compare")
         return cmdCompare(args);
+    if (cmd == "explore")
+        return cmdExplore(args);
     return cmdDot(args);
 }
