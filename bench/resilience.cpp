@@ -17,6 +17,9 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
 
 #include "core/methodology.hpp"
 #include "sim/trace_driver.hpp"
@@ -24,14 +27,27 @@
 #include "topo/floorplan.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/nas_generators.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
 
 using namespace minnoc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    constexpr std::uint32_t kRanks = 16;
-    constexpr std::uint64_t kFaultSeed = 7;
+    const auto args = cli::Args::parse(argc, argv, 1,
+                                       {"ranks", "fault-seed", "out"});
+    const std::uint32_t kRanks = args.getU32("ranks", 16);
+    const std::uint64_t kFaultSeed = args.getU64("fault-seed", 7);
+
+    std::ofstream file;
+    const auto out = args.get("out");
+    if (!out.empty()) {
+        file.open(out);
+        if (!file)
+            fatal("cannot write '", out, "'");
+    }
+    std::ostream &os = out.empty() ? std::cout : file;
 
     const auto crossbar = topo::buildCrossbar(kRanks);
     const auto mesh = topo::buildMesh(kRanks);
@@ -58,12 +74,18 @@ main()
     const std::uint32_t failCounts[] = {0, 1, 2, 4};
     const double errorRates[] = {0.0, 0.001, 0.01};
 
-    std::printf("{\n  \"benchmark\": \"resilience\",\n"
-                "  \"trace\": \"CG-16\",\n  \"fault_seed\": %llu,\n"
-                "  \"networks\": [\n",
-                static_cast<unsigned long long>(kFaultSeed));
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\n  \"benchmark\": \"resilience\",\n"
+                  "  \"trace\": \"CG-%u\",\n  \"fault_seed\": %llu,\n"
+                  "  \"networks\": [\n",
+                  kRanks, static_cast<unsigned long long>(kFaultSeed));
+    os << buf;
     for (std::size_t n = 0; n < std::size(nets); ++n) {
-        std::printf("    {\"name\": \"%s\", \"points\": [\n", nets[n].name);
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"points\": [\n",
+                      nets[n].name);
+        os << buf;
         bool firstPoint = true;
         for (const auto failLinks : failCounts) {
             for (const auto rate : errorRates) {
@@ -74,7 +96,8 @@ main()
                 const auto res = sim::runTrace(cg, *nets[n].net->topo,
                                                *nets[n].net->routing,
                                                sim::SimConfig{}, fcfg);
-                std::printf(
+                std::snprintf(
+                    buf, sizeof buf,
                     "      %s{\"fail_links\": %u, \"flit_error_rate\": %g, "
                     "\"delivered_fraction\": %.4f, "
                     "\"latency_inflation\": %.4f, "
@@ -87,11 +110,14 @@ main()
                     static_cast<unsigned long long>(res.retransmissions),
                     static_cast<unsigned long long>(res.packetsDropped),
                     res.disconnectedPairs, res.deadlockRecoveries);
+                os << buf;
                 firstPoint = false;
             }
         }
-        std::printf("\n    ]}%s\n", n + 1 < std::size(nets) ? "," : "");
+        os << "\n    ]}" << (n + 1 < std::size(nets) ? "," : "") << "\n";
     }
-    std::printf("  ]\n}\n");
+    os << "  ]\n}\n";
+    if (!out.empty())
+        std::fprintf(stderr, "wrote %s\n", out.c_str());
     return 0;
 }

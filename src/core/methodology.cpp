@@ -83,6 +83,7 @@ runOnce(const CliqueSet &cliques, const MethodologyConfig &config,
 
         // Phase 1: partition under Fast_Color estimates.
         auto pr = partitionNetwork(net, pcfg, rng);
+        outcome.movesEvaluated += pr.movesEvaluated;
         outcome.history.insert(outcome.history.end(), pr.history.begin(),
                                pr.history.end());
 
@@ -152,6 +153,7 @@ runOnce(const CliqueSet &cliques, const MethodologyConfig &config,
         }
         PartitionResult forced;
         splitAndSettle(net, pcfg, rng, splitTarget, forced);
+        outcome.movesEvaluated += forced.movesEvaluated;
         outcome.history.insert(outcome.history.end(),
                                forced.history.begin(),
                                forced.history.end());
@@ -264,6 +266,35 @@ exactViolation(const FinalizedDesign &d, const DesignConstraints &dc)
     return total;
 }
 
+/**
+ * Publish one consumed restart's telemetry: quality gauges plus the
+ * annealing cost curve (estimated links after every recorded step).
+ * Called from the selection fold only, which replays the sequential
+ * seed order at any thread count — so the recorded content is
+ * thread-count-invariant by construction.
+ */
+void
+recordRestart(obs::MetricsRegistry &metrics, std::uint32_t i,
+              const DesignOutcome &outcome)
+{
+    const std::string prefix =
+        "methodology/restart/" + std::to_string(i) + "/";
+    metrics.gauge(prefix + "links")
+        .set(static_cast<double>(outcome.design.totalLinks()));
+    metrics.gauge(prefix + "switches")
+        .set(static_cast<double>(outcome.design.numSwitches));
+    metrics.gauge(prefix + "feasible")
+        .set(outcome.constraintsMet ? 1.0 : 0.0);
+    metrics.gauge(prefix + "rounds")
+        .set(static_cast<double>(outcome.rounds));
+    metrics.counter(prefix + "moves_evaluated")
+        .add(outcome.movesEvaluated);
+    auto &curve = metrics.series(prefix + "cost_curve");
+    std::int64_t step = 0;
+    for (const auto &h : outcome.history)
+        curve.sample(step++, static_cast<double>(h.estimatedLinks));
+}
+
 /** True when @p a is a strictly better design than @p b. */
 bool
 betterThan(const DesignOutcome &a, const DesignOutcome &b,
@@ -317,6 +348,10 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
     // best, then stop once a feasible design has been found and at
     // least min(attempts, 4) seeds were sampled. Returns true to stop.
     auto select = [&](SeedResult &result, std::uint32_t i) {
+        if constexpr (obs::kEnabled) {
+            if (config.metrics)
+                recordRestart(*config.metrics, i, result.outcome);
+        }
         if (!bestNet ||
             betterThan(result.outcome, best,
                        config.partitioner.constraints)) {
@@ -325,6 +360,9 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
         }
         return best.constraintsMet && i + 1 >= std::min(attempts, 4u);
     };
+
+    const std::int64_t restartsStart =
+        config.traceLog || config.metrics ? obs::wallMicros() : 0;
 
     if (!pool) {
         for (std::uint32_t i = 0; i < attempts; ++i) {
@@ -356,18 +394,65 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
         warn("methodology: no seed met the design constraints after ",
              attempts, " restarts; returning best effort");
     }
+    if constexpr (obs::kEnabled) {
+        if (config.traceLog) {
+            config.traceLog->complete(
+                "restarts", obs::kPidMethodology, 0, restartsStart,
+                obs::wallMicros() - restartsStart);
+        }
+    }
 
     // Switch-merge polish on the winner (see mergeSwitches).
     if (best.constraintsMet && config.mergeSwitches && bestNet) {
+        const std::int64_t mergeStart =
+            config.traceLog ? obs::wallMicros() : 0;
         PartitionerConfig pcfg = config.partitioner;
         if (config.finalize.unidirectional)
             pcfg.unidirectionalCost = true;
         Rng rng(config.partitioner.seed ^ 0x5bd1e995);
         mergeSwitches(*bestNet, best, config, pcfg, rng, pool);
+        if constexpr (obs::kEnabled) {
+            if (config.traceLog) {
+                config.traceLog->complete(
+                    "merge_switches", obs::kPidMethodology, 0,
+                    mergeStart, obs::wallMicros() - mergeStart);
+            }
+        }
     }
 
     // Theorem-1 verification of the final design.
+    const std::int64_t verifyStart =
+        config.traceLog ? obs::wallMicros() : 0;
     best.violations = checkContentionFree(best.design, cliques);
+    if constexpr (obs::kEnabled) {
+        if (config.traceLog) {
+            config.traceLog->processName(obs::kPidMethodology,
+                                         "minnoc methodology");
+            config.traceLog->complete("verify", obs::kPidMethodology, 0,
+                                      verifyStart,
+                                      obs::wallMicros() - verifyStart);
+        }
+        if (config.metrics) {
+            auto &m = *config.metrics;
+            m.gauge("methodology/links")
+                .set(static_cast<double>(best.design.totalLinks()));
+            m.gauge("methodology/switches")
+                .set(static_cast<double>(best.design.numSwitches));
+            m.gauge("methodology/constraints_met")
+                .set(best.constraintsMet ? 1.0 : 0.0);
+            m.gauge("methodology/rounds")
+                .set(static_cast<double>(best.rounds));
+            m.gauge("methodology/violations")
+                .set(static_cast<double>(best.violations.size()));
+            m.counter("methodology/moves_evaluated")
+                .add(best.movesEvaluated);
+            // Wall time is inherently run-dependent: flagged as timing
+            // so the default JSON dump stays byte-reproducible.
+            m.gauge("methodology/time/restarts_us", true)
+                .set(static_cast<double>(obs::wallMicros() -
+                                         restartsStart));
+        }
+    }
     return best;
 }
 

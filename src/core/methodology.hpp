@@ -17,6 +17,8 @@
 
 #include "clique_set.hpp"
 #include "finalize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "partitioner.hpp"
 #include "verify.hpp"
 
@@ -73,6 +75,17 @@ struct MethodologyConfig
     std::uint32_t threads = 0;
 
     /**
+     * Optional telemetry sinks (not owned, may be null). The driver
+     * records per-restart annealing cost curves and design quality into
+     * @p metrics — only for the restarts the sequential preference
+     * order consumes, so the recorded content is identical at every
+     * thread count — and per-phase wall-time spans into @p traceLog.
+     * Excluded from signature(): telemetry never changes the design.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::TraceEventLog *traceLog = nullptr;
+
+    /**
      * Canonical parameter string covering every knob that changes the
      * produced design. Content-addressed caches (the DSE result store)
      * hash it, so two configs with equal signatures are guaranteed to
@@ -93,6 +106,8 @@ struct DesignOutcome
     std::vector<ContentionViolation> violations;
     /** Number of partition/finalize rounds used. */
     std::uint32_t rounds = 0;
+    /** Move candidates scored across all rounds (search effort). */
+    std::uint64_t movesEvaluated = 0;
     /** Concatenated partitioning history across rounds. */
     std::vector<PartitionStep> history;
 

@@ -191,6 +191,7 @@ splitAndSettle(DesignNetwork &net, const PartitionerConfig &config,
                       : 0;
     while (movesDone < maxMoves) {
         auto candidates = enumerateMoves(net, si, sj, config.maxImbalance);
+        result.movesEvaluated += candidates.size();
         if (candidates.empty())
             break;
 

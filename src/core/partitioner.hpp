@@ -131,6 +131,8 @@ struct PartitionResult
     bool feasible = true;
     std::uint32_t numSplits = 0;
     std::uint32_t numMoves = 0;
+    /** Move candidates scored across all settle loops (search effort). */
+    std::uint64_t movesEvaluated = 0;
     std::vector<PartitionStep> history;
 };
 

@@ -87,18 +87,37 @@ jobSignature(const JobParams &params, const ExploreConfig &config)
 
 JobMetrics
 evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
-            const JobParams &params, const ExploreConfig &config)
+            const JobParams &params, const ExploreConfig &config,
+            obs::TraceEventLog *traceLog, std::uint32_t tid)
 {
+    const auto span = [traceLog, tid](const char *name,
+                                      std::int64_t start) {
+        if constexpr (obs::kEnabled) {
+            if (traceLog)
+                traceLog->complete(name, obs::kPidDse, tid, start,
+                                   obs::wallMicros() - start);
+        }
+    };
+    const auto tick = [traceLog]() {
+        return traceLog ? obs::wallMicros() : 0;
+    };
+
     const auto mcfg = methodologyConfigFor(params);
     // Re-entrant, strictly sequential run: the explorer's own pool
     // provides the parallelism, one job per worker.
+    auto t = tick();
     const auto outcome = core::runMethodology(cliques, mcfg, nullptr);
+    span("methodology", t);
 
+    t = tick();
     const auto plan = topo::planFloor(outcome.design, config.floorplan);
     const auto net = topo::buildFromDesign(outcome.design, plan);
+    span("build", t);
 
     const auto scfg = simConfigFor(params, config);
+    t = tick();
     const auto res = sim::runTrace(trace, *net.topo, *net.routing, scfg);
+    span("simulate", t);
     const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
                                             res.execTime, config.power);
 
@@ -147,14 +166,45 @@ explore(const trace::Trace &trace, const ExploreConfig &config)
         const auto &params = jobs[i];
         const auto sig = jobSignature(params, config);
         const auto key = jobKey(patternBytes, sig);
+        const std::int64_t jobStart =
+            config.traceLog ? obs::wallMicros() : 0;
         DsePoint pt;
         pt.params = params;
         if (auto hit = cache.load(key, sig)) {
             pt.metrics = *hit;
             pt.fromCache = true;
         } else {
-            pt.metrics = evaluateJob(trace, cliques, params, config);
+            pt.metrics =
+                evaluateJob(trace, cliques, params, config,
+                            config.traceLog,
+                            static_cast<std::uint32_t>(i));
             cache.store(key, sig, pt.metrics);
+        }
+        if constexpr (obs::kEnabled) {
+            if (config.traceLog) {
+                config.traceLog->complete(
+                    "job " + std::to_string(i), obs::kPidDse,
+                    static_cast<std::uint32_t>(i), jobStart,
+                    obs::wallMicros() - jobStart,
+                    "\"cached\": " +
+                        std::string(pt.fromCache ? "true" : "false"));
+            }
+            if (config.metrics) {
+                // Keyed by grid index and derived only from the job's
+                // result + cache state: identical at any thread count.
+                const std::string prefix =
+                    "dse/job/" + std::to_string(i) + "/";
+                auto &m = *config.metrics;
+                m.gauge(prefix + "cache_hit")
+                    .set(pt.fromCache ? 1.0 : 0.0);
+                m.gauge(prefix + "switches")
+                    .set(static_cast<double>(pt.metrics.switches));
+                m.gauge(prefix + "links")
+                    .set(static_cast<double>(pt.metrics.links));
+                m.gauge(prefix + "exec_time")
+                    .set(static_cast<double>(pt.metrics.execTime));
+                m.gauge(prefix + "energy").set(pt.metrics.energy);
+            }
         }
         report.points[i] = std::move(pt);
     };
@@ -185,6 +235,20 @@ explore(const trace::Trace &trace, const ExploreConfig &config)
     for (std::size_t i = 0; i < report.points.size(); ++i)
         report.points[i].dominated = dominated[i];
     report.frontier = frontierIndices(dominated);
+
+    if constexpr (obs::kEnabled) {
+        if (config.metrics) {
+            auto &m = *config.metrics;
+            m.counter("dse/cache_hits").add(report.cacheHits);
+            m.counter("dse/cache_misses").add(report.cacheMisses);
+            m.gauge("dse/jobs")
+                .set(static_cast<double>(report.points.size()));
+            m.gauge("dse/frontier_size")
+                .set(static_cast<double>(report.frontier.size()));
+        }
+        if (config.traceLog)
+            config.traceLog->processName(obs::kPidDse, "minnoc dse");
+    }
     return report;
 }
 

@@ -26,6 +26,8 @@
 #include "cache.hpp"
 #include "core/clique_set.hpp"
 #include "job.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/config.hpp"
 #include "topo/floorplan.hpp"
 #include "topo/power.hpp"
@@ -69,6 +71,16 @@ struct ExploreConfig
     topo::PowerModel power;
     /** Base simulator config; the grid overrides numVcs / vcDepth. */
     sim::SimConfig sim;
+
+    /**
+     * Optional telemetry sinks (not owned, may be null). Per-job cache
+     * hit/miss and design-quality gauges are keyed by grid index, so
+     * their content is identical at any thread count; per-job stage
+     * spans (methodology / build / simulate) land in @p traceLog on
+     * wall-clock time. Neither participates in cache keys.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::TraceEventLog *traceLog = nullptr;
 };
 
 /** The reduced output of one exploration run. */
@@ -106,12 +118,16 @@ std::string jobSignature(const JobParams &params,
 
 /**
  * Evaluate one job from scratch: methodology (sequential, re-entrant),
- * floorplan, trace-driven simulation, energy accounting.
+ * floorplan, trace-driven simulation, energy accounting. When
+ * @p traceLog is given, per-stage wall-time spans are emitted on the
+ * DSE track with @p tid (the job's grid index) as the thread id.
  */
 JobMetrics evaluateJob(const trace::Trace &trace,
                        const core::CliqueSet &cliques,
                        const JobParams &params,
-                       const ExploreConfig &config);
+                       const ExploreConfig &config,
+                       obs::TraceEventLog *traceLog = nullptr,
+                       std::uint32_t tid = 0);
 
 /**
  * Explore @p trace over the grid: analyze the pattern once, evaluate

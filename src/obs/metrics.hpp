@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: counters, gauges, time series, and
+ * HDR-style latency histograms with quantile extraction.
+ *
+ * Design rules:
+ *  - Handles are obtained once (mutex-guarded name lookup) and then
+ *    updated without locks: counters are relaxed atomics, everything
+ *    else is owned by exactly one writer by construction.
+ *  - Dump content is deterministic: the registry iterates name order,
+ *    numbers render via fixed formats, and nothing derived from wall
+ *    clocks enters the default JSON dump — metrics registered with
+ *    timing = true are excluded unless explicitly requested, so two
+ *    runs of a deterministic workload emit byte-identical bytes.
+ *  - The whole subsystem compiles away when MINNOC_OBS_ENABLED is 0
+ *    (CMake option MINNOC_OBS=OFF): instrumentation call sites are
+ *    wrapped in `if constexpr (obs::kEnabled)`, so the hot paths carry
+ *    no branch, no pointer test, nothing.
+ */
+
+#ifndef MINNOC_OBS_METRICS_HPP
+#define MINNOC_OBS_METRICS_HPP
+
+#ifndef MINNOC_OBS_ENABLED
+#define MINNOC_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minnoc::obs {
+
+/** True when instrumentation hooks are compiled in. */
+inline constexpr bool kEnabled = MINNOC_OBS_ENABLED != 0;
+
+/** Monotone event count; add() is wait-free (relaxed atomic). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** Last-write-wins scalar. One writer per gauge by convention. */
+class Gauge
+{
+  public:
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Append-only (t, value) series, e.g. per-epoch link utilization. */
+class Series
+{
+  public:
+    void
+    sample(std::int64_t t, double v)
+    {
+        _points.emplace_back(t, v);
+    }
+
+    const std::vector<std::pair<std::int64_t, double>> &
+    points() const
+    {
+        return _points;
+    }
+
+  private:
+    std::vector<std::pair<std::int64_t, double>> _points;
+};
+
+/**
+ * HDR-style histogram over non-negative integer samples (latencies in
+ * cycles): logarithmic tiers of 2^kSubBits linear sub-buckets, so the
+ * relative bucket width never exceeds 1/16 while the whole 64-bit range
+ * fits in under a thousand buckets. Count, sum, min and max are exact;
+ * quantiles are exact at bucket resolution (the returned value is the
+ * inclusive upper edge of the bucket holding the requested rank, i.e.
+ * within 6.25% of the true order statistic, and exact below 2^kSubBits).
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::uint32_t kSubBits = 4;
+
+    void
+    record(std::uint64_t v)
+    {
+        const std::size_t b = bucketOf(v);
+        if (b >= _counts.size())
+            _counts.resize(b + 1, 0);
+        ++_counts[b];
+        ++_count;
+        _sum += v;
+        _min = _count == 1 ? v : (v < _min ? v : _min);
+        _max = v > _max ? v : _max;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t min() const { return _count ? _min : 0; }
+    std::uint64_t max() const { return _count ? _max : 0; }
+
+    double
+    mean() const
+    {
+        return _count ? static_cast<double>(_sum) /
+                            static_cast<double>(_count)
+                      : 0.0;
+    }
+
+    /**
+     * The value at quantile @p q in [0, 1]: the upper edge of the
+     * bucket containing sample rank ceil(q * count), clamped to the
+     * exact max for q = 1.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Non-empty buckets as (inclusive lower edge, count) pairs. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets() const;
+
+    /** Bucket index of value @p v (exposed for tests). */
+    static std::size_t
+    bucketOf(std::uint64_t v)
+    {
+        constexpr std::uint64_t base = 1ull << kSubBits;
+        if (v < base)
+            return static_cast<std::size_t>(v);
+        const int msb = 63 - std::countl_zero(v);
+        const int shift = msb - static_cast<int>(kSubBits);
+        const auto sub =
+            static_cast<std::size_t>((v >> shift) & (base - 1));
+        return ((static_cast<std::size_t>(msb - kSubBits) + 1)
+                << kSubBits) +
+               sub;
+    }
+
+    /** Inclusive lower edge of bucket @p b (exposed for tests). */
+    static std::uint64_t
+    bucketLo(std::size_t b)
+    {
+        const std::size_t tier = b >> kSubBits;
+        const std::uint64_t sub = b & ((1ull << kSubBits) - 1);
+        if (tier == 0)
+            return sub;
+        return (1ull << (tier + kSubBits - 1)) + (sub << (tier - 1));
+    }
+
+    /** Inclusive upper edge of bucket @p b. */
+    static std::uint64_t
+    bucketHi(std::size_t b)
+    {
+        const std::size_t tier = b >> kSubBits;
+        const std::uint64_t width = tier == 0 ? 1 : 1ull << (tier - 1);
+        return bucketLo(b) + width - 1;
+    }
+
+  private:
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = 0;
+    std::uint64_t _max = 0;
+};
+
+/**
+ * Named metric registry. Lookup / creation takes a mutex; updates on
+ * the returned references do not. Iteration order is name order, so
+ * dumps are deterministic regardless of registration order.
+ */
+class MetricsRegistry
+{
+  public:
+    /**
+     * Get or create a metric. @p timing marks wall-clock-derived
+     * metrics, which toJson() excludes by default so the dump stays
+     * byte-reproducible. Requesting an existing name with a different
+     * metric kind panics (names are typed).
+     */
+    Counter &counter(const std::string &name, bool timing = false);
+    Gauge &gauge(const std::string &name, bool timing = false);
+    Series &series(const std::string &name, bool timing = false);
+    LatencyHistogram &histogram(const std::string &name,
+                                bool timing = false);
+
+    /** Number of registered metrics (timing ones included). */
+    std::size_t size() const;
+
+    /**
+     * Stable machine-readable JSON dump: schema header plus one entry
+     * per metric in name order. Deterministic byte-for-byte for
+     * deterministic workloads when @p includeTimings is false.
+     */
+    std::string toJson(bool includeTimings = false) const;
+
+  private:
+    struct Entry
+    {
+        bool timing = false;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Series> series;
+        std::unique_ptr<LatencyHistogram> histogram;
+    };
+
+    Entry &entry(const std::string &name, bool timing);
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace minnoc::obs
+
+#endif // MINNOC_OBS_METRICS_HPP

@@ -153,6 +153,11 @@ Network::step(Cycle now)
         now % _config.deadlockScanInterval == 0) {
         scanForDeadlocks(now);
     }
+
+    if constexpr (obs::kEnabled) {
+        if (_observer)
+            _observer->onStep(now, _flitsInNetwork, _stats.linkFlits);
+    }
 }
 
 void
@@ -455,6 +460,13 @@ Network::deliverAtProc(const FlitRef &flit, topo::LinkId link,
                 static_cast<double>(now - pkt.enqueuedAt));
         }
         _stats.packetHops.sample(static_cast<double>(pkt.hops));
+        if constexpr (obs::kEnabled) {
+            if (_observer) {
+                _observer->onDelivered(pkt.src, pkt.dst,
+                                       now - pkt.enqueuedAt, pkt.hops,
+                                       pkt.retries == 0);
+            }
+        }
     }
 }
 

@@ -27,6 +27,7 @@
 
 #include "config.hpp"
 #include "fault.hpp"
+#include "obs/sim_observer.hpp"
 #include "packet.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
@@ -191,6 +192,17 @@ class Network
     const SimConfig &config() const { return _config; }
     const FaultModel &faults() const { return _faults; }
 
+    /**
+     * Attach a telemetry observer (must outlive the network; nullptr
+     * detaches). Fed per cycle and per delivery; compiled out entirely
+     * when MINNOC_OBS=OFF.
+     */
+    void setObserver(obs::SimObserver *observer) { _observer = observer; }
+    obs::SimObserver *observer() const { return _observer; }
+
+    /** Flits currently buffered or in flight (observer support). */
+    std::uint64_t flitsInNetwork() const { return _flitsInNetwork; }
+
   private:
     static constexpr std::uint32_t kNoVc = static_cast<std::uint32_t>(-1);
 
@@ -306,6 +318,7 @@ class Network
     std::uint64_t _flitsInNetwork = 0;
     NetworkStats _stats;
     Cycle _lastStep = -1;
+    obs::SimObserver *_observer = nullptr;
 };
 
 } // namespace minnoc::sim

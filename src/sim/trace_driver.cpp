@@ -235,29 +235,52 @@ runTrace(const trace::Trace &trace, Network &network)
     result.maxLinkUtilization = ns.maxLinkUtilization(result.execTime);
     result.meanLinkUtilization = ns.meanLinkUtilization(result.execTime);
     result.linkFlits = ns.linkFlits;
+
+    if constexpr (obs::kEnabled) {
+        if (auto *observer = network.observer()) {
+            obs::SimObserver::FinalCounters fc;
+            fc.packetsEnqueued = ns.packetsEnqueued;
+            fc.packetsDelivered = ns.packetsDelivered;
+            fc.packetsDropped = ns.packetsDropped;
+            fc.flitHops = ns.flitHops;
+            fc.retransmissions = ns.retransmissions;
+            fc.corruptedFlits = ns.corruptedFlits;
+            fc.deadlockRecoveries = ns.deadlockRecoveries;
+            fc.failedLinks = ns.failedLinks;
+            fc.disconnectedPairs = ns.disconnectedPairs;
+            fc.retryExhaustions = ns.retryExhaustions;
+            fc.recoveryExhaustions = ns.recoveryExhaustions;
+            fc.execTime = result.execTime;
+            observer->finish(fc, result.execTime,
+                             network.flitsInNetwork(), ns.linkFlits);
+        }
+    }
     return result;
 }
 
 SimResult
 runTrace(const trace::Trace &trace, const topo::Topology &topo,
-         const topo::RoutingFunction &routing, const SimConfig &config)
+         const topo::RoutingFunction &routing, const SimConfig &config,
+         obs::SimObserver *observer)
 {
     if (trace.numRanks() != topo.numProcs())
         fatal("runTrace: trace has ", trace.numRanks(),
               " ranks but topology has ", topo.numProcs(), " procs");
     Network network(topo, routing, config);
+    network.setObserver(observer);
     return runTrace(trace, network);
 }
 
 SimResult
 runTrace(const trace::Trace &trace, const topo::Topology &topo,
          const topo::RoutingFunction &routing, const SimConfig &config,
-         const FaultConfig &faults)
+         const FaultConfig &faults, obs::SimObserver *observer)
 {
     if (trace.numRanks() != topo.numProcs())
         fatal("runTrace: trace has ", trace.numRanks(),
               " ranks but topology has ", topo.numProcs(), " procs");
     Network network(topo, routing, config, FaultModel(topo, faults));
+    network.setObserver(observer);
     return runTrace(trace, network);
 }
 

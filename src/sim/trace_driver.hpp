@@ -72,15 +72,19 @@ struct SimResult
 /**
  * Drive @p trace through @p network until every rank completes.
  * The network must be freshly constructed for the trace's rank count.
+ * An observer attached to the network is finalized (end-of-run counter
+ * snapshot, last epoch closed) before the result is returned.
  */
 SimResult runTrace(const trace::Trace &trace, Network &network);
 
 /**
  * Convenience: build the network for (topo, routing, config) and run.
+ * @p observer, when non-null, is attached for the duration of the run.
  */
 SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
                    const topo::RoutingFunction &routing,
-                   const SimConfig &config = {});
+                   const SimConfig &config = {},
+                   obs::SimObserver *observer = nullptr);
 
 /**
  * Fault-injection variant: resolve @p faults against @p topo, build the
@@ -89,7 +93,8 @@ SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
  */
 SimResult runTrace(const trace::Trace &trace, const topo::Topology &topo,
                    const topo::RoutingFunction &routing,
-                   const SimConfig &config, const FaultConfig &faults);
+                   const SimConfig &config, const FaultConfig &faults,
+                   obs::SimObserver *observer = nullptr);
 
 } // namespace minnoc::sim
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Paper-fidelity golden regression suite: the finalized network stats
+ * (switch count, pipe count, max switch degree, color count, link and
+ * channel totals) for all five NAS patterns at a fixed seed are locked
+ * into tests/golden/ and diffed on every run, so perf or algorithm PRs
+ * cannot silently drift the reproduced designs.
+ *
+ * Regeneration (after an INTENTIONAL change to design output):
+ *
+ *     MINNOC_REGEN_GOLDEN=1 ./build/tests/test_golden_designs
+ *
+ * then review the tests/golden/ diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/methodology.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/nas_generators.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+std::string
+goldenPath(trace::Benchmark bench)
+{
+    return std::string(MINNOC_TESTS_DIR) + "/golden/" +
+           trace::benchmarkName(bench) + ".golden";
+}
+
+/** The design the golden files snapshot: small config, fixed seed. */
+core::DesignOutcome
+goldenDesign(trace::Benchmark bench, std::uint32_t *ranksOut)
+{
+    trace::NasConfig tcfg;
+    tcfg.ranks = trace::smallConfigRanks(bench);
+    tcfg.iterations = 1;
+    tcfg.seed = 1;
+    const auto tr = trace::generateBenchmark(bench, tcfg);
+    *ranksOut = tr.numRanks();
+
+    core::MethodologyConfig cfg;
+    cfg.partitioner.constraints.maxDegree = 5;
+    cfg.partitioner.seed = 1;
+    cfg.restarts = 6;
+    cfg.threads = 1;
+    return core::runMethodology(trace::analyzeByCall(tr), cfg);
+}
+
+/** Render the stats snapshot in the golden file format. */
+std::string
+statsSnapshot(trace::Benchmark bench, std::uint32_t ranks,
+              const core::DesignOutcome &outcome)
+{
+    const auto &d = outcome.design;
+    std::uint32_t maxDegree = 0;
+    for (core::SwitchId s = 0; s < d.numSwitches; ++s)
+        maxDegree = std::max(maxDegree, d.switchDegree(s));
+    // "Color count": the largest per-pipe-direction channel count, i.e.
+    // the maximum chromatic number the formal coloring assigned to any
+    // pipe conflict graph (paper Section 3.2).
+    std::uint32_t colors = 0;
+    for (const auto &pipe : d.pipes)
+        colors = std::max(colors, std::max(pipe.linksFwd, pipe.linksBwd));
+
+    std::ostringstream oss;
+    oss << "bench=" << trace::benchmarkName(bench) << "\n"
+        << "ranks=" << ranks << "\n"
+        << "switches=" << d.numSwitches << "\n"
+        << "pipes=" << d.pipes.size() << "\n"
+        << "max_degree=" << maxDegree << "\n"
+        << "colors=" << colors << "\n"
+        << "links=" << d.totalLinks() << "\n"
+        << "channels=" << d.totalChannels() << "\n"
+        << "constraints_met=" << (outcome.constraintsMet ? 1 : 0) << "\n"
+        << "violations=" << outcome.violations.size() << "\n";
+    return oss.str();
+}
+
+class GoldenDesigns : public ::testing::TestWithParam<trace::Benchmark>
+{
+};
+
+} // namespace
+
+TEST_P(GoldenDesigns, MatchesSnapshot)
+{
+    const auto bench = GetParam();
+    std::uint32_t ranks = 0;
+    const auto outcome = goldenDesign(bench, &ranks);
+    const auto actual = statsSnapshot(bench, ranks, outcome);
+    const auto path = goldenPath(bench);
+
+    if (std::getenv("MINNOC_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "cannot write " << path;
+        os << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — regenerate with MINNOC_REGEN_GOLDEN=1 "
+                    << "./build/tests/test_golden_designs";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto expected = buffer.str();
+
+    EXPECT_EQ(expected, actual)
+        << "finalized design stats for " << trace::benchmarkName(bench)
+        << " drifted from tests/golden/. If the change is intentional, "
+        << "regenerate with MINNOC_REGEN_GOLDEN=1 "
+        << "./build/tests/test_golden_designs and review the diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GoldenDesigns,
+    ::testing::Values(trace::Benchmark::BT, trace::Benchmark::CG,
+                      trace::Benchmark::FFT, trace::Benchmark::MG,
+                      trace::Benchmark::SP),
+    [](const ::testing::TestParamInfo<trace::Benchmark> &info) {
+        return trace::benchmarkName(info.param);
+    });
+
+TEST(GoldenDesigns, PerturbationFailsLoudly)
+{
+    // Self-test of the diff: a one-switch perturbation of the snapshot
+    // must not compare equal to the golden content, so a genuinely
+    // drifted design can never slip through the string comparison.
+    std::uint32_t ranks = 0;
+    const auto outcome = goldenDesign(trace::Benchmark::CG, &ranks);
+    auto perturbed = outcome;
+    perturbed.design.numSwitches += 1;
+    perturbed.design.switchProcs.emplace_back();
+
+    const auto clean =
+        statsSnapshot(trace::Benchmark::CG, ranks, outcome);
+    const auto dirty =
+        statsSnapshot(trace::Benchmark::CG, ranks, perturbed);
+    EXPECT_NE(clean, dirty);
+    EXPECT_NE(dirty.find("switches="), std::string::npos);
+}

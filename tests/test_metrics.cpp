@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the observability metrics registry: histogram bucket
+ * geometry and quantiles, registry JSON schema (validated with the
+ * in-tree parser), timing-metric exclusion, and dump determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+using namespace minnoc;
+using obs::LatencyHistogram;
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    // Below 2^kSubBits every value has its own bucket.
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketOf(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketLo(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketHi(v), v);
+    }
+}
+
+TEST(LatencyHistogram, BucketEdgesRoundTrip)
+{
+    // Every value maps into a bucket whose [lo, hi] contains it, and
+    // bucket indexing is monotone in the value.
+    std::size_t prev = 0;
+    for (std::uint64_t v :
+         {0ull, 1ull, 15ull, 16ull, 17ull, 31ull, 32ull, 100ull,
+          1000ull, 65535ull, 65536ull, 1000000ull, (1ull << 40),
+          (1ull << 40) + 12345, ~0ull}) {
+        const auto b = LatencyHistogram::bucketOf(v);
+        EXPECT_LE(LatencyHistogram::bucketLo(b), v) << "v=" << v;
+        EXPECT_GE(LatencyHistogram::bucketHi(b), v) << "v=" << v;
+        EXPECT_GE(b, prev) << "v=" << v;
+        prev = b;
+    }
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded)
+{
+    // Bucket width never exceeds 1/16 of the bucket's lower edge — the
+    // quantile resolution guarantee.
+    for (std::uint64_t v = 16; v < (1ull << 20); v = v * 3 / 2 + 1) {
+        const auto b = LatencyHistogram::bucketOf(v);
+        const auto lo = LatencyHistogram::bucketLo(b);
+        const auto hi = LatencyHistogram::bucketHi(b);
+        EXPECT_LE(hi - lo + 1, lo / 16 + 1) << "v=" << v;
+    }
+}
+
+TEST(LatencyHistogram, CountSumMinMaxExact)
+{
+    LatencyHistogram h;
+    std::uint64_t sum = 0;
+    for (std::uint64_t v = 7; v < 5000; v += 13) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), (5000 - 7 + 12) / 13);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 4999u);
+    EXPECT_NEAR(h.mean(),
+                static_cast<double>(sum) /
+                    static_cast<double>(h.count()),
+                1e-9);
+}
+
+TEST(LatencyHistogram, QuantilesWithinResolution)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    // p50 of 1..1000 is 500; the bucketed answer may overshoot by at
+    // most one bucket width (6.25%).
+    const auto p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 500u);
+    EXPECT_LE(p50, 532u);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(1.0), 1000u);
+    const auto p99 = h.quantile(0.99);
+    EXPECT_GE(p99, 990u);
+    EXPECT_LE(p99, 1000u);
+}
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    const LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, JsonIsValidAndNameOrdered)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("zeta/events").add(3);
+    reg.gauge("alpha/value").set(1.5);
+    reg.series("mid/points").sample(10, 0.25);
+    reg.series("mid/points").sample(20, 0.5);
+    reg.histogram("beta/latency").record(42);
+
+    const auto dump = reg.toJson();
+    const auto parsed = json::parse(dump);
+    ASSERT_TRUE(parsed.has_value()) << dump;
+
+    const auto *metrics = parsed->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isArray());
+    const auto &arr = metrics->asArray();
+    ASSERT_EQ(arr.size(), 4u);
+
+    // Name order regardless of registration order.
+    std::vector<std::string> names;
+    for (const auto &m : arr)
+        names.push_back(m.find("name")->asString());
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "alpha/value", "beta/latency", "mid/points",
+                         "zeta/events"}));
+
+    EXPECT_EQ(arr[0].find("type")->asString(), "gauge");
+    EXPECT_EQ(arr[0].find("value")->asNumber(), 1.5);
+    EXPECT_EQ(arr[1].find("type")->asString(), "histogram");
+    EXPECT_EQ(arr[1].find("count")->asNumber(), 1.0);
+    EXPECT_EQ(arr[2].find("type")->asString(), "series");
+    EXPECT_EQ(arr[2].find("points")->asArray().size(), 2u);
+    EXPECT_EQ(arr[3].find("type")->asString(), "counter");
+    EXPECT_EQ(arr[3].find("value")->asNumber(), 3.0);
+}
+
+TEST(MetricsRegistry, TimingMetricsExcludedByDefault)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("work/items").add(1);
+    reg.gauge("work/elapsed_us", true).set(12345.0);
+
+    const auto dump = reg.toJson();
+    EXPECT_EQ(dump.find("elapsed_us"), std::string::npos);
+    EXPECT_NE(dump.find("work/items"), std::string::npos);
+
+    const auto withTimings = reg.toJson(true);
+    EXPECT_NE(withTimings.find("elapsed_us"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ReturnedHandlesAreStable)
+{
+    obs::MetricsRegistry reg;
+    auto &c = reg.counter("c");
+    c.add(1);
+    reg.counter("other").add(99);
+    // Registering more metrics must not invalidate earlier handles.
+    c.add(1);
+    EXPECT_EQ(reg.counter("c").value(), 2u);
+}
+
+TEST(MetricsRegistry, DumpIsDeterministic)
+{
+    const auto build = [] {
+        obs::MetricsRegistry reg;
+        reg.gauge("g").set(0.30000000000000004);
+        reg.counter("c").add(7);
+        auto &h = reg.histogram("h");
+        for (std::uint64_t v = 0; v < 100; v += 3)
+            h.record(v);
+        return reg.toJson();
+    };
+    EXPECT_EQ(build(), build());
+}

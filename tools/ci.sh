@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Four phases:
+# Five phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -15,6 +15,10 @@
 #     fresh cache dir under the build tree — the warm rerun must hit
 #     the cache on every job (zero design recomputations) and its
 #     frontier JSON must be byte-identical to the cold run's.
+#  5. Observability: golden-design + metrics-determinism suites rerun
+#     explicitly under ASan, sample metrics/Chrome-trace artifacts are
+#     exported through the CLI, and the explore metrics dump is
+#     compared byte-for-byte across thread counts.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -74,3 +78,32 @@ echo "$warm" | grep -q "100.0% hit rate" ||
     { echo "FAIL: warm explore rerun below 100% cache hits"; exit 1; }
 cmp "$build_bench/cg_frontier.json" "$build_bench/cg_frontier_warm.json" ||
     { echo "FAIL: warm frontier JSON differs from cold"; exit 1; }
+
+echo "=== phase 5: observability exports ==="
+# Golden designs + metrics determinism explicitly under ASan (they also
+# run inside phase 1's ctest; this re-run makes a drift failure loud
+# and self-describing in the CI log).
+"$build/tests/test_golden_designs"
+"$build/tests/test_metrics_determinism"
+
+# Sample artifacts: one simulate run with both exporters on, plus a
+# cross-thread byte-identity check on the explore metrics dump.
+"$build_bench/tools/minnoc" simulate "$build_bench/ci-cg.trace" \
+    --network mesh \
+    --metrics-out "$build_bench/sim_metrics.json" \
+    --chrome-trace "$build_bench/sim_trace.json"
+grep -q '"traceEvents"' "$build_bench/sim_trace.json" ||
+    { echo "FAIL: chrome trace missing traceEvents"; exit 1; }
+grep -q '"minnoc-metrics-v1"' "$build_bench/sim_metrics.json" ||
+    { echo "FAIL: metrics dump missing schema marker"; exit 1; }
+# --cache 0 pins cache state: hit/miss metrics must reflect thread
+# count only, never what a previous phase happened to warm.
+"$build_bench/tools/minnoc" explore "$build_bench/ci-cg.trace" \
+    --degrees 4,5 --vcs 2,3 --restarts 2 --cache 0 --threads 1 \
+    --metrics-out "$build_bench/explore_metrics_t1.json" >/dev/null
+"$build_bench/tools/minnoc" explore "$build_bench/ci-cg.trace" \
+    --degrees 4,5 --vcs 2,3 --restarts 2 --cache 0 --threads 4 \
+    --metrics-out "$build_bench/explore_metrics_t4.json" >/dev/null
+cmp "$build_bench/explore_metrics_t1.json" \
+    "$build_bench/explore_metrics_t4.json" ||
+    { echo "FAIL: explore metrics differ across thread counts"; exit 1; }

@@ -23,6 +23,9 @@
 
 #include "core/design_io.hpp"
 #include "dse/explorer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sim_observer.hpp"
+#include "obs/trace_event.hpp"
 #include "topo/dot.hpp"
 #include "core/methodology.hpp"
 #include "sim/fault.hpp"
@@ -56,6 +59,38 @@ loadDesignFile(const std::string &path)
     if (!in)
         fatal("cannot open design file '", path, "'");
     return core::loadDesign(in);
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write '", path, "'");
+    os << content;
+}
+
+/**
+ * Honor the shared observability flags: dump the metrics registry to
+ * --metrics-out (deterministic content, timing metrics excluded) and
+ * the trace-event log to --chrome-trace (open in Perfetto /
+ * chrome://tracing).
+ */
+void
+exportObservability(const Args &args, const obs::MetricsRegistry &metrics,
+                    const obs::TraceEventLog &traceLog)
+{
+    const auto metricsOut = args.get("metrics-out");
+    if (!metricsOut.empty()) {
+        writeFileOrDie(metricsOut, metrics.toJson());
+        std::printf("wrote %s\n", metricsOut.c_str());
+    }
+    const auto traceOut = args.get("chrome-trace");
+    if (!traceOut.empty()) {
+        writeFileOrDie(traceOut, traceLog.toJson());
+        std::printf("wrote %s (open in Perfetto or chrome://tracing)\n",
+                    traceOut.c_str());
+    }
 }
 
 int
@@ -115,8 +150,16 @@ cmdDesign(const Args &args)
     mcfg.partitioner.seed = args.getU32("seed", 1);
     mcfg.threads = args.getU32("threads", 0);
 
+    obs::MetricsRegistry metrics;
+    obs::TraceEventLog traceLog;
+    if (args.has("metrics-out"))
+        mcfg.metrics = &metrics;
+    if (args.has("chrome-trace"))
+        mcfg.traceLog = &traceLog;
+
     const auto outcome =
         core::runMethodology(trace::analyzeByCall(tr), mcfg);
+    exportObservability(args, metrics, traceLog);
     std::printf("design: %s\n", outcome.summary().c_str());
     if (!outcome.violations.empty()) {
         warn("design is NOT contention-free (", outcome.violations.size(),
@@ -244,9 +287,22 @@ cmdSimulate(const Args &args)
     const bool faulty = fcfg.randomFailLinks > 0 ||
                         !fcfg.failLinks.empty() ||
                         fcfg.flitErrorRate > 0.0;
+
+    const bool observe =
+        args.has("metrics-out") || args.has("chrome-trace");
+    obs::SimObserver observer;
+    obs::SimObserver *op = observe ? &observer : nullptr;
     const auto res =
-        faulty ? sim::runTrace(tr, *net.topo, *net.routing, scfg, fcfg)
-               : sim::runTrace(tr, *net.topo, *net.routing, scfg);
+        faulty
+            ? sim::runTrace(tr, *net.topo, *net.routing, scfg, fcfg, op)
+            : sim::runTrace(tr, *net.topo, *net.routing, scfg, op);
+    if (observe) {
+        obs::MetricsRegistry metrics;
+        obs::TraceEventLog traceLog;
+        observer.exportTo(metrics);
+        observer.exportTrace(traceLog);
+        exportObservability(args, metrics, traceLog);
+    }
     printResult(name.c_str(), net, res, faulty);
     return 0;
 }
@@ -318,7 +374,15 @@ cmdExplore(const Args &args)
     cfg.cacheDir = args.get("cache-dir");
     cfg.useCache = args.getU32("cache", 1) != 0;
 
+    obs::MetricsRegistry metrics;
+    obs::TraceEventLog traceLog;
+    if (args.has("metrics-out"))
+        cfg.metrics = &metrics;
+    if (args.has("chrome-trace"))
+        cfg.traceLog = &traceLog;
+
     const auto report = dse::explore(tr, cfg);
+    exportObservability(args, metrics, traceLog);
     const auto json = report.toJson();
 
     // JSON is the machine artifact; keep the human summary off its
@@ -362,17 +426,22 @@ usage()
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "           [--threads N]  (0 = hardware concurrency; any N\n"
         "           yields the same design)\n"
+        "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "  show     DESIGN\n"
         "  simulate TRACE --network mesh|torus|crossbar|DESIGN\n"
         "           [--fail-links N] [--fail-link-ids 3,17]\n"
         "           [--fail-at CYCLE] [--flit-error-rate P]\n"
         "           [--fault-seed S] [--max-retransmits R]\n"
         "           [--max-recoveries R]\n"
+        "           [--metrics-out FILE] [--chrome-trace FILE]\n"
+        "           (metrics-out: deterministic JSON telemetry dump;\n"
+        "           chrome-trace: Perfetto-loadable timeline)\n"
         "  compare  TRACE [--max-degree D]\n"
         "  explore  TRACE [--degrees 4,5,6] [--restarts 8]\n"
         "           [--seeds 1] [--vcs 2,3] [--unidirectional 0,1]\n"
         "           [--vc-depth D] [--threads N] [--cache-dir DIR]\n"
         "           [--cache 0|1] [--out FILE]\n"
+        "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           (design-space sweep -> Pareto frontier JSON;\n"
         "           results are content-cached and byte-identical at\n"
         "           any --threads value)\n"
@@ -383,16 +452,19 @@ usage()
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"gen", {"bench", "ranks", "iterations", "seed", "out"}},
     {"analyze", {"verbose"}},
-    {"design", {"max-degree", "restarts", "seed", "out", "threads"}},
+    {"design",
+     {"max-degree", "restarts", "seed", "out", "threads", "metrics-out",
+      "chrome-trace"}},
     {"show", {}},
     {"simulate",
      {"network", "fail-links", "fail-link-ids", "fail-at",
       "flit-error-rate", "fault-seed", "max-retransmits",
-      "max-recoveries"}},
+      "max-recoveries", "metrics-out", "chrome-trace"}},
     {"compare", {"max-degree", "threads"}},
     {"explore",
      {"degrees", "restarts", "seeds", "vcs", "unidirectional",
-      "vc-depth", "threads", "cache-dir", "cache", "out"}},
+      "vc-depth", "threads", "cache-dir", "cache", "out", "metrics-out",
+      "chrome-trace"}},
     {"dot", {"out"}},
 };
 
