@@ -6,6 +6,7 @@
 
 #include "core/methodology.hpp"
 #include "pareto.hpp"
+#include "phase/evaluator.hpp"
 #include "sim/trace_driver.hpp"
 #include "topo/builders.hpp"
 #include "trace/analyzer.hpp"
@@ -60,14 +61,17 @@ ExploreGrid::expand() const
             for (const auto seed : seeds) {
                 for (const auto uni : unidirectional) {
                     for (const auto vc : vcs) {
-                        JobParams p;
-                        p.maxDegree = degree;
-                        p.restarts = r;
-                        p.seed = seed;
-                        p.unidirectional = uni != 0;
-                        p.numVcs = vc;
-                        p.vcDepth = vcDepth;
-                        jobs.push_back(p);
+                        for (const auto pw : phaseWindows) {
+                            JobParams p;
+                            p.maxDegree = degree;
+                            p.restarts = r;
+                            p.seed = seed;
+                            p.unidirectional = uni != 0;
+                            p.numVcs = vc;
+                            p.vcDepth = vcDepth;
+                            p.phaseWindow = pw;
+                            jobs.push_back(p);
+                        }
                     }
                 }
             }
@@ -79,10 +83,19 @@ ExploreGrid::expand() const
 std::string
 jobSignature(const JobParams &params, const ExploreConfig &config)
 {
-    return methodologyConfigFor(params).signature() + "|" +
-           config.floorplan.signature() + "|" +
-           config.power.signature() + "|" +
-           simConfigFor(params, config).signature();
+    std::string sig = methodologyConfigFor(params).signature() + "|" +
+                      config.floorplan.signature() + "|" +
+                      config.power.signature() + "|" +
+                      simConfigFor(params, config).signature();
+    // Appended only when phase-aware evaluation is on, so classic jobs
+    // keep the cache keys they had before the phase dimension existed.
+    if (params.phaseWindow > 0) {
+        phase::PhaseConfig pcfg = config.phaseSegmenter;
+        pcfg.windowMessages = params.phaseWindow;
+        sig += "|phase:" + pcfg.signature() +
+               ";rc=" + std::to_string(config.phaseReconfigCost);
+    }
+    return sig;
 }
 
 JobMetrics
@@ -103,6 +116,44 @@ evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
     };
 
     const auto mcfg = methodologyConfigFor(params);
+
+    if (params.phaseWindow > 0) {
+        // Phase-aware job: segment, synthesize one network per phase,
+        // replay each sub-trace on its own network, charge the
+        // reconfiguration penalty at every boundary. Resource axes
+        // report per-phase maxima (the fabric must host the largest
+        // phase network); time and energy axes are totals.
+        phase::PhaseEvalConfig pcfg;
+        pcfg.segmenter = config.phaseSegmenter;
+        pcfg.segmenter.windowMessages = params.phaseWindow;
+        pcfg.methodology = mcfg;
+        pcfg.floorplan = config.floorplan;
+        pcfg.power = config.power;
+        pcfg.sim = simConfigFor(params, config);
+        pcfg.reconfigCost = config.phaseReconfigCost;
+
+        const auto t0 = tick();
+        const auto s = phase::evaluateTimeMultiplexed(trace, pcfg);
+        span("time-multiplexed", t0);
+
+        JobMetrics m;
+        m.switches = s.switches;
+        m.links = s.links;
+        m.channels = s.channels;
+        m.constraintsMet = s.constraintsMet;
+        m.violations = s.violations;
+        m.rounds = s.rounds;
+        m.switchArea = s.switchArea;
+        m.linkArea = s.linkArea;
+        m.procLinkArea = s.procLinkArea;
+        m.execTime = s.execTime;
+        m.avgLatency = s.avgLatency;
+        m.avgHops = s.avgHops;
+        m.maxLinkUtil = s.maxLinkUtil;
+        m.energy = s.energy;
+        return m;
+    }
+
     // Re-entrant, strictly sequential run: the explorer's own pool
     // provides the parallelism, one job per worker.
     auto t = tick();
@@ -272,6 +323,7 @@ ExploreReport::toJson() const
             << ", \"seed\": " << p.seed << ", \"unidirectional\": "
             << (p.unidirectional ? 1 : 0) << ", \"vcs\": " << p.numVcs
             << ", \"vc_depth\": " << p.vcDepth
+            << ", \"phase_window\": " << p.phaseWindow
             << ", \"switches\": " << m.switches << ", \"links\": "
             << m.links << ", \"channels\": " << m.channels
             << ", \"constraints_met\": " << (m.constraintsMet ? 1 : 0)
@@ -301,9 +353,9 @@ ExploreReport::summaryTable() const
     std::ostringstream oss;
     char line[256];
     std::snprintf(line, sizeof line,
-                  "%-3s %3s %4s %4s %3s %3s | %3s %5s %5s | %9s %9s | "
-                  "%10s | %s\n",
-                  "idx", "deg", "rst", "seed", "uni", "vcs", "sw",
+                  "%-3s %3s %4s %4s %3s %3s %4s | %3s %5s %5s | %9s %9s "
+                  "| %10s | %s\n",
+                  "idx", "deg", "rst", "seed", "uni", "vcs", "pw", "sw",
                   "links", "area", "latency", "exec", "energy", "");
     oss << line;
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -312,11 +364,12 @@ ExploreReport::summaryTable() const
         const auto &m = pt.metrics;
         std::snprintf(
             line, sizeof line,
-            "%-3zu %3u %4u %4llu %3u %3u | %3u %5u %5u | %9.2f %9lld | "
-            "%10.0f | %s%s\n",
+            "%-3zu %3u %4u %4llu %3u %3u %4u | %3u %5u %5u | %9.2f "
+            "%9lld | %10.0f | %s%s\n",
             i, p.maxDegree, p.restarts,
             static_cast<unsigned long long>(p.seed),
-            p.unidirectional ? 1 : 0, p.numVcs, m.switches, m.links,
+            p.unidirectional ? 1 : 0, p.numVcs, p.phaseWindow,
+            m.switches, m.links,
             m.totalArea(), m.avgLatency,
             static_cast<long long>(m.execTime), m.energy,
             pt.dominated ? "" : "* frontier",

@@ -28,6 +28,7 @@
 #include "job.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
+#include "phase/segmenter.hpp"
 #include "sim/config.hpp"
 #include "topo/floorplan.hpp"
 #include "topo/power.hpp"
@@ -37,8 +38,8 @@ namespace minnoc::dse {
 
 /**
  * The swept parameter grid; expand() emits the cross product in a
- * fixed nested order (degree, restarts, seed, directionality, VCs),
- * which is also the point order of every report.
+ * fixed nested order (degree, restarts, seed, directionality, VCs,
+ * phase window), which is also the point order of every report.
  */
 struct ExploreGrid
 {
@@ -49,6 +50,13 @@ struct ExploreGrid
     std::vector<std::uint32_t> unidirectional = {0, 1};
     std::vector<std::uint32_t> vcs = {2, 3};
     std::uint32_t vcDepth = 4;
+    /**
+     * Phase-segmentation windows (messages); 0 = phase-aware evaluation
+     * off, the classic single-network pipeline. The default sweeps only
+     * the off point, so existing grids, reports and cache entries are
+     * untouched unless the sweep is asked for.
+     */
+    std::vector<std::uint32_t> phaseWindows = {0};
 
     std::vector<JobParams> expand() const;
 };
@@ -71,6 +79,15 @@ struct ExploreConfig
     topo::PowerModel power;
     /** Base simulator config; the grid overrides numVcs / vcDepth. */
     sim::SimConfig sim;
+
+    /**
+     * Segmenter template for phase-window jobs; the grid overrides
+     * windowMessages. Only hashed into the keys of jobs whose
+     * phaseWindow is nonzero, so classic jobs keep their cache keys.
+     */
+    phase::PhaseConfig phaseSegmenter;
+    /** Boundary drain+swap penalty for phase-window jobs (cycles). */
+    sim::Cycle phaseReconfigCost = 500;
 
     /**
      * Optional telemetry sinks (not owned, may be null). Per-job cache

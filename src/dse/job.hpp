@@ -33,6 +33,13 @@ struct JobParams
     std::uint32_t numVcs = 3;
     /** Buffer depth per virtual channel, in flits. */
     std::uint32_t vcDepth = 4;
+    /**
+     * Phase-segmentation window in messages; 0 disables phase-aware
+     * evaluation (the classic monolithic pipeline). Nonzero selects the
+     * time-multiplexed pipeline: segment the trace, synthesize one
+     * network per phase, charge reconfiguration at every boundary.
+     */
+    std::uint32_t phaseWindow = 0;
 
     bool operator==(const JobParams &o) const = default;
 };

@@ -1,0 +1,392 @@
+#include "evaluator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "util/thread_pool.hpp"
+
+namespace minnoc::phase {
+
+namespace {
+
+/** %.17g — enough digits for exact double round-tripping. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+struct VariantEval
+{
+    VariantResult result;
+    topo::BuiltNetwork net;
+    sim::SimResult sim;
+};
+
+/** Floorplan, build, and replay one design on one (sub-)trace. */
+VariantEval
+evalDesign(const core::FinalizedDesign &design, std::size_t violations,
+           const trace::Trace &tr, const PhaseEvalConfig &config)
+{
+    VariantEval e;
+    const auto plan = topo::planFloor(design, config.floorplan);
+    e.net = topo::buildFromDesign(design, plan);
+    e.sim = sim::runTrace(tr, *e.net.topo, *e.net.routing, config.sim);
+    const auto energy = topo::computeEnergy(
+        *e.net.topo, e.sim.linkFlits, e.sim.execTime, config.power);
+
+    e.result.switches = design.numSwitches;
+    e.result.links = design.totalLinks();
+    e.result.channels = design.totalChannels();
+    e.result.area = plan.totalArea();
+    e.result.execTime = e.sim.execTime;
+    e.result.avgLatency = e.sim.avgPacketLatency;
+    e.result.energy = energy.total();
+    e.result.packetsDelivered = e.sim.packetsDelivered;
+    e.result.violations = violations;
+    return e;
+}
+
+void
+recordVariantMetrics(obs::MetricsRegistry &m, const std::string &prefix,
+                     const VariantResult &v)
+{
+    m.gauge(prefix + "area").set(static_cast<double>(v.area));
+    m.gauge(prefix + "exec_time").set(static_cast<double>(v.execTime));
+    m.gauge(prefix + "avg_latency").set(v.avgLatency);
+    m.gauge(prefix + "energy").set(v.energy);
+    m.gauge(prefix + "violations").set(static_cast<double>(v.violations));
+}
+
+std::string
+jsonVariant(const VariantResult &v)
+{
+    std::ostringstream oss;
+    oss << "{\"switches\": " << v.switches << ", \"links\": " << v.links
+        << ", \"channels\": " << v.channels << ", \"area\": " << v.area
+        << ", \"exec_time\": " << v.execTime << ", \"avg_latency\": "
+        << fmtDouble(v.avgLatency) << ", \"energy\": "
+        << fmtDouble(v.energy) << ", \"packets\": " << v.packetsDelivered
+        << ", \"violations\": " << v.violations << "}";
+    return oss.str();
+}
+
+} // namespace
+
+PhaseReport
+evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
+{
+    PhaseReport report;
+    report.pattern = trace.name();
+    report.ranks = trace.numRanks();
+    report.methodologySignature = config.methodology.signature();
+    report.segmenterSignature = config.segmenter.signature();
+    report.reconfigCost = config.reconfigCost;
+
+    const Segmentation seg = segmentTrace(trace, config.segmenter);
+    report.numMessages = seg.numMessages;
+    report.numWindows = seg.numWindows;
+    report.distances = seg.distances;
+
+    // One shared pool for every methodology run's restart loop; the
+    // runs themselves stay sequential, so the produced designs are
+    // thread-count-invariant.
+    std::uint32_t threads =
+        config.threads ? config.threads
+                       : std::thread::hardware_concurrency();
+    threads = std::max(threads, 1u);
+    std::optional<ThreadPool> pool;
+    if (threads > 1)
+        pool.emplace(threads);
+
+    const MultiPhaseResult multi = synthesizeMultiPhase(
+        trace, seg, config.methodology, pool ? &*pool : nullptr);
+
+    // Monolithic and union variants replay the full trace.
+    const auto mono =
+        evalDesign(multi.monolithic.design,
+                   multi.monolithic.violations.size(), trace, config);
+    report.monolithic = mono.result;
+    const auto uni = evalDesign(multi.unionDesign,
+                                multi.unionViolationCount(), trace, config);
+    report.unionVariant = uni.result;
+    for (const auto &v : multi.unionPhaseViolations)
+        report.unionPhaseViolations.push_back(v.size());
+
+    // Time-multiplexed: each phase's sub-trace on its own network, a
+    // drain+swap stall at every boundary, and the incoming network
+    // leaking (zero traffic) while it is swapped in.
+    std::uint64_t tmDelivered = 0;
+    double tmLatencyWeighted = 0.0;
+    for (std::uint32_t p = 0; p < seg.phases.size(); ++p) {
+        const trace::Trace sub = phaseSubTrace(trace, seg, p);
+        const auto &outcome = multi.phases[p].outcome;
+        const auto pe = evalDesign(outcome.design,
+                                   outcome.violations.size(), sub, config);
+
+        PhaseRow row;
+        row.index = p;
+        row.firstWindow = seg.phases[p].firstWindow;
+        row.lastWindow = seg.phases[p].lastWindow;
+        row.calls = seg.phases[p].calls.size();
+        row.messages = seg.phases[p].messages;
+        row.bytes = seg.phases[p].bytes;
+        row.network = pe.result;
+        report.phases.push_back(row);
+
+        report.timeMultiplexed.switches =
+            std::max(report.timeMultiplexed.switches, pe.result.switches);
+        report.timeMultiplexed.links =
+            std::max(report.timeMultiplexed.links, pe.result.links);
+        report.timeMultiplexed.channels =
+            std::max(report.timeMultiplexed.channels, pe.result.channels);
+        report.timeMultiplexed.area =
+            std::max(report.timeMultiplexed.area, pe.result.area);
+        report.timeMultiplexed.execTime += pe.result.execTime;
+        report.timeMultiplexed.energy += pe.result.energy;
+        report.timeMultiplexed.packetsDelivered +=
+            pe.result.packetsDelivered;
+        report.timeMultiplexed.violations += pe.result.violations;
+        tmDelivered += pe.sim.packetsDelivered;
+        tmLatencyWeighted += pe.sim.avgPacketLatency *
+                             static_cast<double>(pe.sim.packetsDelivered);
+
+        if (p > 0) {
+            // The incoming network idles for the drain+swap window.
+            ++report.reconfigCount;
+            report.reconfigCycles += config.reconfigCost;
+            const std::vector<std::uint64_t> idle(pe.sim.linkFlits.size(),
+                                                  0);
+            report.reconfigEnergy +=
+                topo::computeEnergy(*pe.net.topo, idle,
+                                    config.reconfigCost, config.power)
+                    .total();
+        }
+    }
+    report.timeMultiplexed.execTime += report.reconfigCycles;
+    report.timeMultiplexed.energy += report.reconfigEnergy;
+    report.timeMultiplexed.avgLatency =
+        tmDelivered ? tmLatencyWeighted / static_cast<double>(tmDelivered)
+                    : 0.0;
+
+    if constexpr (obs::kEnabled) {
+        if (config.metrics) {
+            auto &m = *config.metrics;
+            m.gauge("phase/count")
+                .set(static_cast<double>(seg.phases.size()));
+            m.gauge("phase/windows")
+                .set(static_cast<double>(seg.numWindows));
+            m.gauge("phase/messages")
+                .set(static_cast<double>(seg.numMessages));
+            for (const PhaseRow &row : report.phases) {
+                const std::string prefix =
+                    "phase/" + std::to_string(row.index) + "/";
+                m.gauge(prefix + "calls")
+                    .set(static_cast<double>(row.calls));
+                m.gauge(prefix + "messages")
+                    .set(static_cast<double>(row.messages));
+                m.gauge(prefix + "bytes")
+                    .set(static_cast<double>(row.bytes));
+                recordVariantMetrics(m, prefix, row.network);
+            }
+            recordVariantMetrics(m, "phase/variant/monolithic/",
+                                 report.monolithic);
+            recordVariantMetrics(m, "phase/variant/union/",
+                                 report.unionVariant);
+            recordVariantMetrics(m, "phase/variant/time_multiplexed/",
+                                 report.timeMultiplexed);
+            m.gauge("phase/reconfig/count")
+                .set(static_cast<double>(report.reconfigCount));
+            m.gauge("phase/reconfig/cycles")
+                .set(static_cast<double>(report.reconfigCycles));
+            m.gauge("phase/reconfig/energy").set(report.reconfigEnergy);
+        }
+        if (config.traceLog) {
+            // Two deterministic tracks in simulated time: the detected
+            // phase spans (replay clock) and the time-multiplexed
+            // schedule (per-phase execution + reconfiguration stalls).
+            auto &log = *config.traceLog;
+            log.processName(obs::kPidPhase, "minnoc phases");
+            log.threadName(obs::kPidPhase, 0, "detected phases");
+            log.threadName(obs::kPidPhase, 1, "tm schedule");
+            for (const PhaseInfo &p : seg.phases) {
+                const auto ts = static_cast<std::int64_t>(p.startTime);
+                const auto dur = std::max<std::int64_t>(
+                    static_cast<std::int64_t>(p.endTime - p.startTime),
+                    1);
+                log.complete("phase " + std::to_string(p.index),
+                             obs::kPidPhase, 0, ts, dur,
+                             "\"messages\": " +
+                                 std::to_string(p.messages));
+            }
+            std::int64_t clock = 0;
+            for (const PhaseRow &row : report.phases) {
+                if (row.index > 0) {
+                    log.complete("reconfig", obs::kPidPhase, 1, clock,
+                                 std::max<sim::Cycle>(config.reconfigCost,
+                                                      1));
+                    clock += config.reconfigCost;
+                }
+                log.complete("phase " + std::to_string(row.index) +
+                                 " exec",
+                             obs::kPidPhase, 1, clock,
+                             std::max<sim::Cycle>(row.network.execTime,
+                                                  1));
+                clock += row.network.execTime;
+            }
+        }
+    }
+    return report;
+}
+
+TimeMultiplexedSummary
+evaluateTimeMultiplexed(const trace::Trace &trace,
+                       const PhaseEvalConfig &config)
+{
+    const Segmentation seg = segmentTrace(trace, config.segmenter);
+    const PhaseCliques cliques = buildPhaseCliques(trace, seg);
+
+    core::MethodologyConfig quiet = config.methodology;
+    quiet.metrics = nullptr;
+    quiet.traceLog = nullptr;
+
+    TimeMultiplexedSummary s;
+    s.phases = static_cast<std::uint32_t>(seg.phases.size());
+
+    std::uint64_t delivered = 0;
+    double latencyWeighted = 0.0;
+    double hopsWeighted = 0.0;
+    for (std::uint32_t p = 0; p < seg.phases.size(); ++p) {
+        // Re-entrant sequential run: the caller (a DSE worker) owns
+        // the parallelism.
+        const auto outcome =
+            core::runMethodology(cliques.standalone[p], quiet, nullptr);
+        const auto plan =
+            topo::planFloor(outcome.design, config.floorplan);
+        const auto net = topo::buildFromDesign(outcome.design, plan);
+        const trace::Trace sub = phaseSubTrace(trace, seg, p);
+        const auto res =
+            sim::runTrace(sub, *net.topo, *net.routing, config.sim);
+        const auto energy = topo::computeEnergy(
+            *net.topo, res.linkFlits, res.execTime, config.power);
+
+        s.switches = std::max(s.switches, outcome.design.numSwitches);
+        s.links = std::max(s.links, outcome.design.totalLinks());
+        s.channels = std::max(s.channels, outcome.design.totalChannels());
+        s.constraintsMet = s.constraintsMet && outcome.constraintsMet;
+        s.violations +=
+            static_cast<std::uint32_t>(outcome.violations.size());
+        s.rounds = std::max(s.rounds, outcome.rounds);
+        s.switchArea = std::max(s.switchArea, plan.switchArea);
+        s.linkArea = std::max(s.linkArea, plan.linkArea);
+        s.procLinkArea = std::max(s.procLinkArea, plan.procLinkArea);
+        s.execTime += res.execTime;
+        s.maxLinkUtil = std::max(s.maxLinkUtil, res.maxLinkUtilization);
+        s.energy += energy.total();
+        delivered += res.packetsDelivered;
+        latencyWeighted += res.avgPacketLatency *
+                           static_cast<double>(res.packetsDelivered);
+        hopsWeighted += res.avgPacketHops *
+                        static_cast<double>(res.packetsDelivered);
+
+        if (p > 0) {
+            ++s.reconfigCount;
+            s.reconfigCycles += config.reconfigCost;
+            const std::vector<std::uint64_t> idle(res.linkFlits.size(),
+                                                  0);
+            s.reconfigEnergy +=
+                topo::computeEnergy(*net.topo, idle, config.reconfigCost,
+                                    config.power)
+                    .total();
+        }
+    }
+    s.execTime += s.reconfigCycles;
+    s.energy += s.reconfigEnergy;
+    if (delivered) {
+        s.avgLatency = latencyWeighted / static_cast<double>(delivered);
+        s.avgHops = hopsWeighted / static_cast<double>(delivered);
+    }
+    return s;
+}
+
+std::string
+PhaseReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"report\": \"minnoc-phase-gain\",\n"
+        << "  \"schema\": \"minnoc-phase-1\",\n"
+        << "  \"pattern\": \"" << pattern << "\",\n"
+        << "  \"ranks\": " << ranks << ",\n"
+        << "  \"segmenter\": \"" << segmenterSignature << "\",\n"
+        << "  \"methodology\": \"" << methodologySignature << "\",\n"
+        << "  \"reconfig_cost\": " << reconfigCost << ",\n"
+        << "  \"num_messages\": " << numMessages << ",\n"
+        << "  \"num_windows\": " << numWindows << ",\n"
+        << "  \"distances\": [";
+    for (std::size_t i = 0; i < distances.size(); ++i)
+        oss << (i ? ", " : "") << fmtDouble(distances[i]);
+    oss << "],\n"
+        << "  \"phases\": [\n";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PhaseRow &r = phases[i];
+        oss << "    {\"index\": " << r.index << ", \"first_window\": "
+            << r.firstWindow << ", \"last_window\": " << r.lastWindow
+            << ", \"calls\": " << r.calls << ", \"messages\": "
+            << r.messages << ", \"bytes\": " << r.bytes
+            << ", \"network\": " << jsonVariant(r.network) << "}"
+            << (i + 1 < phases.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n"
+        << "  \"union_phase_violations\": [";
+    for (std::size_t i = 0; i < unionPhaseViolations.size(); ++i)
+        oss << (i ? ", " : "") << unionPhaseViolations[i];
+    oss << "],\n"
+        << "  \"variants\": {\n"
+        << "    \"monolithic\": " << jsonVariant(monolithic) << ",\n"
+        << "    \"union\": " << jsonVariant(unionVariant) << ",\n"
+        << "    \"time_multiplexed\": " << jsonVariant(timeMultiplexed)
+        << "\n  },\n"
+        << "  \"reconfig\": {\"count\": " << reconfigCount
+        << ", \"cycles\": " << reconfigCycles << ", \"energy\": "
+        << fmtDouble(reconfigEnergy) << "}\n"
+        << "}\n";
+    return oss.str();
+}
+
+std::string
+PhaseReport::summaryTable() const
+{
+    std::ostringstream oss;
+    oss << phases.size() << " phase(s), " << numWindows << " window(s), "
+        << numMessages << " message(s); reconfig cost " << reconfigCost
+        << " cycles x " << reconfigCount << " boundaries\n";
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "%-16s %3s %5s %6s %10s %10s %12s %5s\n", "variant",
+                  "sw", "links", "area", "exec", "latency", "energy",
+                  "viol");
+    oss << line;
+    const auto row = [&oss, &line](const char *name,
+                                   const VariantResult &v) {
+        std::snprintf(line, sizeof line,
+                      "%-16s %3u %5u %6u %10lld %10.2f %12.0f %5zu\n",
+                      name, v.switches, v.links, v.area,
+                      static_cast<long long>(v.execTime), v.avgLatency,
+                      v.energy, v.violations);
+        oss << line;
+    };
+    row("monolithic", monolithic);
+    row("union", unionVariant);
+    row("time-multiplexed", timeMultiplexed);
+    return oss.str();
+}
+
+} // namespace minnoc::phase

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Phase-aware design evaluation and reporting.
+ *
+ * Replays the workload through the flit simulator under three design
+ * variants and emits a deterministic JSON comparison:
+ *
+ *  - monolithic: the whole trace on the single methodology design;
+ *  - union: the whole trace on the union design (monolithic partition
+ *    re-finalized over the merged unreduced cliques);
+ *  - time-multiplexed: each phase's sub-trace on that phase's own
+ *    network, with a drain+swap reconfiguration penalty charged at
+ *    every phase boundary (execution stalls for reconfigCost cycles
+ *    and the incoming network leaks energy while idle).
+ *
+ * The report is byte-identical across thread counts and reruns: every
+ * number derives from the deterministic methodology/simulator stack,
+ * doubles render as %.17g, and no wall-clock value enters the JSON.
+ */
+
+#ifndef MINNOC_PHASE_EVALUATOR_HPP
+#define MINNOC_PHASE_EVALUATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "multi_design.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/config.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+
+namespace minnoc::phase {
+
+/** Everything one evaluatePhases run needs. */
+struct PhaseEvalConfig
+{
+    PhaseConfig segmenter;
+    core::MethodologyConfig methodology;
+    topo::FloorplanConfig floorplan;
+    topo::PowerModel power;
+    sim::SimConfig sim;
+
+    /** Drain+swap penalty charged per phase boundary (cycles). */
+    sim::Cycle reconfigCost = 500;
+
+    /**
+     * Worker threads for the methodology restart loops (0 = hardware
+     * concurrency). Results are identical at every thread count.
+     */
+    std::uint32_t threads = 0;
+
+    /** Optional telemetry sinks (not owned, may be null). */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::TraceEventLog *traceLog = nullptr;
+};
+
+/** Simulated metrics of one design variant over the full workload. */
+struct VariantResult
+{
+    std::uint32_t switches = 0;
+    std::uint32_t links = 0;
+    std::uint32_t channels = 0;
+    std::uint32_t area = 0;
+    sim::Cycle execTime = 0;
+    double avgLatency = 0.0;
+    double energy = 0.0;
+    std::uint64_t packetsDelivered = 0;
+    std::size_t violations = 0;
+};
+
+/** Per-phase row of the report. */
+struct PhaseRow
+{
+    std::uint32_t index = 0;
+    std::uint32_t firstWindow = 0;
+    std::uint32_t lastWindow = 0;
+    std::size_t calls = 0;
+    std::size_t messages = 0;
+    std::uint64_t bytes = 0;
+    /** The phase's own network, driven by the phase's sub-trace. */
+    VariantResult network;
+};
+
+/** The full phase-gain comparison. */
+struct PhaseReport
+{
+    std::string pattern;
+    std::uint32_t ranks = 0;
+    std::string methodologySignature;
+    std::string segmenterSignature;
+    sim::Cycle reconfigCost = 0;
+
+    std::size_t numMessages = 0;
+    std::uint32_t numWindows = 0;
+    std::vector<double> distances;
+
+    std::vector<PhaseRow> phases;
+
+    VariantResult monolithic;
+    VariantResult unionVariant;
+    VariantResult timeMultiplexed;
+
+    /** Reconfiguration accounting inside the time-multiplexed run. */
+    std::uint32_t reconfigCount = 0;
+    sim::Cycle reconfigCycles = 0;
+    double reconfigEnergy = 0.0;
+
+    /** Union-design Theorem-1 violations per phase clique set. */
+    std::vector<std::size_t> unionPhaseViolations;
+
+    /** Deterministic JSON (schema "minnoc-phase-1"). */
+    std::string toJson() const;
+
+    /** Human-readable comparison table. */
+    std::string summaryTable() const;
+};
+
+/**
+ * Segment @p trace, synthesize the three variants, replay each, and
+ * assemble the comparison report.
+ */
+PhaseReport evaluatePhases(const trace::Trace &trace,
+                           const PhaseEvalConfig &config);
+
+/**
+ * Flat aggregate of one time-multiplexed run, shaped for the DSE
+ * explorer's job record: per-phase maxima on the provisioned-resource
+ * axes (a reconfigurable fabric must host the largest phase network),
+ * sums on time/energy with the boundary penalty folded in, and
+ * delivered-weighted means on the latency axes.
+ */
+struct TimeMultiplexedSummary
+{
+    std::uint32_t phases = 0;
+    std::uint32_t switches = 0;
+    std::uint32_t links = 0;
+    std::uint32_t channels = 0;
+    bool constraintsMet = true;
+    std::uint32_t violations = 0;
+    std::uint32_t rounds = 0;
+    std::uint32_t switchArea = 0;
+    std::uint32_t linkArea = 0;
+    std::uint32_t procLinkArea = 0;
+    sim::Cycle execTime = 0;
+    double avgLatency = 0.0;
+    double avgHops = 0.0;
+    double maxLinkUtil = 0.0;
+    double energy = 0.0;
+    std::uint32_t reconfigCount = 0;
+    sim::Cycle reconfigCycles = 0;
+    double reconfigEnergy = 0.0;
+};
+
+/**
+ * Segment @p trace and evaluate ONLY the time-multiplexed variant:
+ * one methodology run per phase over that phase's standalone cliques,
+ * each sub-trace replayed on its own network, reconfiguration charged
+ * at every boundary. Strictly sequential (metrics/traceLog ignored) —
+ * built for the DSE explorer, whose parallelism is across grid jobs.
+ */
+TimeMultiplexedSummary
+evaluateTimeMultiplexed(const trace::Trace &trace,
+                        const PhaseEvalConfig &config);
+
+} // namespace minnoc::phase
+
+#endif // MINNOC_PHASE_EVALUATOR_HPP

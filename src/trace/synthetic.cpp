@@ -26,6 +26,23 @@ patternName(Pattern p)
     panic("patternName: bad enum");
 }
 
+Pattern
+patternFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return Pattern::UniformRandom;
+    if (name == "transpose")
+        return Pattern::Transpose;
+    if (name == "bitrev")
+        return Pattern::BitReversal;
+    if (name == "hotspot")
+        return Pattern::Hotspot;
+    if (name == "neighbor")
+        return Pattern::Neighbor;
+    fatal("unknown synthetic pattern '", name,
+          "' (uniform, transpose, bitrev, hotspot, neighbor)");
+}
+
 namespace {
 
 std::uint32_t
@@ -49,6 +66,50 @@ gridWidth(std::uint32_t ranks)
     return w;
 }
 
+/** Destination of @p src under @p pattern (may return src itself). */
+core::ProcId
+patternDestination(Pattern pattern, core::ProcId src, std::uint32_t ranks,
+                   double hotspotFraction, Rng &rng)
+{
+    const std::uint32_t w = gridWidth(ranks);
+    const std::uint32_t h = ranks / w;
+    switch (pattern) {
+      case Pattern::UniformRandom: {
+        const auto d = static_cast<core::ProcId>(rng.below(ranks - 1));
+        return d >= src ? d + 1 : d;
+      }
+      case Pattern::Transpose: {
+        const std::uint32_t x = src % w;
+        const std::uint32_t y = src / w;
+        // Transpose on the (possibly non-square) grid: clamp into
+        // range by swapping within the smaller dimension.
+        const std::uint32_t nx = y % w;
+        const std::uint32_t ny = x % h;
+        return static_cast<core::ProcId>(ny * w + nx);
+      }
+      case Pattern::BitReversal: {
+        const std::uint32_t bits = bitsFor(ranks);
+        std::uint32_t out = 0;
+        for (std::uint32_t b = 0; b < bits; ++b) {
+            if (src & (1u << b))
+                out |= 1u << (bits - 1 - b);
+        }
+        return static_cast<core::ProcId>(out % ranks);
+      }
+      case Pattern::Hotspot:
+        if (src != 0 && rng.chance(hotspotFraction))
+            return 0;
+        else {
+            const auto d =
+                static_cast<core::ProcId>(rng.below(ranks - 1));
+            return d >= src ? d + 1 : d;
+        }
+      case Pattern::Neighbor:
+        return static_cast<core::ProcId>((src + 1) % ranks);
+    }
+    panic("patternDestination: bad pattern");
+}
+
 } // namespace
 
 Trace
@@ -60,46 +121,9 @@ generateSynthetic(const SyntheticConfig &cfg)
         fatal("generateSynthetic: load must be in [0, 1]");
 
     Rng rng(cfg.seed);
-    const std::uint32_t w = gridWidth(cfg.ranks);
-    const std::uint32_t h = cfg.ranks / w;
-    const std::uint32_t bits = bitsFor(cfg.ranks);
-
-    auto destination = [&](core::ProcId src) -> core::ProcId {
-        switch (cfg.pattern) {
-          case Pattern::UniformRandom: {
-            const auto d = static_cast<core::ProcId>(
-                rng.below(cfg.ranks - 1));
-            return d >= src ? d + 1 : d;
-          }
-          case Pattern::Transpose: {
-            const std::uint32_t x = src % w;
-            const std::uint32_t y = src / w;
-            // Transpose on the (possibly non-square) grid: clamp into
-            // range by swapping within the smaller dimension.
-            const std::uint32_t nx = y % w;
-            const std::uint32_t ny = x % h;
-            return static_cast<core::ProcId>(ny * w + nx);
-          }
-          case Pattern::BitReversal: {
-            std::uint32_t out = 0;
-            for (std::uint32_t b = 0; b < bits; ++b) {
-                if (src & (1u << b))
-                    out |= 1u << (bits - 1 - b);
-            }
-            return static_cast<core::ProcId>(out % cfg.ranks);
-          }
-          case Pattern::Hotspot:
-            if (src != 0 && rng.chance(cfg.hotspotFraction))
-                return 0;
-            else {
-                const auto d = static_cast<core::ProcId>(
-                    rng.below(cfg.ranks - 1));
-                return d >= src ? d + 1 : d;
-            }
-          case Pattern::Neighbor:
-            return static_cast<core::ProcId>((src + 1) % cfg.ranks);
-        }
-        panic("generateSynthetic: bad pattern");
+    auto destination = [&](core::ProcId src) {
+        return patternDestination(cfg.pattern, src, cfg.ranks,
+                                  cfg.hotspotFraction, rng);
     };
 
     Trace trace("synthetic-" + patternName(cfg.pattern), cfg.ranks);
@@ -131,6 +155,55 @@ generateSynthetic(const SyntheticConfig &cfg)
         const auto [src, dst] = channel;
         for (const auto c : calls)
             trace.push(dst, TraceOp::recv(src, cfg.bytes, c));
+    }
+    trace.validateMatching();
+    return trace;
+}
+
+Trace
+phaseShift(const std::vector<Pattern> &patterns,
+           const PhaseShiftConfig &cfg)
+{
+    if (patterns.empty())
+        fatal("phaseShift: need at least one pattern");
+    if (cfg.ranks < 2)
+        fatal("phaseShift: need at least two ranks");
+    if (cfg.itersPerPhase == 0 || cfg.sitesPerPhase == 0)
+        fatal("phaseShift: itersPerPhase and sitesPerPhase must be "
+              "positive");
+
+    std::string name = "phase-shift";
+    for (const Pattern p : patterns)
+        name += "-" + patternName(p);
+    Trace trace(name, cfg.ranks);
+
+    Rng rng(cfg.seed);
+    for (std::uint32_t e = 0; e < patterns.size(); ++e) {
+        for (std::uint32_t iter = 0; iter < cfg.itersPerPhase; ++iter) {
+            const std::uint32_t call =
+                e * cfg.sitesPerPhase + iter % cfg.sitesPerPhase;
+
+            // One bulk-synchronous exchange: every rank computes, then
+            // sends to its pattern destination, then receives what was
+            // aimed at it (rank-major), exactly like the NAS builders.
+            std::vector<std::pair<core::ProcId, core::ProcId>> sends;
+            for (core::ProcId r = 0; r < cfg.ranks; ++r) {
+                trace.push(r, TraceOp::compute(cfg.computeCycles));
+                const auto d = patternDestination(
+                    patterns[e], r, cfg.ranks, cfg.hotspotFraction, rng);
+                if (d == r)
+                    continue; // fixed points of the pattern stay silent
+                trace.push(r, TraceOp::send(d, cfg.bytes, call));
+                sends.emplace_back(r, d);
+            }
+            for (core::ProcId dst = 0; dst < cfg.ranks; ++dst) {
+                for (const auto &[s, d] : sends) {
+                    if (d == dst)
+                        trace.push(dst,
+                                   TraceOp::recv(s, cfg.bytes, call));
+                }
+            }
+        }
     }
     trace.validateMatching();
     return trace;

@@ -19,6 +19,7 @@
 #define MINNOC_TRACE_SYNTHETIC_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "trace.hpp"
 
@@ -35,6 +36,9 @@ enum class Pattern {
 
 /** Name string for reports. */
 std::string patternName(Pattern p);
+
+/** Inverse of patternName; fails via fatal() on an unknown name. */
+Pattern patternFromName(const std::string &name);
 
 /** Synthetic-traffic knobs. */
 struct SyntheticConfig
@@ -70,6 +74,43 @@ struct SyntheticConfig
  * end so they never block injection (sink semantics).
  */
 Trace generateSynthetic(const SyntheticConfig &config);
+
+/** Multi-phase synthetic workload knobs. */
+struct PhaseShiftConfig
+{
+    std::uint32_t ranks = 16;
+
+    /** Bulk-synchronous iterations per pattern epoch. */
+    std::uint32_t itersPerPhase = 8;
+
+    /**
+     * Distinct call sites each epoch cycles through (iteration i of
+     * epoch e uses callId e * sitesPerPhase + i % sitesPerPhase), so
+     * sites repeat within an epoch — the ground truth the segmenter's
+     * call-set Jaccard term detects — and never across epochs.
+     */
+    std::uint32_t sitesPerPhase = 4;
+
+    /** Payload bytes per message. */
+    std::uint64_t bytes = 256;
+
+    /** Compute cycles each rank burns before sending, per iteration. */
+    std::int64_t computeCycles = 64;
+
+    /** Fraction of hotspot traffic aimed at node 0 (Hotspot epochs). */
+    double hotspotFraction = 0.3;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Phase-shift workload: one bulk-synchronous epoch per entry of
+ * @p patterns, in order (e.g. neighbor -> transpose -> hotspot), each
+ * with its own callId range. Ground-truth fixture for the phase
+ * segmenter: the pattern changes exactly at the epoch boundaries.
+ */
+Trace phaseShift(const std::vector<Pattern> &patterns,
+                 const PhaseShiftConfig &config = {});
 
 } // namespace minnoc::trace
 

@@ -142,6 +142,10 @@ struct Args
                 fatal("unknown flag --", key, " (valid flags: ",
                       valid.empty() ? "none" : valid, ")");
             }
+            if (args.flags.count(key))
+                fatal("flag --", key,
+                      " given more than once (the values would "
+                      "silently overwrite each other)");
             args.flags[key] = value;
         }
         return args;

@@ -1,12 +1,22 @@
 #!/bin/sh
 # End-to-end smoke test of the minnoc CLI: generate a trace, analyze,
-# design, round-trip the design file through show/simulate/dot.
-# Invoked by CTest with $1 = path to the minnoc binary.
+# design, round-trip the design file through show/simulate/dot, and
+# run the phase-gain pipeline on a synthetic phase-shift workload.
+# Invoked by CTest with $1 = path to the minnoc binary and
+# $2 = path to the json_lint validator (optional; JSON checks are
+# skipped when absent).
 set -e
 
 MINNOC="$1"
+JSON_LINT="$2"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
+
+lint_json() {
+    if [ -n "$JSON_LINT" ]; then
+        "$JSON_LINT" "$@"
+    fi
+}
 
 "$MINNOC" gen --bench CG --ranks 8 --iterations 1 --out "$DIR/cg.trace"
 test -s "$DIR/cg.trace"
@@ -26,5 +36,31 @@ head -1 "$DIR/cg.design" | grep -q "minnoc-design 1"
 
 "$MINNOC" dot "$DIR/cg.design" --out "$DIR/cg.dot"
 grep -q "graph design" "$DIR/cg.dot"
+
+# Phase pipeline: a synthetic phase-shift workload must segment into
+# at least two phases, verify contention-free per phase, and produce a
+# byte-identical report at any thread count.
+"$MINNOC" gen --patterns neighbor,transpose,hotspot --ranks 16 \
+    --out "$DIR/shift.trace"
+test -s "$DIR/shift.trace"
+
+"$MINNOC" phases "$DIR/shift.trace" --restarts 4 --threads 1 \
+    --out "$DIR/phases1.json" >"$DIR/phases.log" 2>/dev/null
+grep -q "phase(s)" "$DIR/phases.log"
+phases=$(sed -n 's/^\([0-9]*\) phase(s).*/\1/p' "$DIR/phases.log")
+test "$phases" -ge 2
+
+"$MINNOC" phases "$DIR/shift.trace" --restarts 4 --threads 4 \
+    --out "$DIR/phases4.json" 2>/dev/null
+cmp "$DIR/phases1.json" "$DIR/phases4.json"
+lint_json "$DIR/phases1.json"
+grep -q '"union_phase_violations": \[0\(, 0\)*\]' "$DIR/phases1.json"
+
+# The explore sweep accepts the phase-window dimension and reports it.
+"$MINNOC" explore "$DIR/shift.trace" --degrees 5 --vcs 3 \
+    --unidirectional 0 --phase-windows 0,64 --cache 0 \
+    --out "$DIR/explore.json" 2>/dev/null
+lint_json "$DIR/explore.json"
+grep -q '"phase_window": 64' "$DIR/explore.json"
 
 echo "cli pipeline OK"

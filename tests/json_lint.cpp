@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Strict JSON validator for shell-driven tests: parse each file
+ * argument with the test suite's own parser and fail loudly on the
+ * first malformed one. Keeps the CLI pipeline test honest about the
+ * machine artifacts it produces without depending on jq.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: json_lint FILE...\n");
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream is(argv[i]);
+        if (!is) {
+            std::fprintf(stderr, "json_lint: cannot read %s\n", argv[i]);
+            return 1;
+        }
+        std::ostringstream oss;
+        oss << is.rdbuf();
+        if (!minnoc::json::parse(oss.str())) {
+            std::fprintf(stderr, "json_lint: %s is not valid JSON\n",
+                         argv[i]);
+            return 1;
+        }
+    }
+    return 0;
+}

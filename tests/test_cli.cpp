@@ -56,6 +56,22 @@ TEST(Cli, RejectsUnknownFlag)
                 ::testing::ExitedWithCode(1), "unknown flag --bogus");
 }
 
+TEST(Cli, RejectsRepeatedFlag)
+{
+    // "--seed 1 --seed 2" used to silently keep the last value; it
+    // must be a one-line error instead.
+    EXPECT_EXIT(parseArgs({"--seed", "1", "--seed", "2"}, {"seed"}),
+                ::testing::ExitedWithCode(1),
+                "flag --seed given more than once");
+}
+
+TEST(Cli, RejectsRepeatedFlagAcrossBothForms)
+{
+    EXPECT_EXIT(parseArgs({"--seed=1", "--seed", "2"}, {"seed"}),
+                ::testing::ExitedWithCode(1),
+                "flag --seed given more than once");
+}
+
 TEST(Cli, RejectsMissingValue)
 {
     EXPECT_EXIT(parseArgs({"--threads"}, {"threads"}),

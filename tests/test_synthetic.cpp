@@ -25,6 +25,76 @@ TEST(Synthetic, PatternNames)
     EXPECT_EQ(patternName(Pattern::Hotspot), "hotspot");
 }
 
+TEST(Synthetic, PatternNamesRoundTrip)
+{
+    for (const auto p :
+         {Pattern::UniformRandom, Pattern::Transpose,
+          Pattern::BitReversal, Pattern::Hotspot, Pattern::Neighbor}) {
+        EXPECT_EQ(patternFromName(patternName(p)), p);
+    }
+    EXPECT_EXIT(patternFromName("mesh"), ::testing::ExitedWithCode(1),
+                "unknown synthetic pattern");
+}
+
+TEST(PhaseShift, ValidatesConfig)
+{
+    EXPECT_EXIT(phaseShift({}), ::testing::ExitedWithCode(1),
+                "at least one pattern");
+    PhaseShiftConfig cfg;
+    cfg.ranks = 1;
+    EXPECT_EXIT(phaseShift({Pattern::Neighbor}, cfg),
+                ::testing::ExitedWithCode(1), "two ranks");
+}
+
+TEST(PhaseShift, CallIdsSegregateByEpoch)
+{
+    PhaseShiftConfig cfg;
+    cfg.ranks = 8;
+    const auto tr =
+        phaseShift({Pattern::Neighbor, Pattern::Transpose}, cfg);
+    EXPECT_EQ(tr.name(), "phase-shift-neighbor-transpose");
+
+    // Epoch e uses exactly the call-id range
+    // [e*sitesPerPhase, (e+1)*sitesPerPhase): distinct call sites per
+    // phase are what the segmenter's Jaccard term keys on.
+    for (core::ProcId r = 0; r < cfg.ranks; ++r) {
+        for (const auto &op : tr.timeline(r)) {
+            if (op.kind == OpKind::Send)
+                EXPECT_LT(op.callId, 2 * cfg.sitesPerPhase);
+        }
+    }
+}
+
+TEST(PhaseShift, NeighborEpochSendsEveryRankEveryIteration)
+{
+    PhaseShiftConfig cfg;
+    cfg.ranks = 8;
+    cfg.itersPerPhase = 4;
+    const auto tr = phaseShift({Pattern::Neighbor}, cfg);
+    EXPECT_EQ(tr.numSends(),
+              static_cast<std::size_t>(cfg.ranks) * cfg.itersPerPhase);
+}
+
+TEST(PhaseShift, ReplaysDeadlockFreeOnAMesh)
+{
+    const auto tr = phaseShift(
+        {Pattern::Neighbor, Pattern::Hotspot, Pattern::Transpose});
+    const auto mesh = topo::buildMesh(16);
+    const auto res = sim::runTrace(tr, *mesh.topo, *mesh.routing);
+    EXPECT_EQ(res.packetsDelivered, tr.numSends());
+    EXPECT_EQ(res.deadlockRecoveries, 0u);
+}
+
+TEST(PhaseShift, IsDeterministic)
+{
+    const auto a = phaseShift({Pattern::UniformRandom});
+    const auto b = phaseShift({Pattern::UniformRandom});
+    std::ostringstream sa, sb;
+    a.save(sa);
+    b.save(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
 TEST(Synthetic, ValidatesConfig)
 {
     SyntheticConfig cfg;

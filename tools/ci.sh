@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Five phases:
+# Six phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -19,6 +19,10 @@
 #     explicitly under ASan, sample metrics/Chrome-trace artifacts are
 #     exported through the CLI, and the explore metrics dump is
 #     compared byte-for-byte across thread counts.
+#  6. Phase pipeline smoke: a synthetic phase-shift trace must segment
+#     into >= 2 phases with a contention-free union design, the phases
+#     report must be byte-identical across reruns and thread counts,
+#     and the phase_gain bench emits its comparison JSON.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -107,3 +111,35 @@ grep -q '"minnoc-metrics-v1"' "$build_bench/sim_metrics.json" ||
 cmp "$build_bench/explore_metrics_t1.json" \
     "$build_bench/explore_metrics_t4.json" ||
     { echo "FAIL: explore metrics differ across thread counts"; exit 1; }
+
+echo "=== phase 6: phase pipeline smoke ==="
+cmake --build "$build_bench" -j "$jobs" --target phase_gain
+"$build_bench/tools/minnoc" gen \
+    --patterns neighbor,transpose,hotspot --ranks 16 \
+    --out "$build_bench/ci-shift.trace"
+phases_out="$("$build_bench/tools/minnoc" phases \
+    "$build_bench/ci-shift.trace" --restarts 4 --threads 1 \
+    --out "$build_bench/phase_report.json" 2>/dev/null)"
+echo "$phases_out"
+detected="$(echo "$phases_out" | sed -n 's/^\([0-9]*\) phase(s).*/\1/p')"
+[ "${detected:-0}" -ge 2 ] ||
+    { echo "FAIL: phase-shift trace detected < 2 phases"; exit 1; }
+grep -q '"union_phase_violations": \[0\(, 0\)*\]' \
+    "$build_bench/phase_report.json" ||
+    { echo "FAIL: union design not contention-free per phase"; exit 1; }
+"$build_bench/tools/minnoc" phases "$build_bench/ci-shift.trace" \
+    --restarts 4 --threads 4 \
+    --out "$build_bench/phase_report_t4.json" >/dev/null 2>&1
+cmp "$build_bench/phase_report.json" \
+    "$build_bench/phase_report_t4.json" ||
+    { echo "FAIL: phases report differs across thread counts"; exit 1; }
+"$build_bench/tools/minnoc" phases "$build_bench/ci-shift.trace" \
+    --restarts 4 --threads 1 \
+    --out "$build_bench/phase_report_rerun.json" >/dev/null 2>&1
+cmp "$build_bench/phase_report.json" \
+    "$build_bench/phase_report_rerun.json" ||
+    { echo "FAIL: phases report differs across reruns"; exit 1; }
+"$build_bench/bench/phase_gain" --ranks 16 --iterations 1 --restarts 2 \
+    --out "$build_bench/phase_gain.json" 2>/dev/null
+grep -q '"benchmark": "phase_gain"' "$build_bench/phase_gain.json" ||
+    { echo "FAIL: phase_gain bench produced no report"; exit 1; }

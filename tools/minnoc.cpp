@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sim_observer.hpp"
 #include "obs/trace_event.hpp"
+#include "phase/evaluator.hpp"
 #include "topo/dot.hpp"
 #include "core/methodology.hpp"
 #include "sim/fault.hpp"
@@ -35,6 +37,7 @@
 #include "topo/power.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/nas_generators.hpp"
+#include "trace/synthetic.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -93,15 +96,45 @@ exportObservability(const Args &args, const obs::MetricsRegistry &metrics,
     }
 }
 
-int
-cmdGen(const Args &args)
+/** Parse a comma-separated synthetic-pattern list ("neighbor,transpose"). */
+std::vector<trace::Pattern>
+parsePatternList(const std::string &spec)
 {
+    std::vector<trace::Pattern> patterns;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        patterns.push_back(trace::patternFromName(item));
+    if (patterns.empty())
+        fatal("flag --patterns: expected a comma-separated pattern list");
+    return patterns;
+}
+
+trace::Trace
+genTrace(const Args &args)
+{
+    // --patterns switches to the multi-phase synthetic generator: one
+    // bulk-synchronous epoch per listed pattern.
+    const auto patterns = args.get("patterns");
+    if (!patterns.empty()) {
+        trace::PhaseShiftConfig pcfg;
+        pcfg.ranks = args.getU32("ranks", pcfg.ranks);
+        pcfg.itersPerPhase = args.getU32("iterations", pcfg.itersPerPhase);
+        pcfg.seed = args.getU64("seed", pcfg.seed);
+        return trace::phaseShift(parsePatternList(patterns), pcfg);
+    }
     trace::NasConfig cfg;
     const auto bench = trace::benchmarkFromName(args.get("bench", "CG"));
     cfg.ranks = args.getU32("ranks", trace::largeConfigRanks(bench));
     cfg.iterations = args.getU32("iterations", 3);
     cfg.seed = args.getU32("seed", 1);
-    const auto tr = trace::generateBenchmark(bench, cfg);
+    return trace::generateBenchmark(bench, cfg);
+}
+
+int
+cmdGen(const Args &args)
+{
+    const auto tr = genTrace(args);
 
     const auto out = args.get("out");
     if (out.empty()) {
@@ -370,6 +403,11 @@ cmdExplore(const Args &args)
                   u);
     }
     cfg.grid.vcDepth = args.getU32("vc-depth", cfg.grid.vcDepth);
+    cfg.grid.phaseWindows =
+        args.getU32List("phase-windows", cfg.grid.phaseWindows);
+    cfg.phaseReconfigCost = static_cast<sim::Cycle>(args.getU64(
+        "reconfig-cost",
+        static_cast<std::uint64_t>(cfg.phaseReconfigCost)));
     cfg.threads = args.getU32("threads", 0);
     cfg.cacheDir = args.get("cache-dir");
     cfg.useCache = args.getU32("cache", 1) != 0;
@@ -414,6 +452,64 @@ cmdExplore(const Args &args)
     return 0;
 }
 
+int
+cmdPhases(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("phases: missing trace file");
+    const auto tr = loadTrace(args.positional[0]);
+
+    phase::PhaseEvalConfig cfg;
+    cfg.segmenter.windowMessages =
+        args.getU32("window", cfg.segmenter.windowMessages);
+    cfg.segmenter.mergeThreshold =
+        args.getDouble("threshold", cfg.segmenter.mergeThreshold);
+    cfg.segmenter.minPhaseWindows =
+        args.getU32("min-phase-windows", cfg.segmenter.minPhaseWindows);
+    cfg.reconfigCost = static_cast<sim::Cycle>(
+        args.getU64("reconfig-cost",
+                    static_cast<std::uint64_t>(cfg.reconfigCost)));
+    cfg.methodology.partitioner.constraints.maxDegree =
+        args.getU32("max-degree", 5);
+    cfg.methodology.restarts = args.getU32("restarts", 16);
+    cfg.methodology.partitioner.seed = args.getU32("seed", 1);
+    cfg.threads = args.getU32("threads", 0);
+
+    obs::MetricsRegistry metrics;
+    obs::TraceEventLog traceLog;
+    if (args.has("metrics-out"))
+        cfg.metrics = &metrics;
+    if (args.has("chrome-trace"))
+        cfg.traceLog = &traceLog;
+
+    const auto report = phase::evaluatePhases(tr, cfg);
+    exportObservability(args, metrics, traceLog);
+    const auto json = report.toJson();
+
+    // JSON is the machine artifact; keep the human summary off its
+    // stream so `minnoc phases t | jq .` stays parseable.
+    const auto out = args.get("out");
+    std::FILE *human = stdout;
+    if (out.empty()) {
+        std::fputs(json.c_str(), stdout);
+        human = stderr;
+    } else {
+        writeFileOrDie(out, json);
+        std::fprintf(human, "wrote %s\n", out.c_str());
+    }
+    std::fprintf(human, "phases %s-%u:\n", report.pattern.c_str(),
+                 report.ranks);
+    std::fputs(report.summaryTable().c_str(), human);
+    std::size_t unionViolations = 0;
+    for (const auto v : report.unionPhaseViolations)
+        unionViolations += v;
+    if (unionViolations)
+        warn("union design is NOT contention-free against the phase "
+             "cliques (",
+             unionViolations, " residual pairs)");
+    return 0;
+}
+
 void
 usage()
 {
@@ -422,6 +518,9 @@ usage()
         "usage: minnoc <command> [args]   (flags accept --k v and --k=v)\n"
         "  gen      --bench BT|CG|FFT|MG|SP --ranks N [--iterations I]\n"
         "           [--seed S] [--out FILE]\n"
+        "           [--patterns neighbor,transpose,hotspot]\n"
+        "           (--patterns generates a multi-phase synthetic\n"
+        "           workload instead: one epoch per listed pattern)\n"
         "  analyze  TRACE [--verbose 1]\n"
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "           [--threads N]  (0 = hardware concurrency; any N\n"
@@ -439,18 +538,28 @@ usage()
         "  compare  TRACE [--max-degree D]\n"
         "  explore  TRACE [--degrees 4,5,6] [--restarts 8]\n"
         "           [--seeds 1] [--vcs 2,3] [--unidirectional 0,1]\n"
-        "           [--vc-depth D] [--threads N] [--cache-dir DIR]\n"
+        "           [--vc-depth D] [--phase-windows 0,64]\n"
+        "           [--reconfig-cost C] [--threads N] [--cache-dir DIR]\n"
         "           [--cache 0|1] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           (design-space sweep -> Pareto frontier JSON;\n"
         "           results are content-cached and byte-identical at\n"
-        "           any --threads value)\n"
+        "           any --threads value; phase-windows 0 = classic\n"
+        "           pipeline, N = time-multiplexed phase networks)\n"
+        "  phases   TRACE [--window N] [--threshold T]\n"
+        "           [--min-phase-windows W] [--reconfig-cost C]\n"
+        "           [--max-degree D] [--restarts R] [--seed S]\n"
+        "           [--threads N] [--out FILE]\n"
+        "           [--metrics-out FILE] [--chrome-trace FILE]\n"
+        "           (segment the trace into temporal phases and compare\n"
+        "           monolithic vs union vs time-multiplexed designs;\n"
+        "           the JSON report is byte-identical at any --threads)\n"
         "  dot      DESIGN [--out FILE]        (graphviz export)\n");
 }
 
 /** Valid flags per subcommand (anything else is an error). */
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
-    {"gen", {"bench", "ranks", "iterations", "seed", "out"}},
+    {"gen", {"bench", "ranks", "iterations", "seed", "out", "patterns"}},
     {"analyze", {"verbose"}},
     {"design",
      {"max-degree", "restarts", "seed", "out", "threads", "metrics-out",
@@ -463,7 +572,11 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"compare", {"max-degree", "threads"}},
     {"explore",
      {"degrees", "restarts", "seeds", "vcs", "unidirectional",
-      "vc-depth", "threads", "cache-dir", "cache", "out", "metrics-out",
+      "vc-depth", "phase-windows", "reconfig-cost", "threads",
+      "cache-dir", "cache", "out", "metrics-out", "chrome-trace"}},
+    {"phases",
+     {"window", "threshold", "min-phase-windows", "reconfig-cost",
+      "max-degree", "restarts", "seed", "threads", "out", "metrics-out",
       "chrome-trace"}},
     {"dot", {"out"}},
 };
@@ -498,5 +611,7 @@ main(int argc, char **argv)
         return cmdCompare(args);
     if (cmd == "explore")
         return cmdExplore(args);
+    if (cmd == "phases")
+        return cmdPhases(args);
     return cmdDot(args);
 }
