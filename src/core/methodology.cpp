@@ -366,6 +366,9 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
 
     if (!pool) {
         for (std::uint32_t i = 0; i < attempts; ++i) {
+            // Restart granularity is the cancellation checkpoint: a
+            // fired token abandons the search before the next attempt.
+            checkCancel(config.cancel);
             auto result =
                 runOnce(cliques, config, config.partitioner.seed + i);
             if (select(result, i))
@@ -380,6 +383,10 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
             const std::uint32_t wave = std::min(threads, attempts - i);
             std::vector<std::optional<SeedResult>> results(wave);
             pool->parallelFor(wave, [&](std::size_t w) {
+                // Same per-restart checkpoint as the sequential path;
+                // parallelFor rethrows the first CancelledError after
+                // every task of the wave has returned.
+                checkCancel(config.cancel);
                 results[w].emplace(runOnce(
                     cliques, config,
                     config.partitioner.seed + i +
@@ -403,6 +410,7 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
     }
 
     // Switch-merge polish on the winner (see mergeSwitches).
+    checkCancel(config.cancel);
     if (best.constraintsMet && config.mergeSwitches && bestNet) {
         const std::int64_t mergeStart =
             config.traceLog ? obs::wallMicros() : 0;

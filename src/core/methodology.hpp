@@ -20,6 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "partitioner.hpp"
+#include "util/cancel.hpp"
 #include "verify.hpp"
 
 namespace minnoc {
@@ -84,6 +85,15 @@ struct MethodologyConfig
      */
     obs::MetricsRegistry *metrics = nullptr;
     obs::TraceEventLog *traceLog = nullptr;
+
+    /**
+     * Optional cooperative-cancellation token (not owned, may be
+     * null). The restart loop polls it before every partitioning
+     * attempt and unwinds with CancelledError when it fires. Runtime
+     * plumbing like the telemetry sinks: excluded from signature(), so
+     * a cancelled-and-retried run lands on the same cache key.
+     */
+    const CancelToken *cancel = nullptr;
 
     /**
      * Canonical parameter string covering every knob that changes the

@@ -156,6 +156,24 @@ fmtDouble(double v)
     return buf;
 }
 
+/** 16 lowercase hex digits of @p h (the record checksum format). */
+std::string
+fmtHash(std::uint64_t h)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return hex;
+}
+
+/**
+ * The byte range the record checksum covers: everything from the
+ * `"params"` line to the end of the file. The schema and checksum
+ * lines above it are excluded so the checksum can be spliced in
+ * without hashing itself.
+ */
+constexpr std::string_view kPayloadAnchor = "  \"params\"";
+
 } // namespace
 
 ResultCache::ResultCache(std::string dir, bool enabled)
@@ -168,6 +186,21 @@ std::string
 ResultCache::recordPath(const std::string &key) const
 {
     return _dir + "/" + key + ".json";
+}
+
+void
+ResultCache::quarantine(const std::string &key, const char *why) const
+{
+    const auto path = recordPath(key);
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec) {
+        // Renaming failed (permissions, races): removing is the next
+        // best way to stop the poisoned record from hitting again.
+        std::filesystem::remove(path, ec);
+    }
+    warn("dse cache: quarantined corrupt record '", path, "' (", why,
+         "); recomputing");
 }
 
 std::optional<JobMetrics>
@@ -183,11 +216,32 @@ ResultCache::load(const std::string &key,
     buf << in.rdbuf();
     const std::string text = buf.str();
 
+    // A record written under a different salt is a plain miss (that is
+    // how invalidation works), never corruption.
     const auto schema = rawField(text, "schema");
-    const auto params = rawField(text, "params");
-    if (!schema || *schema != kCacheSalt || !params ||
-        *params != paramSignature)
+    if (!schema || *schema != kCacheSalt)
         return std::nullopt;
+
+    // Verify the payload checksum before trusting anything else the
+    // record claims: a flipped bit anywhere in the payload quarantines
+    // the file and reads as a miss, so the job is recomputed.
+    const auto checksum = rawField(text, "checksum");
+    const auto payloadPos = text.find(kPayloadAnchor);
+    if (!checksum || checksum->size() != 16 ||
+        payloadPos == std::string::npos) {
+        quarantine(key, "missing checksum or payload");
+        return std::nullopt;
+    }
+    const auto computed = fmtHash(
+        fnv1a64(std::string_view(text).substr(payloadPos)));
+    if (*checksum != computed) {
+        quarantine(key, "checksum mismatch");
+        return std::nullopt;
+    }
+
+    const auto params = rawField(text, "params");
+    if (!params || *params != paramSignature)
+        return std::nullopt; // hash collision guard: a true miss
 
     JobMetrics m;
     std::uint32_t met = 0;
@@ -204,8 +258,12 @@ ResultCache::load(const std::string &key,
         !readDouble(text, "avg_latency", m.avgLatency) ||
         !readDouble(text, "avg_hops", m.avgHops) ||
         !readDouble(text, "max_link_util", m.maxLinkUtil) ||
-        !readDouble(text, "energy", m.energy))
+        !readDouble(text, "energy", m.energy)) {
+        // Checksum verified but the fields do not parse: a record
+        // written by a buggy or hostile producer. Same treatment.
+        quarantine(key, "unparseable payload");
         return std::nullopt;
+    }
     m.constraintsMet = met != 0;
     return m;
 }
@@ -224,9 +282,11 @@ ResultCache::store(const std::string &key,
         return;
     }
 
-    std::ostringstream oss;
-    oss << "{\n"
-        << "  \"schema\": \"" << kCacheSalt << "\",\n"
+    // The checksum covers the payload (params line through the final
+    // brace); it is computed over the exact bytes written so the read
+    // side can verify without re-canonicalizing.
+    std::ostringstream payload;
+    payload
         << "  \"params\": \"" << paramSignature << "\",\n"
         << "  \"switches\": " << m.switches << ",\n"
         << "  \"links\": " << m.links << ",\n"
@@ -244,6 +304,13 @@ ResultCache::store(const std::string &key,
         << "  \"max_link_util\": " << fmtDouble(m.maxLinkUtil) << ",\n"
         << "  \"energy\": " << fmtDouble(m.energy) << "\n"
         << "}\n";
+
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"schema\": \"" << kCacheSalt << "\",\n"
+        << "  \"checksum\": \"" << fmtHash(fnv1a64(payload.str()))
+        << "\",\n"
+        << payload.str();
 
     // Write-then-rename: readers only ever see complete records. Two
     // writers racing on one key write identical bytes (the pipeline is

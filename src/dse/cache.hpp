@@ -13,6 +13,14 @@
  * rename, so concurrent explorers — threads or processes — never read
  * a half-written record. Doubles are stored with round-trip precision:
  * a warm run reproduces the cold run byte for byte.
+ *
+ * Records are crash-safe on the read side too: every record embeds an
+ * FNV-1a checksum over its payload, verified on load. A record that
+ * fails the checksum (bit rot, torn write through a crashed kernel,
+ * hostile tampering) is quarantined — renamed to `<key>.json.corrupt`
+ * so the evidence survives for inspection — and the load reports a
+ * miss, so the caller transparently recomputes and re-stores a clean
+ * record instead of returning garbage or crashing.
  */
 
 #ifndef MINNOC_DSE_CACHE_HPP
@@ -31,9 +39,10 @@ namespace minnoc::dse {
  * Code-version salt folded into every job key. Bump it whenever a
  * change to the methodology, simulator, floorplanner or power model
  * alters the numbers a job produces: old records then simply never
- * match again, which is the entire invalidation story.
+ * match again, which is the entire invalidation story. Bumped to -2
+ * when the record format grew the payload checksum.
  */
-inline constexpr std::string_view kCacheSalt = "minnoc-dse-1";
+inline constexpr std::string_view kCacheSalt = "minnoc-dse-2";
 
 /** 64-bit FNV-1a over @p data, seeded with @p basis for chaining. */
 std::uint64_t fnv1a64(std::string_view data,
@@ -70,7 +79,10 @@ class ResultCache
     /**
      * Load the record for @p key. Returns nullopt on a miss, an
      * unreadable file or a record whose embedded parameter signature
-     * disagrees with @p paramSignature (hash-collision guard).
+     * disagrees with @p paramSignature (hash-collision guard). A
+     * present record of the current schema whose payload checksum does
+     * not verify is quarantined (renamed to `<key>.json.corrupt`) and
+     * reported as a miss so the caller recomputes.
      */
     std::optional<JobMetrics> load(const std::string &key,
                                    std::string_view paramSignature) const;
@@ -84,6 +96,12 @@ class ResultCache
 
   private:
     std::string recordPath(const std::string &key) const;
+
+    /**
+     * Move a corrupt record out of the way (`<key>.json.corrupt`) so
+     * it can never be served again but stays available for forensics.
+     */
+    void quarantine(const std::string &key, const char *why) const;
 
     std::string _dir;
     bool _enabled;

@@ -38,6 +38,7 @@ simConfigFor(const JobParams &params, const ExploreConfig &config)
     sim::SimConfig scfg = config.sim;
     scfg.numVcs = params.numVcs;
     scfg.vcDepth = params.vcDepth;
+    scfg.cancel = config.cancel;
     return scfg;
 }
 
@@ -115,7 +116,8 @@ evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
         return traceLog ? obs::wallMicros() : 0;
     };
 
-    const auto mcfg = methodologyConfigFor(params);
+    auto mcfg = methodologyConfigFor(params);
+    mcfg.cancel = config.cancel;
 
     if (params.phaseWindow > 0) {
         // Phase-aware job: segment, synthesize one network per phase,
@@ -214,6 +216,10 @@ explore(const trace::Trace &trace, const ExploreConfig &config)
     report.points.resize(jobs.size());
 
     const auto evalOne = [&](std::size_t i) {
+        // DSE-job granularity checkpoint; jobs already running keep
+        // polling the same token inside the methodology restart loop
+        // and the simulator epoch loop.
+        checkCancel(config.cancel);
         const auto &params = jobs[i];
         const auto sig = jobSignature(params, config);
         const auto key = jobKey(patternBytes, sig);

@@ -98,6 +98,15 @@ struct ExploreConfig
      */
     obs::MetricsRegistry *metrics = nullptr;
     obs::TraceEventLog *traceLog = nullptr;
+
+    /**
+     * Optional cooperative-cancellation token (not owned, may be
+     * null). Checked before every DSE job and handed down into each
+     * job's methodology (per-restart granularity) and simulator
+     * (per-epoch granularity); a fired token unwinds explore() with
+     * CancelledError. Never hashed into job keys.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** The reduced output of one exploration run. */

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Minimal blocking client for the serve protocol — the test suite's
+ * and chaos harness's view of the daemon. Header-only on purpose: the
+ * harness links nothing beyond the protocol helpers, and the raw fd is
+ * exposed so chaos scenarios can write garbage, dribble bytes, or
+ * disconnect mid-request.
+ */
+
+#ifndef MINNOC_SERVE_CLIENT_HPP
+#define MINNOC_SERVE_CLIENT_HPP
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace minnoc::serve {
+
+/** One blocking connection to a serve daemon. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(Client &&o) noexcept : _fd(o._fd), _buffer(std::move(o._buffer))
+    {
+        o._fd = -1;
+    }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    bool
+    connectUnix(const std::string &path)
+    {
+        close();
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof addr.sun_path)
+            return false;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof addr.sun_path - 1);
+        _fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (_fd < 0)
+            return false;
+        if (::connect(_fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    connectTcp(int port)
+    {
+        close();
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (_fd < 0)
+            return false;
+        if (::connect(_fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            close();
+            return false;
+        }
+        return true;
+    }
+
+    bool connected() const { return _fd >= 0; }
+
+    /** Raw fd for chaos tricks (partial writes, abrupt close). */
+    int fd() const { return _fd; }
+
+    /** Send @p data verbatim (no newline appended). */
+    bool
+    sendRaw(std::string_view data)
+    {
+        const char *p = data.data();
+        auto left = data.size();
+        while (left > 0) {
+            const auto n = ::send(_fd, p, left, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /** Send one request line (newline appended). */
+    bool
+    sendLine(const std::string &line)
+    {
+        return sendRaw(line + "\n");
+    }
+
+    /**
+     * Receive one response line (newline stripped). Blocks until a
+     * full line, EOF (nullopt), or a socket error (nullopt).
+     */
+    std::optional<std::string>
+    recvLine()
+    {
+        for (;;) {
+            const auto nl = _buffer.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = _buffer.substr(0, nl);
+                _buffer.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[4096];
+            const auto n = ::recv(_fd, chunk, sizeof chunk, 0);
+            if (n > 0) {
+                _buffer.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            return std::nullopt; // EOF or error
+        }
+    }
+
+    void
+    close()
+    {
+        if (_fd >= 0) {
+            ::close(_fd);
+            _fd = -1;
+        }
+        _buffer.clear();
+    }
+
+  private:
+    int _fd = -1;
+    std::string _buffer;
+};
+
+} // namespace minnoc::serve
+
+#endif // MINNOC_SERVE_CLIENT_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Concurrent response-level LRU cache.
+ *
+ * First tier of the serve daemon's two-tier cache: full response
+ * payload bytes keyed by the request's content hash. Sits in front of
+ * the per-job on-disk dse::ResultCache — an LRU hit skips even the
+ * grid expansion and returns the exact bytes of the first computation,
+ * which is what makes warm-via-LRU responses byte-identical to cold
+ * ones by construction.
+ *
+ * Coarse single-mutex design: entries are whole response payloads
+ * (kilobytes), lookups are rare relative to the seconds-long compute
+ * they shortcut, so lock contention is noise. Capacity is counted in
+ * entries, not bytes; payload sizes are bounded by the protocol's
+ * framing limits.
+ */
+
+#ifndef MINNOC_SERVE_LRU_HPP
+#define MINNOC_SERVE_LRU_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace minnoc::serve {
+
+class LruCache
+{
+  public:
+    explicit LruCache(std::size_t capacity) : _capacity(capacity) {}
+
+    LruCache(const LruCache &) = delete;
+    LruCache &operator=(const LruCache &) = delete;
+
+    /** Lookup @p key, refreshing its recency on a hit. */
+    std::optional<std::string> get(std::uint64_t key)
+    {
+        std::lock_guard lock(_mutex);
+        ++_lookups;
+        const auto it = _index.find(key);
+        if (it == _index.end())
+            return std::nullopt;
+        ++_hits;
+        _order.splice(_order.begin(), _order, it->second);
+        return it->second->second;
+    }
+
+    /** Insert/overwrite @p key, evicting the least recent past cap. */
+    void put(std::uint64_t key, std::string value)
+    {
+        if (_capacity == 0)
+            return;
+        std::lock_guard lock(_mutex);
+        if (const auto it = _index.find(key); it != _index.end()) {
+            it->second->second = std::move(value);
+            _order.splice(_order.begin(), _order, it->second);
+            return;
+        }
+        _order.emplace_front(key, std::move(value));
+        _index.emplace(key, _order.begin());
+        if (_index.size() > _capacity) {
+            _index.erase(_order.back().first);
+            _order.pop_back();
+        }
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard lock(_mutex);
+        return _index.size();
+    }
+
+    std::uint64_t hits() const
+    {
+        std::lock_guard lock(_mutex);
+        return _hits;
+    }
+
+    std::uint64_t lookups() const
+    {
+        std::lock_guard lock(_mutex);
+        return _lookups;
+    }
+
+  private:
+    const std::size_t _capacity;
+    mutable std::mutex _mutex;
+    /** Most recent at front; list nodes keep iterators stable. */
+    std::list<std::pair<std::uint64_t, std::string>> _order;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, std::string>>::iterator>
+        _index;
+    std::uint64_t _hits = 0;
+    std::uint64_t _lookups = 0;
+};
+
+} // namespace minnoc::serve
+
+#endif // MINNOC_SERVE_LRU_HPP

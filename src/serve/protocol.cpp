@@ -1,0 +1,405 @@
+#include "protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace minnoc::serve {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ParseError: return "parse_error";
+      case ErrorCode::ValidationError: return "validation_error";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::QueueFull: return "queue_full";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::ShuttingDown: return "shutting_down";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+const char *
+cmdName(Cmd cmd)
+{
+    switch (cmd) {
+      case Cmd::Ping: return "ping";
+      case Cmd::Status: return "status";
+      case Cmd::Design: return "design";
+      case Cmd::Explore: return "explore";
+      case Cmd::Phases: return "phases";
+    }
+    return "ping";
+}
+
+namespace {
+
+/** Largest integer a JSON double carries exactly. */
+constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+
+/** Set @p error and return nullopt — the single failure-path helper. */
+std::optional<Request>
+fail(RequestError &error, ErrorCode code, std::string message)
+{
+    error.code = code;
+    error.message = std::move(message);
+    return std::nullopt;
+}
+
+/** Extract a non-negative integer <= @p max from a JSON number. */
+bool
+asUint(const json::Value &v, std::uint64_t max, std::uint64_t &out)
+{
+    if (!v.isNumber())
+        return false;
+    const double d = v.asNumber();
+    if (!(d >= 0.0) || d > kMaxExactInt || d != std::floor(d) ||
+        d > static_cast<double>(max))
+        return false;
+    out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+/** Extract a bounded, non-empty array of integers in [min, max]. */
+bool
+asUintList(const json::Value &v, std::uint64_t minV, std::uint64_t maxV,
+           std::size_t maxLen, std::vector<std::uint64_t> &out)
+{
+    if (!v.isArray())
+        return false;
+    const auto &arr = v.asArray();
+    if (arr.empty() || arr.size() > maxLen)
+        return false;
+    out.clear();
+    for (const auto &item : arr) {
+        std::uint64_t u = 0;
+        if (!asUint(item, maxV, u) || u < minV)
+            return false;
+        out.push_back(u);
+    }
+    return true;
+}
+
+std::vector<std::uint32_t>
+narrow32(const std::vector<std::uint64_t> &values)
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(values.size());
+    for (const auto v : values)
+        out.push_back(static_cast<std::uint32_t>(v));
+    return out;
+}
+
+} // namespace
+
+std::optional<Request>
+parseRequest(const std::string &line, RequestError &error)
+{
+    if (line.size() > kMaxRequestBytes)
+        return fail(error, ErrorCode::ParseError,
+                    "request exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes");
+
+    const auto root = json::parse(line);
+    if (!root)
+        return fail(error, ErrorCode::ParseError, "malformed JSON");
+    if (!root->isObject())
+        return fail(error, ErrorCode::ParseError,
+                    "request must be a JSON object");
+    const auto &obj = root->asObject();
+
+    Request req;
+
+    // id: optional, echoed back verbatim (escaped) in the response.
+    if (const auto *id = root->find("id")) {
+        if (!id->isString() || id->asString().size() > 256)
+            return fail(error, ErrorCode::ValidationError,
+                        "'id' must be a string of at most 256 bytes");
+        req.id = id->asString();
+    }
+
+    const auto *cmd = root->find("cmd");
+    if (!cmd || !cmd->isString())
+        return fail(error, ErrorCode::ValidationError,
+                    "missing or non-string 'cmd'");
+    const auto &name = cmd->asString();
+    if (name == "ping")
+        req.cmd = Cmd::Ping;
+    else if (name == "status")
+        req.cmd = Cmd::Status;
+    else if (name == "design")
+        req.cmd = Cmd::Design;
+    else if (name == "explore")
+        req.cmd = Cmd::Explore;
+    else if (name == "phases")
+        req.cmd = Cmd::Phases;
+    else
+        return fail(error, ErrorCode::ValidationError,
+                    "unknown cmd '" + name + "'");
+
+    const bool compute = req.cmd == Cmd::Design ||
+                         req.cmd == Cmd::Explore ||
+                         req.cmd == Cmd::Phases;
+
+    // Strict field set: every key must be known AND applicable to the
+    // command — a typoed or misplaced parameter is an error, not a
+    // silently-ignored no-op.
+    for (const auto &[key, value] : obj) {
+        (void)value;
+        const bool common = key == "id" || key == "cmd";
+        const bool computeCommon =
+            compute && (key == "trace" || key == "deadline_ms");
+        const bool designKey =
+            req.cmd == Cmd::Design &&
+            (key == "max_degree" || key == "restarts" || key == "seed");
+        const bool exploreKey =
+            req.cmd == Cmd::Explore &&
+            (key == "degrees" || key == "restarts" || key == "seeds" ||
+             key == "vcs" || key == "unidirectional" ||
+             key == "vc_depth" || key == "phase_windows" ||
+             key == "reconfig_cost");
+        const bool phasesKey =
+            req.cmd == Cmd::Phases &&
+            (key == "window" || key == "threshold" ||
+             key == "min_phase_windows" || key == "reconfig_cost" ||
+             key == "max_degree" || key == "restarts" || key == "seed");
+        if (!common && !computeCommon && !designKey && !exploreKey &&
+            !phasesKey)
+            return fail(error, ErrorCode::ValidationError,
+                        "unknown field '" + key + "' for cmd '" + name +
+                            "'");
+    }
+
+    if (!compute)
+        return req;
+
+    const auto *tr = root->find("trace");
+    if (!tr || !tr->isString() || tr->asString().empty())
+        return fail(error, ErrorCode::ValidationError,
+                    "missing or empty 'trace'");
+    req.traceText = tr->asString();
+
+    std::uint64_t u = 0;
+    if (const auto *dl = root->find("deadline_ms")) {
+        if (!asUint(*dl, 86'400'000, u))
+            return fail(error, ErrorCode::ValidationError,
+                        "'deadline_ms' must be an integer in "
+                        "[0, 86400000]");
+        req.deadlineMs = static_cast<std::int64_t>(u);
+    }
+
+    const auto badField = [&](const char *field, const char *what) {
+        return fail(error, ErrorCode::ValidationError,
+                    std::string("'") + field + "' " + what);
+    };
+
+    if (req.cmd == Cmd::Design || req.cmd == Cmd::Phases) {
+        if (const auto *v = root->find("max_degree")) {
+            if (!asUint(*v, 64, u) || u < 1)
+                return badField("max_degree",
+                                "must be an integer in [1, 64]");
+            req.maxDegree = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("restarts")) {
+            if (!asUint(*v, 1024, u) || u < 1)
+                return badField("restarts",
+                                "must be an integer in [1, 1024]");
+            req.restarts = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("seed")) {
+            if (!asUint(*v, static_cast<std::uint64_t>(kMaxExactInt), u))
+                return badField("seed", "must be a non-negative integer");
+            req.seed = u;
+        }
+    }
+
+    if (req.cmd == Cmd::Explore) {
+        std::vector<std::uint64_t> list;
+        if (const auto *v = root->find("degrees")) {
+            if (!asUintList(*v, 1, 64, 64, list))
+                return badField("degrees",
+                                "must be a non-empty array of integers "
+                                "in [1, 64]");
+            req.grid.maxDegrees = narrow32(list);
+        }
+        if (const auto *v = root->find("restarts")) {
+            if (!asUintList(*v, 1, 1024, 64, list))
+                return badField("restarts",
+                                "must be a non-empty array of integers "
+                                "in [1, 1024]");
+            req.grid.restarts = narrow32(list);
+        }
+        if (const auto *v = root->find("seeds")) {
+            if (!asUintList(*v, 0,
+                            static_cast<std::uint64_t>(kMaxExactInt), 64,
+                            list))
+                return badField("seeds",
+                                "must be a non-empty array of "
+                                "non-negative integers");
+            req.grid.seeds = list;
+        }
+        if (const auto *v = root->find("vcs")) {
+            if (!asUintList(*v, 1, 32, 64, list))
+                return badField("vcs",
+                                "must be a non-empty array of integers "
+                                "in [1, 32]");
+            req.grid.vcs = narrow32(list);
+        }
+        if (const auto *v = root->find("unidirectional")) {
+            if (!asUintList(*v, 0, 1, 2, list))
+                return badField("unidirectional",
+                                "must be a non-empty array of 0/1");
+            req.grid.unidirectional = narrow32(list);
+        }
+        if (const auto *v = root->find("vc_depth")) {
+            if (!asUint(*v, 64, u) || u < 1)
+                return badField("vc_depth",
+                                "must be an integer in [1, 64]");
+            req.grid.vcDepth = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("phase_windows")) {
+            if (!asUintList(*v, 0, 1'000'000, 64, list))
+                return badField("phase_windows",
+                                "must be a non-empty array of integers "
+                                "in [0, 1000000]");
+            req.grid.phaseWindows = narrow32(list);
+        }
+        if (const auto *v = root->find("reconfig_cost")) {
+            if (!asUint(*v, 1'000'000'000, u))
+                return badField("reconfig_cost",
+                                "must be an integer in [0, 1e9]");
+            req.reconfigCost = static_cast<std::int64_t>(u);
+        }
+
+        // Admission-time DoS guard: a request's grid expands
+        // multiplicatively, so bound the job count before any work.
+        const std::size_t jobs = req.grid.maxDegrees.size() *
+                                 req.grid.restarts.size() *
+                                 req.grid.seeds.size() *
+                                 req.grid.unidirectional.size() *
+                                 req.grid.vcs.size() *
+                                 req.grid.phaseWindows.size();
+        if (jobs == 0 || jobs > kMaxGridJobs)
+            return fail(error, ErrorCode::ValidationError,
+                        "grid expands to " + std::to_string(jobs) +
+                            " jobs (limit " +
+                            std::to_string(kMaxGridJobs) + ")");
+    }
+
+    if (req.cmd == Cmd::Phases) {
+        if (const auto *v = root->find("window")) {
+            if (!asUint(*v, 1'000'000'000, u) || u < 1)
+                return badField("window",
+                                "must be an integer in [1, 1e9]");
+            req.window = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("threshold")) {
+            if (!v->isNumber() || !(v->asNumber() >= 0.0) ||
+                !(v->asNumber() <= 1e6))
+                return badField("threshold",
+                                "must be a number in [0, 1e6]");
+            req.threshold = v->asNumber();
+        }
+        if (const auto *v = root->find("min_phase_windows")) {
+            if (!asUint(*v, 1'000'000, u) || u < 1)
+                return badField("min_phase_windows",
+                                "must be an integer in [1, 1e6]");
+            req.minPhaseWindows = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("reconfig_cost")) {
+            if (!asUint(*v, 1'000'000'000, u))
+                return badField("reconfig_cost",
+                                "must be an integer in [0, 1e9]");
+            req.reconfigCost = static_cast<std::int64_t>(u);
+        }
+    }
+
+    return req;
+}
+
+std::string
+jsonEscape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size() + raw.size() / 8);
+    for (const char c : raw) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+okResponse(const std::string &id, Cmd cmd, std::string_view payload)
+{
+    std::string out = "{\"id\": \"" + jsonEscape(id) +
+                      "\", \"status\": \"ok\", \"cmd\": \"" +
+                      cmdName(cmd) + "\", \"result\": \"" +
+                      jsonEscape(payload) + "\"}\n";
+    return out;
+}
+
+std::string
+errorResponse(const std::string &id, ErrorCode code,
+              std::string_view message)
+{
+    std::string out = "{\"id\": \"" + jsonEscape(id) +
+                      "\", \"status\": \"error\", \"code\": \"" +
+                      errorCodeName(code) + "\", \"message\": \"" +
+                      jsonEscape(message) + "\"}\n";
+    return out;
+}
+
+std::optional<Reply>
+parseReply(const std::string &line)
+{
+    const auto root = json::parse(line);
+    if (!root || !root->isObject())
+        return std::nullopt;
+    const auto *status = root->find("status");
+    if (!status || !status->isString())
+        return std::nullopt;
+
+    Reply reply;
+    if (const auto *id = root->find("id"); id && id->isString())
+        reply.id = id->asString();
+    if (status->asString() == "ok") {
+        reply.ok = true;
+        const auto *cmd = root->find("cmd");
+        const auto *result = root->find("result");
+        if (!cmd || !cmd->isString() || !result || !result->isString())
+            return std::nullopt;
+        reply.cmd = cmd->asString();
+        reply.result = result->asString();
+        return reply;
+    }
+    if (status->asString() != "error")
+        return std::nullopt;
+    const auto *code = root->find("code");
+    const auto *message = root->find("message");
+    if (!code || !code->isString() || !message || !message->isString())
+        return std::nullopt;
+    reply.code = code->asString();
+    reply.message = message->asString();
+    return reply;
+}
+
+} // namespace minnoc::serve

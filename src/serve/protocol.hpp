@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Wire protocol of the `minnoc serve` daemon.
+ *
+ * Newline-delimited JSON over a local socket: every request is one
+ * JSON object on one line, every response is one JSON object on one
+ * line, matched to its request by the client-chosen `id`. Multi-line
+ * artifacts (trace submissions, report JSON) travel as JSON strings
+ * with standard escaping, so the framing never depends on payload
+ * content.
+ *
+ * Request shape:
+ *
+ *   {"id": "r1", "cmd": "explore", "trace": "trace CG-8 8\n...",
+ *    "degrees": [4,5], "vcs": [2,3], "deadline_ms": 5000}
+ *
+ * Commands: `ping` and `status` (immediate, never queued), `design`,
+ * `explore`, `phases` (admitted into the bounded work queue). Compute
+ * parameters mirror the CLI flags of the same name and default to the
+ * same values, so a serve response is byte-identical to the
+ * corresponding CLI command's output for the same trace.
+ *
+ * Response shape:
+ *
+ *   {"id": "r1", "status": "ok", "cmd": "explore", "result": "..."}
+ *   {"id": "r1", "status": "error", "code": "timeout",
+ *    "message": "deadline exceeded"}
+ *
+ * Parsing is strict and total: any byte sequence maps to either a
+ * Request or a structured (code, message) error — never an abort, a
+ * hang, or a partially-populated request. Unknown fields are errors
+ * (fail fast beats silently ignoring a typoed parameter), as are
+ * wrong types, out-of-range values, and parameter grids large enough
+ * to be a denial of service.
+ */
+
+#ifndef MINNOC_SERVE_PROTOCOL_HPP
+#define MINNOC_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dse/explorer.hpp"
+#include "phase/segmenter.hpp"
+
+namespace minnoc::serve {
+
+/** Hard framing limits; anything past them is a structured error. */
+inline constexpr std::size_t kMaxRequestBytes = 8u << 20; ///< one line
+inline constexpr std::uint32_t kMaxTraceRanks = 4096;
+inline constexpr std::size_t kMaxGridJobs = 1024;
+
+/** The structured error taxonomy every failure maps onto. */
+enum class ErrorCode : std::uint8_t {
+    ParseError,      ///< not a JSON object / framing violation
+    ValidationError, ///< well-formed but semantically invalid
+    Timeout,         ///< per-request deadline expired
+    QueueFull,       ///< admission control rejected (backpressure)
+    Cancelled,       ///< client disconnected mid-request
+    ShuttingDown,    ///< server draining, not admitting
+    Internal,        ///< unexpected server-side failure
+};
+
+/** Stable wire name of @p code (`"parse_error"`, ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** What a request asks for. */
+enum class Cmd : std::uint8_t {
+    Ping,    ///< liveness probe, answered inline
+    Status,  ///< health/metrics snapshot, answered inline
+    Design,  ///< full methodology run -> design file bytes
+    Explore, ///< DSE grid sweep -> explore report JSON
+    Phases,  ///< phase segmentation + evaluation -> phases report JSON
+};
+
+/** Stable wire name of @p cmd (`"design"`, ...). */
+const char *cmdName(Cmd cmd);
+
+/**
+ * A fully validated request. Parameter fields default to the exact
+ * CLI defaults so an empty parameter set reproduces the CLI's output.
+ */
+struct Request
+{
+    std::string id;
+    Cmd cmd = Cmd::Ping;
+
+    /** Submitted trace bytes (Trace::save format). */
+    std::string traceText;
+
+    /** Requested deadline in ms; 0 = server default. */
+    std::int64_t deadlineMs = 0;
+
+    // design / phases scalars (CLI defaults).
+    std::uint32_t maxDegree = 5;
+    std::uint32_t restarts = 16;
+    std::uint64_t seed = 1;
+
+    // explore grid (defaults = ExploreGrid defaults = CLI defaults).
+    dse::ExploreGrid grid;
+    std::int64_t reconfigCost = 500;
+
+    // phases knobs (defaults = PhaseConfig / CLI defaults).
+    std::uint32_t window = phase::PhaseConfig{}.windowMessages;
+    double threshold = phase::PhaseConfig{}.mergeThreshold;
+    std::uint32_t minPhaseWindows = phase::PhaseConfig{}.minPhaseWindows;
+};
+
+/** A (code, message) pair — the payload of every error response. */
+struct RequestError
+{
+    ErrorCode code = ErrorCode::ParseError;
+    std::string message;
+};
+
+/**
+ * Parse one request line. Returns the request on success; on failure
+ * fills @p error and returns nullopt. Total: never throws, never
+ * aborts, regardless of input bytes.
+ */
+std::optional<Request> parseRequest(const std::string &line,
+                                    RequestError &error);
+
+/** JSON string escaping for payload embedding (ASCII-safe). */
+std::string jsonEscape(std::string_view raw);
+
+/** One-line success response carrying @p payload as a JSON string. */
+std::string okResponse(const std::string &id, Cmd cmd,
+                       std::string_view payload);
+
+/** One-line structured error response. */
+std::string errorResponse(const std::string &id, ErrorCode code,
+                          std::string_view message);
+
+/**
+ * Parsed view of a response line — the client half of the protocol,
+ * shared by the test suite and the chaos harness.
+ */
+struct Reply
+{
+    std::string id;
+    bool ok = false;
+    std::string cmd;     ///< ok replies only
+    std::string result;  ///< ok replies only (unescaped payload)
+    std::string code;    ///< error replies only
+    std::string message; ///< error replies only
+};
+
+/** Parse a response line; nullopt when it is not a valid reply. */
+std::optional<Reply> parseReply(const std::string &line);
+
+} // namespace minnoc::serve
+
+#endif // MINNOC_SERVE_PROTOCOL_HPP

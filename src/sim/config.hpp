@@ -17,6 +17,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/cancel.hpp"
+
 namespace minnoc::sim {
 
 /** Simulated clock cycle count. */
@@ -61,6 +63,16 @@ struct SimConfig
 
     /** Hard wall on simulated time (guards against livelock bugs). */
     Cycle maxCycles = 2'000'000'000;
+
+    /**
+     * Optional cooperative-cancellation token (not owned, may be
+     * null). The replay loop polls it at epoch granularity (every few
+     * thousand scheduler iterations) and unwinds with CancelledError
+     * when it fires, so a timed-out or disconnected client's
+     * simulation actually stops instead of running to completion.
+     * Runtime plumbing only: excluded from signature().
+     */
+    const CancelToken *cancel = nullptr;
 
     /**
      * Canonical parameter string for content-addressed caching: equal

@@ -156,6 +156,14 @@ runTrace(const trace::Trace &trace, Network &network)
         }
     };
 
+    // Cancellation epoch: poll the token every 4096 scheduler
+    // iterations (not simulated cycles — compute fast-forwards can
+    // leap millions of cycles in one iteration), cheap enough to be
+    // invisible and frequent enough that a cancelled request stops
+    // within microseconds of real time.
+    constexpr std::uint64_t kCancelEpoch = 4096;
+    std::uint64_t iterations = 0;
+
     Cycle now = 0;
     for (;;) {
         ++now;
@@ -163,6 +171,8 @@ runTrace(const trace::Trace &trace, Network &network)
             fatal("runTrace: exceeded maxCycles (", cfg.maxCycles,
                   ") on '", trace.name(), "' over ",
                   "the given network");
+        if (cfg.cancel && ++iterations % kCancelEpoch == 0)
+            cfg.cancel->checkpoint();
         network.step(now);
 
         bool allDone = true;

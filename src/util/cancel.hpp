@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running pipeline stages.
+ *
+ * A CancelToken is a tiny shared flag-plus-deadline that the serve
+ * daemon, the CLI signal handlers, and the test harnesses hand down
+ * into the methodology / DSE / simulator stack. The stack never blocks
+ * on it; instead the expensive loops call checkpoint() at natural
+ * yield points — once per partitioner restart, once per DSE job, every
+ * few thousand simulator cycles — and a cancelled token surfaces as a
+ * CancelledError that unwinds the whole pipeline without leaving
+ * partial state behind. cancel() is a single relaxed atomic store, so
+ * it is safe from signal handlers and from any thread.
+ *
+ * Tokens are runtime plumbing, never configuration: they are excluded
+ * from every signature() that feeds content-addressed caches, so a
+ * cancelled-and-retried job lands on the same cache key.
+ */
+
+#ifndef MINNOC_UTIL_CANCEL_HPP
+#define MINNOC_UTIL_CANCEL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace minnoc {
+
+/** Why a token fired; picks the structured error a request maps to. */
+enum class CancelReason : std::uint8_t {
+    None = 0,
+    Deadline,   ///< the per-request deadline expired
+    Disconnect, ///< the submitting client went away
+    Shutdown,   ///< the process is draining (SIGTERM/SIGINT)
+};
+
+/** Thrown by CancelToken::checkpoint() once the token has fired. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(CancelReason reason)
+        : std::runtime_error(describe(reason)), _reason(reason)
+    {
+    }
+
+    CancelReason reason() const { return _reason; }
+
+    static const char *
+    describe(CancelReason reason)
+    {
+        switch (reason) {
+          case CancelReason::Deadline: return "deadline exceeded";
+          case CancelReason::Disconnect: return "client disconnected";
+          case CancelReason::Shutdown: return "server shutting down";
+          case CancelReason::None: break;
+        }
+        return "cancelled";
+    }
+
+  private:
+    CancelReason _reason;
+};
+
+/**
+ * Shared cancellation flag with an optional deadline. One writer side
+ * (server, signal handler) cancels; many reader sides poll. All
+ * members are lock-free atomics: cancel() is async-signal-safe and
+ * cancelled() costs two relaxed loads plus, when a deadline is armed,
+ * one steady_clock read.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Monotonic now in microseconds (steady_clock). */
+    static std::int64_t
+    nowUs()
+    {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    /** Arm a deadline @p us microseconds from now (0 disarms). */
+    void
+    setDeadlineIn(std::int64_t us)
+    {
+        _deadlineUs.store(us > 0 ? nowUs() + us : 0,
+                          std::memory_order_relaxed);
+    }
+
+    /** Fire the token with @p reason (first reason wins). */
+    void
+    cancel(CancelReason reason = CancelReason::Shutdown)
+    {
+        CancelReason expected = CancelReason::None;
+        _reason.compare_exchange_strong(expected, reason,
+                                        std::memory_order_relaxed);
+        _cancelled.store(true, std::memory_order_release);
+    }
+
+    /** Reset to the pristine state (single-threaded use only). */
+    void
+    reset()
+    {
+        _cancelled.store(false, std::memory_order_relaxed);
+        _reason.store(CancelReason::None, std::memory_order_relaxed);
+        _deadlineUs.store(0, std::memory_order_relaxed);
+    }
+
+    /** True once cancelled or past the armed deadline. */
+    bool
+    cancelled() const
+    {
+        if (_cancelled.load(std::memory_order_acquire))
+            return true;
+        const auto deadline =
+            _deadlineUs.load(std::memory_order_relaxed);
+        if (deadline > 0 && nowUs() >= deadline) {
+            // Latch the deadline expiry so reason() is stable.
+            CancelReason expected = CancelReason::None;
+            _reason.compare_exchange_strong(expected,
+                                            CancelReason::Deadline,
+                                            std::memory_order_relaxed);
+            _cancelled.store(true, std::memory_order_release);
+            return true;
+        }
+        return false;
+    }
+
+    /** Why the token fired (None while still live). */
+    CancelReason
+    reason() const
+    {
+        return _reason.load(std::memory_order_relaxed);
+    }
+
+    /** Throw CancelledError if the token has fired. */
+    void
+    checkpoint() const
+    {
+        if (cancelled())
+            throw CancelledError(reason());
+    }
+
+  private:
+    mutable std::atomic<bool> _cancelled{false};
+    mutable std::atomic<CancelReason> _reason{CancelReason::None};
+    std::atomic<std::int64_t> _deadlineUs{0};
+};
+
+/**
+ * Convenience for call sites holding a possibly-null token pointer —
+ * the pattern every pipeline config uses (`const CancelToken *cancel`).
+ */
+inline void
+checkCancel(const CancelToken *token)
+{
+    if (token)
+        token->checkpoint();
+}
+
+} // namespace minnoc
+
+#endif // MINNOC_UTIL_CANCEL_HPP

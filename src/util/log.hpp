@@ -11,12 +11,29 @@
 #ifndef MINNOC_UTIL_LOG_HPP
 #define MINNOC_UTIL_LOG_HPP
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace minnoc {
+
+/**
+ * Thrown by fatal() instead of exiting when fatalThrows mode is on.
+ * Long-running processes (the serve daemon) enable the mode once at
+ * startup so a malformed submission surfaces as a structured error on
+ * one request instead of killing every in-flight request with it.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(std::string message)
+        : std::runtime_error(std::move(message))
+    {
+    }
+};
 
 /** Verbosity levels for runtime log filtering. */
 enum class LogLevel : int {
@@ -45,6 +62,20 @@ class LogConfig
     LogLevel level() const { return _level; }
     void level(LogLevel lvl) { _level = lvl; }
 
+    /**
+     * When on, fatal() throws FatalError instead of calling exit().
+     * Process-wide; meant to be flipped once at daemon startup, before
+     * worker threads exist.
+     */
+    bool fatalThrows() const
+    {
+        return _fatalThrows.load(std::memory_order_relaxed);
+    }
+    void fatalThrows(bool on)
+    {
+        _fatalThrows.store(on, std::memory_order_relaxed);
+    }
+
     /** True if messages at @p lvl should be emitted. */
     bool
     enabled(LogLevel lvl) const
@@ -55,6 +86,7 @@ class LogConfig
   private:
     LogConfig() = default;
     LogLevel _level = LogLevel::Warn;
+    std::atomic<bool> _fatalThrows{false};
 };
 
 namespace detail {
@@ -86,14 +118,18 @@ panic(Args &&...args)
 
 /**
  * Report an unrecoverable user-level error (bad configuration, invalid
- * arguments) and exit with a failure code.
+ * arguments) and exit with a failure code — or, in fatalThrows mode
+ * (see LogConfig), throw FatalError so a serving process can turn the
+ * condition into a per-request structured error instead of dying.
  */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    std::cerr << "fatal: " << detail::concat(std::forward<Args>(args)...)
-              << std::endl;
+    auto message = detail::concat(std::forward<Args>(args)...);
+    if (LogConfig::instance().fatalThrows())
+        throw FatalError(std::move(message));
+    std::cerr << "fatal: " << message << std::endl;
     std::exit(1);
 }
 

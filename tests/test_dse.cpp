@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 
 #include "dse/cache.hpp"
 #include "dse/explorer.hpp"
@@ -144,6 +145,103 @@ TEST(DseCache, RejectsSignatureMismatch)
     // Same key, different claimed parameters: the collision guard
     // must treat the record as a miss.
     EXPECT_FALSE(cache.load("00000000deadbeef", "sig-b").has_value());
+}
+
+TEST(DseCache, CorruptRecordIsQuarantinedAndRecomputable)
+{
+    const auto dir = tempCacheDir("dse-corrupt");
+    ResultCache cache(dir);
+    const auto metrics = sampleMetrics();
+    cache.store("00000000deadbeef", "sig", metrics);
+
+    // Flip one payload byte on disk: bit rot / torn write / tampering.
+    const auto path =
+        std::filesystem::path(dir) / "00000000deadbeef.json";
+    ASSERT_TRUE(std::filesystem::exists(path));
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto size = static_cast<std::streamoff>(f.tellg());
+        f.seekp(size / 2);
+        f.put('~');
+    }
+
+    // The checksum catches it: miss, and the record is quarantined so
+    // the evidence survives but can never be served again.
+    EXPECT_FALSE(cache.load("00000000deadbeef", "sig").has_value());
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / "00000000deadbeef.json.corrupt"));
+
+    // Recompute-and-restore produces a clean record again.
+    cache.store("00000000deadbeef", "sig", metrics);
+    const auto reloaded = cache.load("00000000deadbeef", "sig");
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(*reloaded, metrics);
+}
+
+TEST(DseCache, TruncatedRecordIsQuarantined)
+{
+    const auto dir = tempCacheDir("dse-truncated");
+    ResultCache cache(dir);
+    cache.store("00000000deadbeef", "sig", sampleMetrics());
+
+    const auto path =
+        std::filesystem::path(dir) / "00000000deadbeef.json";
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    EXPECT_FALSE(cache.load("00000000deadbeef", "sig").has_value());
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / "00000000deadbeef.json.corrupt"));
+}
+
+TEST(ExplorerTest, CorruptedCacheRecordsAreRecomputedNotServed)
+{
+    trace::NasConfig ncfg;
+    ncfg.ranks = 8;
+    ncfg.iterations = 1;
+    const auto tr = trace::generateCG(ncfg);
+    const auto dir = tempCacheDir("dse-sabotage");
+
+    ExploreConfig cfg;
+    cfg.grid.maxDegrees = {4, 5};
+    cfg.grid.restarts = {2};
+    cfg.grid.seeds = {1};
+    cfg.grid.unidirectional = {0};
+    cfg.grid.vcs = {2};
+    cfg.threads = 1;
+    cfg.cacheDir = dir;
+    const auto cold = explore(tr, cfg);
+    ASSERT_EQ(cold.cacheMisses, cold.points.size());
+
+    // Sabotage every record on disk.
+    unsigned corrupted = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        std::fstream f(entry.path(), std::ios::in | std::ios::out |
+                                         std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            std::filesystem::file_size(entry.path()) / 2));
+        f.put('~');
+        ++corrupted;
+    }
+    ASSERT_EQ(corrupted, cold.points.size());
+
+    // The warm run detects every corruption, recomputes, and lands on
+    // byte-identical results anyway.
+    const auto warm = explore(tr, cfg);
+    EXPECT_EQ(warm.cacheHits, 0u);
+    EXPECT_EQ(warm.cacheMisses, warm.points.size());
+    EXPECT_EQ(cold.toJson(), warm.toJson());
+
+    // And re-stored clean records make the next run all-hits again.
+    const auto rewarm = explore(tr, cfg);
+    EXPECT_EQ(rewarm.cacheHits, rewarm.points.size());
+    EXPECT_EQ(cold.toJson(), rewarm.toJson());
 }
 
 TEST(DseCache, DisabledCacheNeverHitsNorStores)

@@ -9,16 +9,23 @@
  *    strongly connected design whose routes all materialize.
  *  - Simulator: flits are conserved (everything injected is delivered
  *    exactly once), channels stay FIFO, results are deterministic.
+ *  - Serve protocol: parsing is total — truncated, mutated, garbage
+ *    and oversized request lines always map to a structured error,
+ *    never an abort, a throw, or a half-populated request.
  */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/methodology.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/digraph.hpp"
+#include "serve/protocol.hpp"
 #include "sim/trace_driver.hpp"
 #include "topo/builders.hpp"
 #include "topo/floorplan.hpp"
+#include "trace/nas_generators.hpp"
 #include "util/rng.hpp"
 
 using namespace minnoc;
@@ -220,6 +227,139 @@ TEST_P(FuzzSeeds, SimulatorIsDeterministic)
     EXPECT_EQ(a.execTime, b.execTime);
     EXPECT_EQ(a.commTime, b.commTime);
     EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+}
+
+// ------------------------------------------------- serve request parser
+
+namespace {
+
+/** A well-formed submission line to mutate and truncate. */
+std::string
+validServeRequest()
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    std::ostringstream traceOs;
+    tr.save(traceOs);
+    std::ostringstream os;
+    os << "{\"id\": \"fuzz\", \"cmd\": \"design\", \"trace\": \""
+       << serve::jsonEscape(traceOs.str())
+       << "\", \"restarts\": 2, \"seed\": 1}";
+    return os.str();
+}
+
+/**
+ * The totality property: any line maps to a request or a structured
+ * error with a taxonomy code and a non-empty message. Never throws.
+ */
+void
+expectTotal(const std::string &line)
+{
+    serve::RequestError error;
+    std::optional<serve::Request> req;
+    ASSERT_NO_THROW(req = serve::parseRequest(line, error))
+        << "parser threw on " << line.size() << "-byte input";
+    if (!req.has_value()) {
+        EXPECT_FALSE(error.message.empty());
+        EXPECT_NE(serve::errorCodeName(error.code), nullptr);
+    }
+}
+
+} // namespace
+
+TEST_P(FuzzSeeds, ServeParserIsTotalOnGarbageBytes)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 11);
+    for (int round = 0; round < 200; ++round) {
+        std::string line(rng.below(512), '\0');
+        for (auto &c : line)
+            c = static_cast<char>(rng.below(256));
+        expectTotal(line);
+    }
+    // JSON-ish garbage: balanced-looking but meaningless structures.
+    const char *shards[] = {"{",      "}",    "[",     "]",  "\"",
+                            ":",      ",",    "null",  "{}", "1e999",
+                            "\\u00",  "cmd",  "design"};
+    for (int round = 0; round < 200; ++round) {
+        std::string line;
+        const auto parts = 1 + rng.below(24);
+        for (std::uint64_t i = 0; i < parts; ++i)
+            line += shards[rng.below(std::size(shards))];
+        expectTotal(line);
+    }
+}
+
+TEST(ServeFuzz, TruncatedSubmissionsAlwaysParseError)
+{
+    const auto full = validServeRequest();
+    serve::RequestError error;
+    ASSERT_TRUE(serve::parseRequest(full, error).has_value());
+
+    // Every proper prefix is rejected cleanly (step keeps runtime
+    // sane; boundary prefixes near the end are covered exactly).
+    for (std::size_t len = 0; len < full.size();
+         len += (len + 64 < full.size() ? 37 : 1)) {
+        const auto prefix = full.substr(0, len);
+        serve::RequestError e;
+        const auto req = serve::parseRequest(prefix, e);
+        EXPECT_FALSE(req.has_value())
+            << "truncated prefix of " << len << " bytes parsed";
+        EXPECT_FALSE(e.message.empty());
+    }
+}
+
+TEST_P(FuzzSeeds, MutatedSubmissionsNeverCrashTheParser)
+{
+    const auto full = validServeRequest();
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+    for (int round = 0; round < 100; ++round) {
+        std::string line = full;
+        const auto flips = 1 + rng.below(8);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            line[rng.below(line.size())] =
+                static_cast<char>(rng.below(256));
+        expectTotal(line);
+    }
+}
+
+TEST(ServeFuzz, OversizedSubmissionIsRejectedNotBuffered)
+{
+    std::string line(serve::kMaxRequestBytes + 1, 'a');
+    serve::RequestError error;
+    EXPECT_FALSE(serve::parseRequest(line, error).has_value());
+    EXPECT_EQ(error.code, serve::ErrorCode::ParseError);
+    EXPECT_FALSE(error.message.empty());
+}
+
+TEST(ServeFuzz, HostileParameterRangesAreValidationErrors)
+{
+    const char *lines[] = {
+        // Grid big enough to be a denial of service.
+        "{\"id\": \"g\", \"cmd\": \"explore\", \"trace\": \"t\","
+        " \"degrees\": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,"
+        "19,20,21,22,23,24,25,26,27,28,29,30,31,32],"
+        " \"seeds\": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,"
+        "19,20,21,22,23,24,25,26,27,28,29,30,31,32],"
+        " \"vcs\": [1,2,3,4,5,6,7,8]}",
+        // Value outside the representable range.
+        "{\"id\": \"r\", \"cmd\": \"design\", \"trace\": \"t\","
+        " \"restarts\": 18446744073709551616}",
+        // Wrong types everywhere.
+        "{\"id\": \"w\", \"cmd\": \"design\", \"trace\": 7}",
+        "{\"id\": \"x\", \"cmd\": [\"design\"], \"trace\": \"t\"}",
+        // Absurd deadline.
+        "{\"id\": \"d\", \"cmd\": \"design\", \"trace\": \"t\","
+        " \"deadline_ms\": -5}",
+    };
+    for (const auto *line : lines) {
+        serve::RequestError error;
+        EXPECT_FALSE(serve::parseRequest(line, error).has_value())
+            << line;
+        EXPECT_EQ(error.code, serve::ErrorCode::ValidationError)
+            << line;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

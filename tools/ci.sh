@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Six phases:
+# Seven phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -23,6 +23,13 @@
 #     into >= 2 phases with a contention-free union design, the phases
 #     report must be byte-identical across reruns and thread counts,
 #     and the phase_gain bench emits its comparison JSON.
+#  7. Serve robustness: the ASan/UBSan `minnoc serve` daemon is booted
+#     on a unix socket and hammered by the serve_chaos harness (valid
+#     traffic mixed with malformed, oversized, slow-writer and
+#     disconnecting clients, a concurrent-duplicate dedup wave, and a
+#     cache-corruption saboteur); the run must report zero crashes,
+#     hangs or leaked in-flight jobs, SIGTERM must drain cleanly, and
+#     the chaos JSON artifact lands in the build dir.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -143,3 +150,37 @@ cmp "$build_bench/phase_report.json" \
     --out "$build_bench/phase_gain.json" 2>/dev/null
 grep -q '"benchmark": "phase_gain"' "$build_bench/phase_gain.json" ||
     { echo "FAIL: phase_gain bench produced no report"; exit 1; }
+
+echo "=== phase 7: serve daemon chaos (ASan) ==="
+serve_sock="$build/ci-serve.sock"
+serve_cache="$build/ci-serve-cache"
+rm -rf "$serve_sock" "$serve_cache"
+"$build/tools/minnoc" serve --socket "$serve_sock" --workers 4 \
+    --cache-dir "$serve_cache" 2>"$build/ci-serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$serve_sock" ] && break
+    kill -0 "$serve_pid" 2>/dev/null ||
+        { echo "FAIL: serve daemon died on boot"; cat "$build/ci-serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -S "$serve_sock" ] ||
+    { echo "FAIL: serve daemon never bound its socket"; exit 1; }
+# 500+ mixed requests: valid design/explore/ping traffic, malformed
+# JSON, garbage bytes, oversized lines, slow writers, mid-request
+# disconnects, tiny deadlines, a concurrent-duplicate dedup wave and a
+# cache-corruption saboteur — all against the sanitized daemon.
+"$build/bench/serve_chaos" --socket "$serve_sock" \
+    --clients 8 --requests 500 --seed 1 \
+    --corrupt-cache "$serve_cache" \
+    --out "$build/serve_chaos.json" ||
+    { echo "FAIL: serve chaos run"; cat "$build/ci-serve.log"; exit 1; }
+grep -q '"pass": true' "$build/serve_chaos.json" ||
+    { echo "FAIL: chaos artifact does not report pass"; exit 1; }
+# Graceful drain: SIGTERM must finish in-flight work and exit 0.
+kill -TERM "$serve_pid"
+wait "$serve_pid" ||
+    { echo "FAIL: serve daemon exited nonzero on SIGTERM"; exit 1; }
+grep -q "drained and stopped" "$build/ci-serve.log" ||
+    { echo "FAIL: serve daemon did not drain cleanly"; cat "$build/ci-serve.log"; exit 1; }
+echo "serve chaos artifact: $build/serve_chaos.json"

@@ -13,11 +13,13 @@
  *   minnoc compare cg.trace            (all four networks, one table)
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +40,8 @@
 #include "trace/analyzer.hpp"
 #include "trace/nas_generators.hpp"
 #include "trace/synthetic.hpp"
+#include "serve/server.hpp"
+#include "util/cancel.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
@@ -45,6 +49,38 @@ using namespace minnoc;
 using cli::Args;
 
 namespace {
+
+/**
+ * Ctrl-C plumbing for the long-running commands: the handler fires a
+ * shared CancelToken (one relaxed store, async-signal-safe), the
+ * pipeline unwinds at its next checkpoint with CancelledError, and the
+ * command wrapper turns that into one clean line + exit 130 instead of
+ * a half-written artifact or a hard kill.
+ */
+CancelToken gCliToken;
+
+extern "C" void
+onCliSignal(int)
+{
+    gCliToken.cancel(CancelReason::Shutdown);
+}
+
+void
+installCliCancel()
+{
+    std::signal(SIGINT, onCliSignal);
+    std::signal(SIGTERM, onCliSignal);
+}
+
+/** The serve daemon the signal handler asks to drain. */
+serve::Server *gServer = nullptr;
+
+extern "C" void
+onServeSignal(int)
+{
+    if (gServer)
+        gServer->requestStop(); // async-signal-safe
+}
 
 trace::Trace
 loadTrace(const std::string &path)
@@ -307,6 +343,8 @@ cmdSimulate(const Args &args)
 
     sim::SimConfig scfg;
     scfg.maxRecoveries = args.getU32("max-recoveries", scfg.maxRecoveries);
+    installCliCancel();
+    scfg.cancel = &gCliToken;
 
     sim::FaultConfig fcfg;
     fcfg.randomFailLinks = args.getU32("fail-links", 0);
@@ -325,10 +363,17 @@ cmdSimulate(const Args &args)
         args.has("metrics-out") || args.has("chrome-trace");
     obs::SimObserver observer;
     obs::SimObserver *op = observe ? &observer : nullptr;
-    const auto res =
-        faulty
-            ? sim::runTrace(tr, *net.topo, *net.routing, scfg, fcfg, op)
-            : sim::runTrace(tr, *net.topo, *net.routing, scfg, op);
+    sim::SimResult res;
+    try {
+        res = faulty
+                  ? sim::runTrace(tr, *net.topo, *net.routing, scfg,
+                                  fcfg, op)
+                  : sim::runTrace(tr, *net.topo, *net.routing, scfg,
+                                  op);
+    } catch (const CancelledError &) {
+        std::fprintf(stderr, "simulate: interrupted, no results\n");
+        return 130;
+    }
     if (observe) {
         obs::MetricsRegistry metrics;
         obs::TraceEventLog traceLog;
@@ -419,7 +464,18 @@ cmdExplore(const Args &args)
     if (args.has("chrome-trace"))
         cfg.traceLog = &traceLog;
 
-    const auto report = dse::explore(tr, cfg);
+    installCliCancel();
+    cfg.cancel = &gCliToken;
+
+    dse::ExploreReport report;
+    try {
+        report = dse::explore(tr, cfg);
+    } catch (const CancelledError &) {
+        std::fprintf(stderr,
+                     "explore: interrupted, partial sweep discarded "
+                     "(finished jobs stay cached)\n");
+        return 130;
+    }
     exportObservability(args, metrics, traceLog);
     const auto json = report.toJson();
 
@@ -482,7 +538,18 @@ cmdPhases(const Args &args)
     if (args.has("chrome-trace"))
         cfg.traceLog = &traceLog;
 
-    const auto report = phase::evaluatePhases(tr, cfg);
+    installCliCancel();
+    cfg.methodology.cancel = &gCliToken;
+    cfg.sim.cancel = &gCliToken;
+
+    phase::PhaseReport report;
+    try {
+        report = phase::evaluatePhases(tr, cfg);
+    } catch (const CancelledError &) {
+        std::fprintf(stderr,
+                     "phases: interrupted, no report written\n");
+        return 130;
+    }
     exportObservability(args, metrics, traceLog);
     const auto json = report.toJson();
 
@@ -507,6 +574,59 @@ cmdPhases(const Args &args)
         warn("union design is NOT contention-free against the phase "
              "cliques (",
              unionViolations, " residual pairs)");
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    serve::ServerConfig cfg;
+    cfg.socketPath = args.get("socket");
+    if (args.has("port"))
+        cfg.port = static_cast<int>(args.getU32("port", 0));
+    if (cfg.socketPath.empty() && cfg.port < 0)
+        fatal("serve: need --socket PATH or --port N");
+    cfg.workers = args.getU32("workers", cfg.workers);
+    cfg.queueCapacity = args.getU32(
+        "queue", static_cast<std::uint32_t>(cfg.queueCapacity));
+    cfg.defaultDeadlineMs = static_cast<std::int64_t>(args.getU64(
+        "deadline-ms",
+        static_cast<std::uint64_t>(cfg.defaultDeadlineMs)));
+    cfg.maxDeadlineMs = static_cast<std::int64_t>(args.getU64(
+        "max-deadline-ms",
+        static_cast<std::uint64_t>(cfg.maxDeadlineMs)));
+    cfg.drainMs = static_cast<std::int64_t>(args.getU64(
+        "drain-ms", static_cast<std::uint64_t>(cfg.drainMs)));
+    cfg.idleTimeoutMs = static_cast<std::int64_t>(args.getU64(
+        "idle-timeout-ms",
+        static_cast<std::uint64_t>(cfg.idleTimeoutMs)));
+    cfg.lruCapacity = args.getU32(
+        "lru", static_cast<std::uint32_t>(cfg.lruCapacity));
+    cfg.cacheDir = args.get("cache-dir");
+    cfg.useCache = args.getU32("cache", 1) != 0;
+    cfg.innerThreads = args.getU32("threads", 0);
+    cfg.metricsOut = args.get("metrics-out");
+
+    const auto server = std::make_unique<serve::Server>(cfg);
+    std::string error;
+    if (!server->start(error))
+        fatal("serve: ", error);
+    gServer = server.get();
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    // Never SIGPIPE on a vanished client (send already uses
+    // MSG_NOSIGNAL; this covers any stray stdio on a closed pipe).
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!cfg.socketPath.empty())
+        std::fprintf(stderr, "serving on unix socket %s\n",
+                     cfg.socketPath.c_str());
+    else
+        std::fprintf(stderr, "serving on 127.0.0.1:%d\n",
+                     server->boundPort());
+    server->serveForever();
+    gServer = nullptr;
+    std::fprintf(stderr, "serve: drained and stopped\n");
     return 0;
 }
 
@@ -554,6 +674,15 @@ usage()
         "           (segment the trace into temporal phases and compare\n"
         "           monolithic vs union vs time-multiplexed designs;\n"
         "           the JSON report is byte-identical at any --threads)\n"
+        "  serve    --socket PATH | --port N   (0 = ephemeral port)\n"
+        "           [--workers W] [--queue Q] [--deadline-ms D]\n"
+        "           [--max-deadline-ms M] [--drain-ms MS]\n"
+        "           [--idle-timeout-ms MS] [--lru N] [--cache-dir DIR]\n"
+        "           [--cache 0|1] [--threads T] [--metrics-out FILE]\n"
+        "           (synthesis-as-a-service daemon: newline-delimited\n"
+        "           JSON requests, bounded queue with queue_full\n"
+        "           backpressure, per-request deadlines, two-tier\n"
+        "           response cache; SIGTERM/SIGINT drains gracefully)\n"
         "  dot      DESIGN [--out FILE]        (graphviz export)\n");
 }
 
@@ -578,6 +707,10 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
      {"window", "threshold", "min-phase-windows", "reconfig-cost",
       "max-degree", "restarts", "seed", "threads", "out", "metrics-out",
       "chrome-trace"}},
+    {"serve",
+     {"socket", "port", "workers", "queue", "deadline-ms",
+      "max-deadline-ms", "drain-ms", "idle-timeout-ms", "lru",
+      "cache-dir", "cache", "threads", "metrics-out"}},
     {"dot", {"out"}},
 };
 
@@ -613,5 +746,7 @@ main(int argc, char **argv)
         return cmdExplore(args);
     if (cmd == "phases")
         return cmdPhases(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     return cmdDot(args);
 }
