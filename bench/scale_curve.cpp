@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Node-axis scale curve: wall time of a full methodology run as the
+ * rank count sweeps 64 -> 1024+ on closed-form well-behaved patterns
+ * (ring, transpose, 2D nearest-neighbor, grouped rail). Successor of
+ * the old `scaling` harness (paper Section 3.3, O(N^2 K L)): the same
+ * growth-factor measurement, but on deterministic patterns the
+ * hierarchical partitioner targets, every design Theorem-1-verified,
+ * and the curve emitted as JSON for CI trend tracking.
+ *
+ *   scale_curve [--patterns ring,transpose,neighbor,rail]
+ *               [--sizes 64,128,256,512,1024] [--restarts R]
+ *               [--threads T] [--max-degree D] [--seed S] [--out FILE]
+ *
+ * Exit status is nonzero if any produced design has Theorem-1
+ * violations — the curve is only meaningful for correct designs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "trace/scale_patterns.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+struct Point
+{
+    std::string pattern;
+    std::uint32_t ranks = 0;
+    double wallMs = 0.0;
+    double growthVsPrev = 0.0; ///< wall-time ratio vs previous size
+    std::uint32_t links = 0;
+    std::uint32_t switches = 0;
+    std::uint32_t rounds = 0;
+    std::uint32_t restartsUsed = 0;
+    bool constraintsMet = false;
+    bool verified = false; ///< Theorem-1 violation set empty
+};
+
+std::vector<std::string>
+splitNames(const std::string &text)
+{
+    std::vector<std::string> names;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            names.push_back(item);
+    if (names.empty())
+        fatal("--patterns: expected a comma-separated list, got '",
+              text, "'");
+    return names;
+}
+
+std::string
+toJson(const std::vector<Point> &points, std::uint32_t threads,
+       std::uint32_t restarts)
+{
+    std::ostringstream oss;
+    oss << "{\n  \"machine_threads\": "
+        << std::thread::hardware_concurrency()
+        << ",\n  \"bench_threads\": " << threads
+        << ",\n  \"restarts\": " << restarts << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"pattern\": \"%s\", \"ranks\": %u, "
+            "\"wall_ms\": %.1f, \"growth_vs_prev\": %.2f, "
+            "\"links\": %u, \"switches\": %u, \"rounds\": %u, "
+            "\"restarts_used\": %u, \"constraints_met\": %s, "
+            "\"verified\": %s}",
+            p.pattern.c_str(), p.ranks, p.wallMs, p.growthVsPrev,
+            p.links, p.switches, p.rounds, p.restartsUsed,
+            p.constraintsMet ? "true" : "false",
+            p.verified ? "true" : "false");
+        oss << buf << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    oss << "  ]\n}\n";
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = cli::Args::parse(
+        argc, argv, 1,
+        {"patterns", "sizes", "restarts", "threads", "max-degree",
+         "seed", "out"});
+    const auto patterns =
+        splitNames(args.get("patterns", "ring,transpose,neighbor,rail"));
+    const auto sizes =
+        args.getU32List("sizes", {64, 128, 256, 512, 1024});
+    const auto restarts = args.getU32("restarts", 2);
+    const auto threads = args.getU32("threads", 0);
+    const auto maxDegree = args.getU32("max-degree", 6);
+    const auto seed = args.getU64("seed", 1);
+    const auto out = args.get("out");
+
+    std::vector<Point> points;
+    bool allVerified = true;
+    for (const auto &name : patterns) {
+        double prevMs = 0.0;
+        for (const auto ranks : sizes) {
+            const auto ks = trace::makeScalePattern(name, ranks);
+
+            core::MethodologyConfig cfg;
+            cfg.partitioner.constraints.maxDegree = maxDegree;
+            cfg.partitioner.seed = seed;
+            cfg.restarts = restarts;
+            cfg.threads = threads;
+
+            const auto start = std::chrono::steady_clock::now();
+            const auto outcome = core::runMethodology(ks, cfg);
+            const auto stop = std::chrono::steady_clock::now();
+
+            Point p;
+            p.pattern = name;
+            p.ranks = ranks;
+            p.wallMs =
+                std::chrono::duration<double, std::milli>(stop - start)
+                    .count();
+            p.growthVsPrev = prevMs > 0.0 ? p.wallMs / prevMs : 0.0;
+            p.links = outcome.design.totalLinks();
+            p.switches = outcome.design.numSwitches;
+            p.rounds = outcome.rounds;
+            p.restartsUsed = outcome.restartsUsed;
+            p.constraintsMet = outcome.constraintsMet;
+            p.verified = outcome.violations.empty();
+            allVerified &= p.verified;
+            prevMs = p.wallMs;
+
+            std::fprintf(stderr,
+                         "%-9s N=%-5u %8.0fms  x%-5.2f links=%-5u "
+                         "switches=%-4u %s%s\n",
+                         name.c_str(), ranks, p.wallMs, p.growthVsPrev,
+                         p.links, p.switches,
+                         p.constraintsMet ? "ok" : "INFEASIBLE",
+                         p.verified ? "" : " CONTENTION");
+            points.push_back(std::move(p));
+        }
+    }
+
+    const std::string json = toJson(points, threads, restarts);
+    std::fputs(json.c_str(), stdout);
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        os << json;
+    }
+    return allVerified ? 0 : 1;
+}

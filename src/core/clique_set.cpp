@@ -20,7 +20,7 @@ CliqueSet::internComm(const Comm &c)
         _index.emplace(c, static_cast<CommId>(_comms.size()));
     if (inserted) {
         _comms.push_back(c);
-        _contendValid = false;
+        _membershipValid = false;
         _masksValid = false;
     }
     return it->second;
@@ -60,31 +60,69 @@ CliqueSet::addCliqueByIds(std::vector<CommId> ids)
             return false;
     }
     _cliques.push_back(std::move(clique));
-    _contendValid = false;
+    _membershipValid = false;
     _masksValid = false;
     return true;
+}
+
+void
+CliqueSet::buildMaskCaches() const
+{
+    _masks.assign(_cliques.size(), CommBitset(_comms.size()));
+    _maskInfos.assign(_cliques.size(), MaskInfo{});
+    for (std::size_t i = 0; i < _cliques.size(); ++i) {
+        for (const CommId c : _cliques[i].comms)
+            _masks[i].insert(c);
+        auto &info = _maskInfos[i];
+        const auto &words = _masks[i].words();
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            if (words[w])
+                info.nonzeroWords.push_back(
+                    static_cast<std::uint32_t>(w));
+        }
+        info.popcount = static_cast<std::uint32_t>(_masks[i].size());
+    }
+    _masksBySize.resize(_cliques.size());
+    for (std::size_t i = 0; i < _masksBySize.size(); ++i)
+        _masksBySize[i] = static_cast<std::uint32_t>(i);
+    std::stable_sort(_masksBySize.begin(), _masksBySize.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return _maskInfos[a].popcount >
+                                _maskInfos[b].popcount;
+                     });
+    _masksValid = true;
 }
 
 const std::vector<CommBitset> &
 CliqueSet::cliqueMasks() const
 {
-    if (!_masksValid) {
-        _masks.assign(_cliques.size(), CommBitset(_comms.size()));
-        for (std::size_t i = 0; i < _cliques.size(); ++i) {
-            for (const CommId c : _cliques[i].comms)
-                _masks[i].insert(c);
-        }
-        _masksValid = true;
-    }
+    if (!_masksValid)
+        buildMaskCaches();
     return _masks;
+}
+
+const std::vector<CliqueSet::MaskInfo> &
+CliqueSet::maskInfos() const
+{
+    if (!_masksValid)
+        buildMaskCaches();
+    return _maskInfos;
+}
+
+const std::vector<std::uint32_t> &
+CliqueSet::masksBySize() const
+{
+    if (!_masksValid)
+        buildMaskCaches();
+    return _masksBySize;
 }
 
 void
 CliqueSet::prepareCaches() const
 {
     cliqueMasks();
-    if (!_contendValid)
-        buildContendIndex();
+    if (!_membershipValid)
+        buildMembership();
 }
 
 std::size_t
@@ -132,28 +170,25 @@ CliqueSet::reduceToMaximum()
     const std::size_t removed = _cliques.size() - kept.size();
     _cliques = std::move(kept);
     if (removed) {
-        _contendValid = false;
+        _membershipValid = false;
         _masksValid = false;
     }
     return removed;
 }
 
 void
-CliqueSet::buildContendIndex() const
+CliqueSet::buildMembership() const
 {
     const std::size_t n = _comms.size();
-    _contend.assign(n * n, false);
-    for (const auto &k : _cliques) {
-        for (std::size_t i = 0; i < k.comms.size(); ++i) {
-            for (std::size_t j = i + 1; j < k.comms.size(); ++j) {
-                const auto a = k.comms[i];
-                const auto b = k.comms[j];
-                _contend[a * n + b] = true;
-                _contend[b * n + a] = true;
-            }
-        }
+    _membershipWords = (_cliques.size() + 63) / 64;
+    _membership.assign(n * _membershipWords, 0);
+    for (std::size_t k = 0; k < _cliques.size(); ++k) {
+        const std::uint64_t bit = 1ULL << (k & 63);
+        const std::size_t word = k >> 6;
+        for (const CommId c : _cliques[k].comms)
+            _membership[c * _membershipWords + word] |= bit;
     }
-    _contendValid = true;
+    _membershipValid = true;
 }
 
 bool
@@ -161,9 +196,17 @@ CliqueSet::contend(CommId a, CommId b) const
 {
     if (a >= _comms.size() || b >= _comms.size())
         panic("CliqueSet::contend: comm id out of range");
-    if (!_contendValid)
-        buildContendIndex();
-    return _contend[a * _comms.size() + b];
+    if (a == b)
+        return false;
+    if (!_membershipValid)
+        buildMembership();
+    const std::uint64_t *ra = _membership.data() + a * _membershipWords;
+    const std::uint64_t *rb = _membership.data() + b * _membershipWords;
+    for (std::size_t w = 0; w < _membershipWords; ++w) {
+        if (ra[w] & rb[w])
+            return true;
+    }
+    return false;
 }
 
 std::vector<std::array<ProcId, 4>>
@@ -171,11 +214,9 @@ CliqueSet::contentionSet() const
 {
     std::vector<std::array<ProcId, 4>> tuples;
     const std::size_t n = _comms.size();
-    if (!_contendValid)
-        buildContendIndex();
     for (CommId a = 0; a < n; ++a) {
         for (CommId b = 0; b < n; ++b) {
-            if (a != b && _contend[a * n + b]) {
+            if (contend(a, b)) {
                 tuples.push_back({_comms[a].src, _comms[a].dst,
                                   _comms[b].src, _comms[b].dst});
             }

@@ -94,6 +94,29 @@ class CliqueSet
     const std::vector<CommBitset> &cliqueMasks() const;
 
     /**
+     * Sparse companion to cliqueMasks(): per-clique skip list of the
+     * populated 64-bit blocks plus the clique's popcount, so the
+     * Fast_Color AND+popcount loop touches only nonzero words. Parallel
+     * to cliqueMasks(); built/invalidated together with it.
+     */
+    struct MaskInfo
+    {
+        /** Ascending indices of the nonzero words of the mask. */
+        std::vector<std::uint32_t> nonzeroWords;
+        /** Popcount of the mask (= clique size). */
+        std::uint32_t popcount = 0;
+    };
+    const std::vector<MaskInfo> &maskInfos() const;
+
+    /**
+     * Clique indices ordered by descending popcount (stable, so the
+     * order is deterministic). Iterating cliques in this order lets
+     * Fast_Color stop as soon as the remaining cliques are too small to
+     * beat the best intersection found so far.
+     */
+    const std::vector<std::uint32_t> &masksBySize() const;
+
+    /**
      * Force-build every lazy cache (clique masks, contention index).
      * The lazy builders mutate shared state and are not safe to race;
      * call this once before handing the set to concurrent readers.
@@ -128,19 +151,29 @@ class CliqueSet
     std::string toString() const;
 
   private:
-    void buildContendIndex() const;
+    void buildMembership() const;
+    void buildMaskCaches() const;
 
     std::uint32_t _numProcs = 0;
     std::vector<Comm> _comms;
     std::unordered_map<Comm, CommId> _index;
     std::vector<Clique> _cliques;
 
-    /** Lazily built co-occurrence bitmatrix, invalidated on mutation. */
-    mutable std::vector<bool> _contend;
-    mutable bool _contendValid = false;
+    /**
+     * Lazily built per-comm clique-membership bitsets: row c holds one
+     * bit per clique, set iff comm c belongs to that clique. Two comms
+     * contend iff their rows intersect, so contend() is an AND over
+     * numCliques/64 words instead of a dense numComms² matrix — the
+     * matrix was the memory wall at four-digit rank counts.
+     */
+    mutable std::vector<std::uint64_t> _membership;
+    mutable std::size_t _membershipWords = 0;
+    mutable bool _membershipValid = false;
 
     /** Lazily built per-clique bitmasks, invalidated on mutation. */
     mutable std::vector<CommBitset> _masks;
+    mutable std::vector<MaskInfo> _maskInfos;
+    mutable std::vector<std::uint32_t> _masksBySize;
     mutable bool _masksValid = false;
 };
 

@@ -37,6 +37,7 @@ class CommBitset
     {
         _bits = bits;
         _words.assign((bits + 63) / 64, 0);
+        _count = 0;
     }
 
     std::size_t numBits() const { return _bits; }
@@ -50,6 +51,7 @@ class CommBitset
         const std::uint64_t bit = 1ULL << (c & 63);
         const bool added = (w & bit) == 0;
         w |= bit;
+        _count += added;
         return added;
     }
 
@@ -62,6 +64,7 @@ class CommBitset
         const std::uint64_t bit = 1ULL << (c & 63);
         const bool removed = (w & bit) != 0;
         w &= ~bit;
+        _count -= removed;
         return removed;
     }
 
@@ -74,27 +77,33 @@ class CommBitset
         return (_words[c >> 6] >> (c & 63)) & 1;
     }
 
-    /** Number of set bits. */
+    /**
+     * Number of set bits. O(1): the count is maintained by insert()
+     * and erase(); sanitized builds recount the words and abort on
+     * drift.
+     */
     std::size_t
     size() const
     {
+#ifdef MINNOC_SANITIZE
         std::size_t n = 0;
         for (const std::uint64_t w : _words)
             n += static_cast<std::size_t>(std::popcount(w));
-        return n;
+        if (n != _count)
+            panic("CommBitset: cached popcount ", _count,
+                  " drifted from recount ", n);
+#endif
+        return _count;
     }
 
+    bool empty() const { return _count == 0; }
+
+    /** Word-exact equality; the cached count is derived, not compared. */
     bool
-    empty() const
+    operator==(const CommBitset &o) const
     {
-        for (const std::uint64_t w : _words) {
-            if (w)
-                return false;
-        }
-        return true;
+        return _bits == o._bits && _words == o._words;
     }
-
-    bool operator==(const CommBitset &o) const = default;
 
     /** Call @p fn(id) for every set bit in ascending id order. */
     template <typename Fn>
@@ -136,6 +145,8 @@ class CommBitset
 
     std::size_t _bits = 0;
     std::vector<std::uint64_t> _words;
+    /** Cached popcount of _words; maintained by insert/erase/resize. */
+    std::size_t _count = 0;
 };
 
 } // namespace minnoc::core

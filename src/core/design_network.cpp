@@ -49,6 +49,8 @@ DesignNetwork::DesignNetwork(const CliqueSet &cliques)
     // Every communication routes trivially inside the megaswitch.
     _routes.assign(cliques.numComms(), std::vector<SwitchId>{0});
 
+    _nbrs.emplace_back();
+
     _procComms.assign(procs, {});
     for (CommId c = 0; c < cliques.numComms(); ++c) {
         const Comm &comm = cliques.comm(c);
@@ -97,6 +99,23 @@ DesignNetwork::normalized(std::vector<SwitchId> r)
 }
 
 void
+DesignNetwork::linkNeighbor(SwitchId s, SwitchId t)
+{
+    auto &v = _nbrs[s];
+    v.insert(std::lower_bound(v.begin(), v.end(), t), t);
+}
+
+void
+DesignNetwork::unlinkNeighbor(SwitchId s, SwitchId t)
+{
+    auto &v = _nbrs[s];
+    const auto it = std::lower_bound(v.begin(), v.end(), t);
+    if (it == v.end() || *it != t)
+        panic("DesignNetwork: neighbor index missing ", t, " at ", s);
+    v.erase(it);
+}
+
+void
 DesignNetwork::addRouteToPipes(CommId c, const std::vector<SwitchId> &r)
 {
     for (std::size_t i = 0; i + 1 < r.size(); ++i) {
@@ -107,6 +126,8 @@ DesignNetwork::addRouteToPipes(CommId c, const std::vector<SwitchId> &r)
         if (created) {
             p.fwd.resize(_numComms);
             p.bwd.resize(_numComms);
+            linkNeighbor(from, to);
+            linkNeighbor(to, from);
         }
         auto &dir = (from < to) ? p.fwd : p.bwd;
         if (!dir.insert(c))
@@ -129,8 +150,11 @@ DesignNetwork::removeRouteFromPipes(CommId c, const std::vector<SwitchId> &r)
         if (!dir.erase(c))
             panic("DesignNetwork: comm ", c, " missing from pipe set");
         it->second.dirty = true;
-        if (it->second.empty())
+        if (it->second.empty()) {
             _pipes.erase(it);
+            unlinkNeighbor(from, to);
+            unlinkNeighbor(to, from);
+        }
     }
 }
 
@@ -162,11 +186,14 @@ DesignNetwork::pipes() const
 std::vector<PipeKey>
 DesignNetwork::pipesOf(SwitchId s) const
 {
+    // Ascending neighbor ids yield ascending PipeKeys: every (x, s)
+    // with x < s sorts before every (s, y) with y > s.
     std::vector<PipeKey> keys;
-    for (const auto &[key, pipe] : _pipes) {
-        if (key.a == s || key.b == s)
-            keys.push_back(key);
-    }
+    if (s >= _nbrs.size())
+        return keys;
+    keys.reserve(_nbrs[s].size());
+    for (const SwitchId t : _nbrs[s])
+        keys.emplace_back(s, t);
     return keys;
 }
 
@@ -181,16 +208,31 @@ DesignNetwork::pipe(const PipeKey &key) const
 std::uint32_t
 DesignNetwork::computeFastColor(const CommBitset &comms) const
 {
-    std::uint32_t best = 0;
+    // Max over cliques of |K ∩ comms|. Cliques are visited largest
+    // first and only over their populated words; both cuts are exact
+    // (an intersection can never exceed the smaller operand), so the
+    // result is identical to the dense scan.
+    const auto cap = static_cast<std::uint32_t>(comms.size());
+    if (cap == 0)
+        return 0;
+    const auto &masks = _cliques->cliqueMasks();
+    const auto &infos = _cliques->maskInfos();
     const auto &sw = comms.words();
-    for (const auto &mask : _cliques->cliqueMasks()) {
-        const auto &mw = mask.words();
-        const std::size_t n = std::min(mw.size(), sw.size());
+    std::uint32_t best = 0;
+    for (const std::uint32_t m : _cliques->masksBySize()) {
+        if (infos[m].popcount <= best)
+            break; // descending sizes: nothing later can beat best
+        const auto &mw = masks[m].words();
         std::uint32_t common = 0;
-        for (std::size_t i = 0; i < n; ++i)
+        for (const std::uint32_t w : infos[m].nonzeroWords) {
+            if (w >= sw.size())
+                break; // nonzeroWords is ascending
             common += static_cast<std::uint32_t>(
-                std::popcount(mw[i] & sw[i]));
+                std::popcount(mw[w] & sw[w]));
+        }
         best = std::max(best, common);
+        if (best >= cap)
+            break; // no clique can cover more than the whole set
     }
     return best;
 }
@@ -206,16 +248,26 @@ std::uint32_t
 DesignNetwork::fastColorSetPlus(const CommBitset &comms, CommId extra) const
 {
     g_fcCalls.fetch_add(1, std::memory_order_relaxed);
-    std::uint32_t best = 0;
+    // |K ∩ (comms + extra)| can exceed neither |K| nor |comms| + 1.
+    const auto cap = static_cast<std::uint32_t>(comms.size()) + 1;
+    const auto &masks = _cliques->cliqueMasks();
+    const auto &infos = _cliques->maskInfos();
     const auto &sw = comms.words();
-    for (const auto &mask : _cliques->cliqueMasks()) {
-        const auto &mw = mask.words();
-        const std::size_t n = std::min(mw.size(), sw.size());
-        std::uint32_t common = mask.test(extra) ? 1u : 0u;
-        for (std::size_t i = 0; i < n; ++i)
+    std::uint32_t best = 0;
+    for (const std::uint32_t m : _cliques->masksBySize()) {
+        if (infos[m].popcount <= best)
+            break;
+        const auto &mw = masks[m].words();
+        std::uint32_t common = masks[m].test(extra) ? 1u : 0u;
+        for (const std::uint32_t w : infos[m].nonzeroWords) {
+            if (w >= sw.size())
+                break;
             common += static_cast<std::uint32_t>(
-                std::popcount(mw[i] & sw[i]));
+                std::popcount(mw[w] & sw[w]));
+        }
         best = std::max(best, common);
+        if (best >= cap)
+            break;
     }
     return best;
 }
@@ -274,8 +326,14 @@ DesignNetwork::fastColorDirs(const PipeKey &key) const
     const auto it = _pipes.find(key);
     if (it == _pipes.end())
         return {0, 0};
-    pipeFastColor(it->second);
-    return {it->second.fcFwd, it->second.fcBwd};
+    return fastColorDirs(it->second);
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+DesignNetwork::fastColorDirs(const Pipe &p) const
+{
+    pipeFastColor(p);
+    return {p.fcFwd, p.fcBwd};
 }
 
 std::uint32_t
@@ -283,9 +341,11 @@ DesignNetwork::estimatedDegree(SwitchId s) const
 {
     std::uint32_t degree =
         static_cast<std::uint32_t>(procsOf(s).size());
-    for (const auto &[key, pipe] : _pipes) {
-        if (key.a == s || key.b == s)
-            degree += pipeFastColor(pipe);
+    for (const SwitchId t : _nbrs[s]) {
+        const auto it = _pipes.find(PipeKey(s, t));
+        if (it == _pipes.end())
+            panic("DesignNetwork: neighbor index lists missing pipe");
+        degree += pipeFastColor(it->second);
     }
     return degree;
 }
@@ -316,10 +376,24 @@ DesignNetwork::totalEstimatedLinks() const
 std::uint32_t
 DesignNetwork::cutEstimate(SwitchId si, SwitchId sj) const
 {
+    // Each incident pipe counted once: all of si's, then sj's minus
+    // the shared (si, sj) pipe already visited from si's side.
     std::uint32_t total = 0;
-    for (const auto &[key, pipe] : _pipes) {
-        if (key.a == si || key.b == si || key.a == sj || key.b == sj)
-            total += pipeFastColor(pipe);
+    for (const SwitchId t : _nbrs[si]) {
+        const auto it = _pipes.find(PipeKey(si, t));
+        if (it == _pipes.end())
+            panic("DesignNetwork: neighbor index lists missing pipe");
+        total += pipeFastColor(it->second);
+    }
+    if (si == sj)
+        return total;
+    for (const SwitchId t : _nbrs[sj]) {
+        if (t == si)
+            continue;
+        const auto it = _pipes.find(PipeKey(sj, t));
+        if (it == _pipes.end())
+            panic("DesignNetwork: neighbor index lists missing pipe");
+        total += pipeFastColor(it->second);
     }
     return total;
 }
@@ -338,12 +412,37 @@ DesignNetwork::splitSwitch(SwitchId s, Rng &rng)
     std::vector<ProcId> pool = _switchProcs[s];
     const auto t = static_cast<SwitchId>(_switchProcs.size());
     _switchProcs.emplace_back();
+    _nbrs.emplace_back();
 
     // Randomly pick half of the processors to move to the new switch.
     rng.shuffle(pool);
     const std::size_t moveCount = pool.size() / 2;
     for (std::size_t i = 0; i < moveCount; ++i)
         moveProc(pool[i], t);
+    return t;
+}
+
+SwitchId
+DesignNetwork::splitSwitchInto(SwitchId s,
+                               const std::vector<ProcId> &procs_to_move)
+{
+    if (s >= _switchProcs.size())
+        panic("DesignNetwork::splitSwitchInto: bad switch ", s);
+    if (procs_to_move.empty() ||
+        procs_to_move.size() >= _switchProcs[s].size()) {
+        panic("DesignNetwork::splitSwitchInto: must move a strict, "
+              "non-empty subset of switch ", s, "'s processors");
+    }
+    for (const ProcId p : procs_to_move) {
+        if (p >= _home.size() || _home[p] != s)
+            panic("DesignNetwork::splitSwitchInto: proc ", p,
+                  " is not on switch ", s);
+    }
+    const auto t = static_cast<SwitchId>(_switchProcs.size());
+    _switchProcs.emplace_back();
+    _nbrs.emplace_back();
+    for (const ProcId p : procs_to_move)
+        moveProc(p, t);
     return t;
 }
 
@@ -442,6 +541,23 @@ DesignNetwork::checkInvariants() const
     }
     if (rebuilt.size() != _pipes.size())
         panic("invariant: pipe map size mismatch");
+
+    // The neighbor index mirrors the pipe map exactly.
+    std::size_t nbrEdges = 0;
+    if (_nbrs.size() != _switchProcs.size())
+        panic("invariant: neighbor index size mismatch");
+    for (SwitchId s = 0; s < _nbrs.size(); ++s) {
+        if (!std::is_sorted(_nbrs[s].begin(), _nbrs[s].end()))
+            panic("invariant: neighbor list of switch ", s, " not sorted");
+        for (const SwitchId t : _nbrs[s]) {
+            if (!_pipes.contains(PipeKey(s, t)))
+                panic("invariant: neighbor index lists absent pipe ", s,
+                      "-", t);
+        }
+        nbrEdges += _nbrs[s].size();
+    }
+    if (nbrEdges != 2 * _pipes.size())
+        panic("invariant: neighbor index edge count mismatch");
     for (const auto &[key, pipe] : _pipes) {
         const auto it = rebuilt.find(key);
         if (it == rebuilt.end() || it->second.fwd != pipe.fwd ||

@@ -129,6 +129,20 @@ class DesignNetwork
     /** All currently non-empty pipes (sorted by key). */
     std::vector<PipeKey> pipes() const;
 
+    /**
+     * Visit every pipe in ascending key order without per-key map
+     * lookups: @p f receives (const PipeKey &, const Pipe &). The hot
+     * bulk readers (baseline snapshots, degree sweeps) use this; the
+     * callback must not mutate the network.
+     */
+    template <typename F>
+    void
+    forEachPipe(F &&f) const
+    {
+        for (const auto &[key, pipe] : _pipes)
+            f(key, pipe);
+    }
+
     /** Non-empty pipes incident to switch @p s. */
     std::vector<PipeKey> pipesOf(SwitchId s) const;
 
@@ -146,6 +160,10 @@ class DesignNetwork
     /** Cached per-direction Fast_Color of @p key: (fwd, bwd). */
     std::pair<std::uint32_t, std::uint32_t>
     fastColorDirs(const PipeKey &key) const;
+
+    /** Same, for a pipe reference already in hand (skips the lookup). */
+    std::pair<std::uint32_t, std::uint32_t>
+    fastColorDirs(const Pipe &p) const;
 
     /** Fast_Color of an explicit directional comm set. */
     std::uint32_t fastColorSet(const CommBitset &comms) const;
@@ -195,6 +213,15 @@ class DesignNetwork
     SwitchId splitSwitch(SwitchId s, Rng &rng);
 
     /**
+     * Split switch @p s moving exactly the processors in @p procs_to_move
+     * (a strict, non-empty subset of s's processors) to a new switch.
+     * Used by the hierarchical partitioner, which computes the halves
+     * itself instead of sampling them. @return the new switch's id.
+     */
+    SwitchId splitSwitchInto(SwitchId s,
+                             const std::vector<ProcId> &procs_to_move);
+
+    /**
      * Move processor @p p to switch @p to, recomputing the direct routes
      * of all communications with an endpoint at @p p (the interior of
      * each route is preserved; only the endpoint switch changes).
@@ -215,6 +242,8 @@ class DesignNetwork
     void removeRouteFromPipes(CommId c, const std::vector<SwitchId> &r);
     void recomputeEndpoints(CommId c);
     static std::vector<SwitchId> normalized(std::vector<SwitchId> r);
+    void linkNeighbor(SwitchId s, SwitchId t);
+    void unlinkNeighbor(SwitchId s, SwitchId t);
 
     /** Cached duplex estimate of @p p; recomputes when dirty. */
     std::uint32_t pipeFastColor(const Pipe &p) const;
@@ -229,6 +258,15 @@ class DesignNetwork
     std::vector<std::vector<SwitchId>> _routes; // per comm
     std::vector<std::vector<CommId>> _procComms; // per proc
     std::map<PipeKey, Pipe> _pipes;
+
+    /**
+     * Per-switch sorted list of pipe neighbors, maintained on pipe
+     * creation/erasure. Turns pipesOf / estimatedDegree / cutEstimate
+     * into O(degree) incidence walks instead of full pipe-map scans —
+     * the scans were quadratic-in-switches inside the move loop and
+     * dominated at four-digit rank counts.
+     */
+    std::vector<std::vector<SwitchId>> _nbrs;
 };
 
 } // namespace minnoc::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Hierarchical (multilevel) recursive bisection pre-partitioner.
+ *
+ * The paper's flat bisection loop splits one random violating switch at
+ * a time and re-settles with per-move cut estimation; at four-digit
+ * rank counts the settle loops and the global route consolidation in
+ * between dominate and the synthesis time grows super-linearly. The
+ * classic multilevel answer (METIS-style, and the decomposition
+ * approach of Ogras & Marculescu): coarsen the communication graph by
+ * heavy-edge matching until it is small, bisect the coarse graph
+ * greedily, then uncoarsen level by level with local boundary
+ * refinement. Applied recursively this pre-partitions the megaswitch
+ * down to leaf-sized processor groups in O(E log N) graph work before
+ * the constraint loop ever runs, so the expensive settle machinery only
+ * operates on leaf-sized switches.
+ *
+ * Everything here is deterministic: vertices are visited in ascending
+ * id order, ties break toward smaller ids, and no RNG is consumed —
+ * the produced partition tree is a pure function of the pattern and
+ * the config, which keeps large-N designs byte-identical across
+ * reruns and thread counts.
+ *
+ * Coarsening invariants (documented in DESIGN.md §5i):
+ *  - node weights are processor counts and are conserved level to
+ *    level (a coarse node's weight is the sum of its constituents);
+ *  - edge weights are summed comm multiplicities, so the coarse cut of
+ *    any coarse partition equals the fine cut of its projection;
+ *  - matching is heavy-edge maximal: visiting v ascending, v matches
+ *    its heaviest unmatched neighbor (ties toward the smallest id).
+ */
+
+#ifndef MINNOC_CORE_HIER_PARTITIONER_HPP
+#define MINNOC_CORE_HIER_PARTITIONER_HPP
+
+#include <cstdint>
+
+#include "partitioner.hpp"
+
+namespace minnoc::core {
+
+/** Statistics of one hierarchical pre-partition run. */
+struct HierStats
+{
+    /** Bisections applied to the network (== switches created). */
+    std::uint32_t splits = 0;
+    /** Coarsening levels built across all bisections. */
+    std::uint32_t coarsenLevels = 0;
+    /** Boundary-refinement moves committed across all levels. */
+    std::uint64_t refineMoves = 0;
+    /** Leaf groups the megaswitch was cut into. */
+    std::uint32_t leaves = 0;
+};
+
+/**
+ * Recursively bisect the megaswitch of @p net down to groups of at most
+ * `config.hierarchicalLeaf` processors using multilevel bisection over
+ * the communication graph (edge weight = number of comms between the
+ * two processors, both directions).
+ *
+ * Preconditions: the network must still be the initial megaswitch
+ * (numSwitches() == 1). Splits and history are recorded into
+ * @p result like the flat path's.
+ */
+HierStats hierarchicalPrePartition(DesignNetwork &net,
+                                   const PartitionerConfig &config,
+                                   PartitionResult &result);
+
+} // namespace minnoc::core
+
+#endif // MINNOC_CORE_HIER_PARTITIONER_HPP

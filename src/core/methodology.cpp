@@ -28,6 +28,13 @@ MethodologyConfig::signature() const
         << ";uni=" << finalize.unidirectional << ";rounds=" << maxRounds
         << ";reduce=" << reduceCliques << ";restarts=" << restarts
         << ";merge=" << mergeSwitches;
+    // Appended only when non-default so signatures of pre-existing
+    // configurations — and the cache keys derived from them — are
+    // unchanged by the introduction of the hierarchical mode.
+    if (p.hierarchicalThreshold != 64 || p.hierarchicalLeaf != 8) {
+        oss << ";hier=" << p.hierarchicalThreshold << ","
+            << p.hierarchicalLeaf;
+    }
     return oss.str();
 }
 
@@ -101,10 +108,18 @@ runOnce(const CliqueSet &cliques, const MethodologyConfig &config,
 
             // Polish: guarded quality refinement. Processor swaps plus
             // consolidation can shave links, but only a re-finalized,
-            // still-feasible design is accepted; otherwise roll back.
+            // still-feasible, Theorem-1-clean design is accepted;
+            // otherwise roll back. The verifier persists across polish
+            // iterations, so each re-check only recolors pipes whose
+            // link assignment actually changed. The swap refinement is
+            // quadratic in processors and is skipped in large-N mode.
+            const bool big =
+                pcfg.largeScale(net.numProcs());
+            IncrementalVerifier verifier(cliques);
             DesignNetwork snapshot = net;
             for (int polish = 0; polish < 3; ++polish) {
                 const bool swapped =
+                    !big &&
                     refineProcSwaps(net, pcfg.constraints, rng, 2);
                 const auto cs = consolidateRoutes(
                     net, pcfg.consolidatePasses,
@@ -118,7 +133,8 @@ runOnce(const CliqueSet &cliques, const MethodologyConfig &config,
                                             : 2 * d.totalLinks();
                 };
                 if (exactViolators(polished, pcfg.constraints).empty() &&
-                    measure(polished) < measure(outcome.design)) {
+                    measure(polished) < measure(outcome.design) &&
+                    verifier.check(polished).empty()) {
                     outcome.design = std::move(polished);
                     snapshot = net;
                 } else {
@@ -186,10 +202,13 @@ estimatesSatisfied(const DesignNetwork &net, const DesignConstraints &dc)
  */
 void
 mergeSwitches(DesignNetwork &net, DesignOutcome &outcome,
-              const MethodologyConfig &config,
+              const MethodologyConfig &config, const CliqueSet &cliques,
               const PartitionerConfig &pcfg, Rng &rng, ThreadPool *pool)
 {
     const auto &dc = pcfg.constraints;
+    // Merge candidates differ from the incumbent in the few pipes around
+    // the merged pair; the incremental verifier re-checks only those.
+    IncrementalVerifier verifier(cliques);
     // Merging shares switches but lengthens some routes; cap the total
     // hop growth so resource savings do not silently buy latency.
     auto totalHops = [](const FinalizedDesign &d) {
@@ -241,7 +260,8 @@ mergeSwitches(DesignNetwork &net, DesignOutcome &outcome,
                         merged.numSwitches <
                             outcome.design.numSwitches &&
                         mergedLinks <= linkBudget &&
-                        totalHops(merged) <= hopBudget) {
+                        totalHops(merged) <= hopBudget &&
+                        verifier.check(merged).empty()) {
                         outcome.design = std::move(merged);
                         improved = true;
                         break;
@@ -343,6 +363,7 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
 
     DesignOutcome best;
     std::optional<DesignNetwork> bestNet;
+    std::uint32_t restartsUsed = 0;
 
     // The sequential preference order: fold restart i into the running
     // best, then stop once a feasible design has been found and at
@@ -352,6 +373,7 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
             if (config.metrics)
                 recordRestart(*config.metrics, i, result.outcome);
         }
+        restartsUsed = i + 1;
         if (!bestNet ||
             betterThan(result.outcome, best,
                        config.partitioner.constraints)) {
@@ -397,6 +419,7 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
             i += wave;
         }
     }
+    best.restartsUsed = restartsUsed;
     if (!best.constraintsMet) {
         warn("methodology: no seed met the design constraints after ",
              attempts, " restarts; returning best effort");
@@ -409,16 +432,20 @@ runMethodology(const CliqueSet &cliquesIn, const MethodologyConfig &config,
         }
     }
 
-    // Switch-merge polish on the winner (see mergeSwitches).
+    // Switch-merge polish on the winner (see mergeSwitches). Quadratic
+    // in switches with a full consolidate + finalize per candidate, so
+    // it is gated off in large-N mode.
     checkCancel(config.cancel);
-    if (best.constraintsMet && config.mergeSwitches && bestNet) {
+    const bool big =
+        config.partitioner.largeScale(cliques.numProcs());
+    if (!big && best.constraintsMet && config.mergeSwitches && bestNet) {
         const std::int64_t mergeStart =
             config.traceLog ? obs::wallMicros() : 0;
         PartitionerConfig pcfg = config.partitioner;
         if (config.finalize.unidirectional)
             pcfg.unidirectionalCost = true;
         Rng rng(config.partitioner.seed ^ 0x5bd1e995);
-        mergeSwitches(*bestNet, best, config, pcfg, rng, pool);
+        mergeSwitches(*bestNet, best, config, cliques, pcfg, rng, pool);
         if constexpr (obs::kEnabled) {
             if (config.traceLog) {
                 config.traceLog->complete(

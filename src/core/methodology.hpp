@@ -116,6 +116,8 @@ struct DesignOutcome
     std::vector<ContentionViolation> violations;
     /** Number of partition/finalize rounds used. */
     std::uint32_t rounds = 0;
+    /** Restart attempts actually consumed before selection stopped. */
+    std::uint32_t restartsUsed = 0;
     /** Move candidates scored across all rounds (search effort). */
     std::uint64_t movesEvaluated = 0;
     /** Concatenated partitioning history across rounds. */

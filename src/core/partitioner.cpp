@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "hier_partitioner.hpp"
 #include "route_optimizer.hpp"
 #include "util/log.hpp"
 
@@ -246,6 +247,15 @@ partitionNetwork(DesignNetwork &net, const PartitionerConfig &config,
         config.maxSplits ? config.maxSplits : 4 * net.numProcs() + 8;
     std::uint32_t repairAttempts = 0;
 
+    // Large-N mode: pre-cut the megaswitch along the communication
+    // graph before the constraint loop, and afterwards split every
+    // violator per pass instead of one random one — the global
+    // consolidation between passes is the dominant cost at scale, so
+    // it must run O(log N) times, not O(N).
+    const bool large = config.largeScale(net.numProcs());
+    if (large && net.numSwitches() == 1 && net.numProcs() >= 2)
+        hierarchicalPrePartition(net, config, result);
+
     for (;;) {
         // Merge compatible traffic onto shared links before judging the
         // constraints: direct routes systematically overestimate the
@@ -270,11 +280,14 @@ partitionNetwork(DesignNetwork &net, const PartitionerConfig &config,
                 repairAttempts < 4) {
                 // Stuck: no violator can be split. Spread traffic away
                 // from the overloaded switches even at extra link cost,
-                // try global processor swaps, then re-judge.
+                // try global processor swaps, then re-judge. The swap
+                // refinement is quadratic in processors, so the large-N
+                // mode relies on repairDegrees alone.
                 ++repairAttempts;
                 const auto rs = repairDegrees(
                     net, config.constraints.maxDegree, 4, &rng);
                 const bool swapped =
+                    !large &&
                     refineProcSwaps(net, config.constraints, rng, 2);
                 if (config.paranoid)
                     net.checkInvariants();
@@ -293,6 +306,16 @@ partitionNetwork(DesignNetwork &net, const PartitionerConfig &config,
             warn("partitioner: split budget exhausted (", maxSplits, ")");
             result.feasible = false;
             return result;
+        }
+
+        if (large) {
+            // Batch mode: split every splittable violator this pass.
+            for (const SwitchId si : splittable) {
+                if (result.numSplits >= maxSplits)
+                    break;
+                splitAndSettle(net, config, rng, si, result);
+            }
+            continue;
         }
 
         // Step 4: randomly pick a violating switch; steps 5-9 inside.

@@ -108,8 +108,34 @@ struct PartitionerConfig
      */
     bool unidirectionalCost = false;
 
+    /**
+     * Above this many processors the partitioner switches to the
+     * scalable large-N mode: a deterministic multilevel-bisection
+     * pre-partition of the megaswitch (see hier_partitioner.hpp), batch
+     * splitting of all violating switches per constraint pass, and the
+     * quadratic whole-network refinements (processor-swap polish,
+     * switch merging) gated off. At or below the threshold the flat
+     * paper path runs unchanged, so paper-scale designs stay
+     * byte-identical. 0 disables the hierarchical mode entirely.
+     */
+    std::uint32_t hierarchicalThreshold = 64;
+
+    /**
+     * Leaf group size of the hierarchical pre-partition: recursive
+     * bisection stops once every group holds at most this many
+     * processors; the constraint loop refines from there.
+     */
+    std::uint32_t hierarchicalLeaf = 8;
+
     /** Validate DesignNetwork invariants after every mutation (tests). */
     bool paranoid = false;
+
+    /** True when @p num_procs puts a run into the large-N mode. */
+    bool
+    largeScale(std::uint32_t num_procs) const
+    {
+        return hierarchicalThreshold && num_procs > hierarchicalThreshold;
+    }
 };
 
 /** One entry of the partitioning history (drives the Fig. 5 walkthrough). */

@@ -174,8 +174,18 @@ degreeViolation(const DesignNetwork &net, std::uint32_t max_degree)
  */
 struct PipeBaseline
 {
-    CommBitset fwd; ///< forward comms with the victim removed
-    CommBitset bwd; ///< backward comms with the victim removed
+    /**
+     * Directional comm sets with the victim removed. Pipes the victims
+     * do not cross point straight at the live pipe's sets (valid
+     * because pricing only reads them before any route commits); only
+     * the handful of pipes on the victims' routes materialize owned
+     * victim-free copies. The full-table deep copy this replaces was a
+     * top-three profile entry at large N.
+     */
+    const CommBitset *fwd = nullptr;
+    const CommBitset *bwd = nullptr;
+    CommBitset ownedFwd; ///< backing storage when the victim crossed
+    CommBitset ownedBwd;
     std::uint32_t fcFwd = 0;
     std::uint32_t fcBwd = 0;
 
@@ -222,33 +232,40 @@ buildBaseline(const DesignNetwork &net, CommId c, CommId rev,
               ThreadPool *pool)
 {
     BaselineTable table;
-    table.keys = net.pipes();
+    std::vector<const Pipe *> live;
+    net.forEachPipe([&](const PipeKey &key, const Pipe &p) {
+        table.keys.push_back(key);
+        live.push_back(&p);
+    });
     table.entries.resize(table.keys.size());
 
     auto build = [&](std::size_t i) {
-        const PipeKey &key = table.keys[i];
-        const Pipe &p = net.pipe(key);
+        const Pipe &p = *live[i];
         PipeBaseline &pb = table.entries[i];
-        pb.fwd = p.fwd;
-        pb.bwd = p.bwd;
         const bool touched =
             p.fwd.test(c) || p.bwd.test(c) ||
             (rev != CliqueSet::kNoComm &&
              (p.fwd.test(rev) || p.bwd.test(rev)));
         if (!touched) {
-            const auto [ff, fb] = net.fastColorDirs(key);
+            pb.fwd = &p.fwd;
+            pb.bwd = &p.bwd;
+            const auto [ff, fb] = net.fastColorDirs(p);
             pb.fcFwd = ff;
             pb.fcBwd = fb;
             return;
         }
-        pb.fwd.erase(c);
-        pb.bwd.erase(c);
+        pb.ownedFwd = p.fwd;
+        pb.ownedBwd = p.bwd;
+        pb.ownedFwd.erase(c);
+        pb.ownedBwd.erase(c);
         if (rev != CliqueSet::kNoComm) {
-            pb.fwd.erase(rev);
-            pb.bwd.erase(rev);
+            pb.ownedFwd.erase(rev);
+            pb.ownedBwd.erase(rev);
         }
-        pb.fcFwd = net.fastColorSet(pb.fwd);
-        pb.fcBwd = net.fastColorSet(pb.bwd);
+        pb.fwd = &pb.ownedFwd;
+        pb.bwd = &pb.ownedBwd;
+        pb.fcFwd = net.fastColorSet(pb.ownedFwd);
+        pb.fcBwd = net.fastColorSet(pb.ownedBwd);
     };
 
     const std::size_t n = table.keys.size();
@@ -332,14 +349,15 @@ consolidateOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
         const bool forward = u < v;
         std::int64_t &withC = forward ? pb->withCFwd : pb->withCBwd;
         if (withC < 0)
-            withC = net.fastColorSetPlus(forward ? pb->fwd : pb->bwd, c);
+            withC = net.fastColorSetPlus(*(forward ? pb->fwd : pb->bwd),
+                                         c);
         const auto fcWith = static_cast<std::uint32_t>(withC);
         std::uint32_t fcOther = forward ? pb->fcBwd : pb->fcFwd;
         if (rev != CliqueSet::kNoComm) {
             std::int64_t &withR = forward ? pb->withRevBwd : pb->withRevFwd;
             if (withR < 0) {
                 withR = net.fastColorSetPlus(
-                    forward ? pb->bwd : pb->fwd, rev);
+                    *(forward ? pb->bwd : pb->fwd), rev);
             }
             fcOther = static_cast<std::uint32_t>(withR);
         }
@@ -505,7 +523,7 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
             std::int64_t &withC = forward ? pb->withCFwd : pb->withCBwd;
             if (withC < 0) {
                 withC = net.fastColorSetPlus(
-                    forward ? pb->fwd : pb->bwd, c);
+                    *(forward ? pb->fwd : pb->bwd), c);
             }
             const auto fcWith = static_cast<std::uint32_t>(withC);
             std::uint32_t fcOther = forward ? pb->fcBwd : pb->fcFwd;
@@ -514,7 +532,7 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
                     forward ? pb->withRevBwd : pb->withRevFwd;
                 if (withR < 0) {
                     withR = net.fastColorSetPlus(
-                        forward ? pb->bwd : pb->fwd, rev);
+                        *(forward ? pb->bwd : pb->fwd), rev);
                 }
                 fcOther = static_cast<std::uint32_t>(withR);
             }
@@ -534,11 +552,44 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
         return p;
     };
 
+    // Large-N mode swaps the complete-graph relaxation (every popped
+    // vertex prices an edge to every other switch — O(S^2) per comm,
+    // the single hottest loop in profile at 256+ ranks) for a sparse
+    // one: existing pipes come from the baseline's key list, and
+    // new-pipe offers — whose price is uniform over targets up to the
+    // two overload surcharges — are broadcast at most once per penalty
+    // class, from the first (hence cheapest) popped vertex of that
+    // class. Offers from spare-less vertices (priced effectively
+    // infinite in the dense path) are dropped entirely: a repair that
+    // could only route through them would never survive the acceptance
+    // check anyway. Small nets keep the dense loop so existing designs
+    // reproduce byte for byte.
+    const bool sparseRelax = net.numProcs() > 64;
+    std::vector<std::vector<SwitchId>> adj;
+    if (sparseRelax) {
+        adj.assign(net.numSwitches(), {});
+        for (const PipeKey &k : base.keys) {
+            adj[k.a].push_back(k.b);
+            adj[k.b].push_back(k.a);
+        }
+    }
+
     std::map<SwitchId, std::uint64_t> dist;
     std::map<SwitchId, SwitchId> parent;
     std::set<std::pair<std::uint64_t, SwitchId>> frontier;
     dist[src] = 0;
     frontier.insert({0, src});
+    auto relax = [&](SwitchId w, std::uint64_t nd, SwitchId from) {
+        const auto it = dist.find(w);
+        if (it == dist.end() || nd < it->second) {
+            if (it != dist.end())
+                frontier.erase({it->second, w});
+            dist[w] = nd;
+            parent[w] = from;
+            frontier.insert({nd, w});
+        }
+    };
+    bool bulkDone[2] = {false, false};
     while (!frontier.empty()) {
         const auto [d, v] = *frontier.begin();
         frontier.erase(frontier.begin());
@@ -546,18 +597,30 @@ repairOne(DesignNetwork &net, CommId c, std::uint32_t max_degree,
             break;
         if (d > dist[v])
             continue;
-        for (SwitchId w = 0; w < net.numSwitches(); ++w) {
-            if (w == v)
-                continue;
-            const std::uint64_t nd = d + price(v, w);
-            const auto it = dist.find(w);
-            if (it == dist.end() || nd < it->second) {
-                if (it != dist.end())
-                    frontier.erase({it->second, w});
-                dist[w] = nd;
-                parent[w] = v;
-                frontier.insert({nd, w});
+        if (!sparseRelax) {
+            for (SwitchId w = 0; w < net.numSwitches(); ++w) {
+                if (w == v)
+                    continue;
+                relax(w, d + price(v, w), v);
             }
+            continue;
+        }
+        for (const SwitchId w : adj[v])
+            relax(w, d + price(v, w), v);
+        if (spare[v] < 1)
+            continue;
+        const bool pen = v != src && overloaded[v];
+        if (bulkDone[pen])
+            continue; // a cheaper same-class vertex already broadcast
+        bulkDone[pen] = true;
+        const std::uint64_t basePrice =
+            d + kHop + kLink + kNewPipe + (pen ? kAvoid : 0);
+        for (SwitchId w = 0; w < net.numSwitches(); ++w) {
+            if (w == v || spare[w] < 1)
+                continue;
+            const std::uint64_t surcharge =
+                w != dst && overloaded[w] ? kAvoid : 0;
+            relax(w, basePrice + surcharge, v);
         }
     }
     if (!dist.count(dst))

@@ -44,6 +44,38 @@ channelOccupancy(const FinalizedDesign &design)
     return occ;
 }
 
+/**
+ * Theorem-1 violations of one pipe, in the order the global channel map
+ * would report them: bwd channels before fwd (false < true), links
+ * ascending within a direction, comm pairs in ascending (i, j) order.
+ * Violations cannot cross pipes, so concatenating this over the pipes
+ * sorted by key reproduces checkContentionFree exactly.
+ */
+std::vector<ContentionViolation>
+pipeViolations(const FinalizedPipe &p, const CliqueSet &cliques)
+{
+    std::vector<ContentionViolation> violations;
+    auto side = [&](const std::map<CommId, std::uint32_t> &assign,
+                    bool forward) {
+        std::map<std::uint32_t, std::vector<CommId>> occ;
+        for (const auto &[c, link] : assign)
+            occ[link].push_back(c);
+        for (const auto &[link, comms] : occ) {
+            for (std::size_t i = 0; i < comms.size(); ++i) {
+                for (std::size_t j = i + 1; j < comms.size(); ++j) {
+                    if (cliques.contend(comms[i], comms[j])) {
+                        violations.push_back(ContentionViolation{
+                            comms[i], comms[j], p.key, forward, link});
+                    }
+                }
+            }
+        }
+    };
+    side(p.bwdLink, false);
+    side(p.fwdLink, true);
+    return violations;
+}
+
 } // namespace
 
 std::vector<std::pair<CommId, CommId>>
@@ -67,17 +99,42 @@ std::vector<ContentionViolation>
 checkContentionFree(const FinalizedDesign &design, const CliqueSet &cliques)
 {
     std::vector<ContentionViolation> violations;
-    for (const auto &[channel, comms] : channelOccupancy(design)) {
-        for (std::size_t i = 0; i < comms.size(); ++i) {
-            for (std::size_t j = i + 1; j < comms.size(); ++j) {
-                if (cliques.contend(comms[i], comms[j])) {
-                    violations.push_back(ContentionViolation{
-                        comms[i], comms[j], channel.pipe, channel.forward,
-                        channel.link});
-                }
-            }
-        }
+    for (const auto &p : design.pipes) {
+        auto v = pipeViolations(p, cliques);
+        violations.insert(violations.end(), v.begin(), v.end());
     }
+    return violations;
+}
+
+std::vector<ContentionViolation>
+IncrementalVerifier::check(const FinalizedDesign &design)
+{
+    // Rebuild the cache map each call so pipes absent from this design
+    // drop out instead of accumulating.
+    std::map<PipeKey, Entry> fresh;
+    std::vector<ContentionViolation> violations;
+    for (const auto &p : design.pipes) {
+        auto it = _cache.find(p.key);
+        if (it != _cache.end() && it->second.fwdLink == p.fwdLink &&
+            it->second.bwdLink == p.bwdLink) {
+            ++_reused;
+            auto node = _cache.extract(it);
+            violations.insert(violations.end(),
+                              node.mapped().violations.begin(),
+                              node.mapped().violations.end());
+            fresh.insert(std::move(node));
+            continue;
+        }
+        ++_checked;
+        Entry e;
+        e.fwdLink = p.fwdLink;
+        e.bwdLink = p.bwdLink;
+        e.violations = pipeViolations(p, *_cliques);
+        violations.insert(violations.end(), e.violations.begin(),
+                          e.violations.end());
+        fresh.emplace(p.key, std::move(e));
+    }
+    _cache = std::move(fresh);
     return violations;
 }
 

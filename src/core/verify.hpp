@@ -48,6 +48,48 @@ resourceConflictSet(const FinalizedDesign &design);
 std::vector<ContentionViolation>
 checkContentionFree(const FinalizedDesign &design, const CliqueSet &cliques);
 
+/**
+ * Incremental Theorem-1 verifier for refinement loops that re-verify a
+ * design after every local edit (route consolidation, switch merging,
+ * processor-swap polish). Violations can only involve communications
+ * sharing a channel of one pipe, so the check decomposes per pipe; this
+ * verifier caches each pipe's link assignment and its violations and
+ * recomputes only the pipes whose assignment actually changed since the
+ * previous check. Results (content and order) are identical to
+ * checkContentionFree on every call.
+ */
+class IncrementalVerifier
+{
+  public:
+    /** @param cliques must outlive the verifier. */
+    explicit IncrementalVerifier(const CliqueSet &cliques)
+        : _cliques(&cliques)
+    {
+    }
+
+    /** Full Theorem-1 result for @p design, reusing unchanged pipes. */
+    std::vector<ContentionViolation>
+    check(const FinalizedDesign &design);
+
+    /** Pipes recomputed across all check() calls (testing/telemetry). */
+    std::uint64_t pipesChecked() const { return _checked; }
+    /** Pipes served from cache across all check() calls. */
+    std::uint64_t pipesReused() const { return _reused; }
+
+  private:
+    struct Entry
+    {
+        std::map<CommId, std::uint32_t> fwdLink;
+        std::map<CommId, std::uint32_t> bwdLink;
+        std::vector<ContentionViolation> violations;
+    };
+
+    const CliqueSet *_cliques;
+    std::map<PipeKey, Entry> _cache;
+    std::uint64_t _checked = 0;
+    std::uint64_t _reused = 0;
+};
+
 } // namespace minnoc::core
 
 #endif // MINNOC_CORE_VERIFY_HPP

@@ -40,9 +40,11 @@ namespace minnoc::dse {
  * change to the methodology, simulator, floorplanner or power model
  * alters the numbers a job produces: old records then simply never
  * match again, which is the entire invalidation story. Bumped to -2
- * when the record format grew the payload checksum.
+ * when the record format grew the payload checksum; to -3 when the
+ * hierarchical large-N partitioning mode changed default-config
+ * results for patterns above 64 processors.
  */
-inline constexpr std::string_view kCacheSalt = "minnoc-dse-2";
+inline constexpr std::string_view kCacheSalt = "minnoc-dse-3";
 
 /** 64-bit FNV-1a over @p data, seeded with @p basis for chaining. */
 std::uint64_t fnv1a64(std::string_view data,

@@ -713,8 +713,21 @@ Server::compute(const Job &job)
         // The re-entrant overload shards restarts across the shared
         // pool; the wave selection keeps the design byte-identical to
         // the CLI's at any concurrency.
+        const auto partStart = CancelToken::nowUs();
         const auto outcome = core::runMethodology(
             trace::analyzeByCall(tr), mcfg, _innerPool.get());
+        const auto partUs = CancelToken::nowUs() - partStart;
+        _metrics.counter("serve/designs_total").add();
+        _metrics.counter("serve/design_restarts_used")
+            .add(outcome.restartsUsed);
+        {
+            // Same single-writer contract as the latency histogram.
+            const std::scoped_lock lock(_latencyMutex);
+            _metrics.histogram("serve/partitioner_wall_us", true)
+                .record(partUs > 0
+                            ? static_cast<std::uint64_t>(partUs)
+                            : 0);
+        }
         std::ostringstream os;
         core::saveDesign(outcome.design, os);
         return os.str();
@@ -845,6 +858,7 @@ Server::statusJson()
             : 0.0;
 
     std::uint64_t latCount = 0, p50 = 0, p90 = 0, p99 = 0, latMax = 0;
+    std::uint64_t partCount = 0, partP50 = 0, partP99 = 0, partMax = 0;
     {
         const std::scoped_lock lock(_latencyMutex);
         auto &h =
@@ -854,6 +868,12 @@ Server::statusJson()
         p90 = h.quantile(0.9);
         p99 = h.quantile(0.99);
         latMax = h.max();
+        auto &ph =
+            _metrics.histogram("serve/partitioner_wall_us", true);
+        partCount = ph.count();
+        partP50 = ph.quantile(0.5);
+        partP99 = ph.quantile(0.99);
+        partMax = ph.max();
     }
 
     std::ostringstream os;
@@ -884,7 +904,13 @@ Server::statusJson()
        << std::setprecision(4) << hitRatio
        << ", \"latency_us\": {\"count\": " << latCount
        << ", \"p50\": " << p50 << ", \"p90\": " << p90
-       << ", \"p99\": " << p99 << ", \"max\": " << latMax << "}}";
+       << ", \"p99\": " << p99 << ", \"max\": " << latMax << "}"
+       << ", \"designs_total\": " << counter("serve/designs_total")
+       << ", \"design_restarts_used\": "
+       << counter("serve/design_restarts_used")
+       << ", \"partitioner_wall_us\": {\"count\": " << partCount
+       << ", \"p50\": " << partP50 << ", \"p99\": " << partP99
+       << ", \"max\": " << partMax << "}}";
     return os.str();
 }
 

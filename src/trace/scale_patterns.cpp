@@ -1,0 +1,164 @@
+#include "scale_patterns.hpp"
+
+#include "util/log.hpp"
+
+namespace minnoc::trace {
+
+using core::CliqueSet;
+using core::Comm;
+using core::ProcId;
+
+namespace {
+
+/**
+ * Grid factorization used by the transpose and nearest-neighbor
+ * patterns: the largest divisor of @p n not exceeding sqrt(n), so the
+ * grid is as square as possible (for powers of two this is
+ * 2^(log2(n) / 2)).
+ */
+std::uint32_t
+gridRows(std::uint32_t n)
+{
+    std::uint32_t best = 1;
+    for (std::uint32_t r = 1; r * r <= n; ++r) {
+        if (n % r == 0)
+            best = r;
+    }
+    return best;
+}
+
+} // namespace
+
+CliqueSet
+ringPattern(std::uint32_t ranks)
+{
+    if (ranks < 2)
+        fatal("ringPattern: need at least 2 ranks, got ", ranks);
+    CliqueSet ks(ranks);
+    std::vector<Comm> fwd;
+    std::vector<Comm> bwd;
+    for (ProcId i = 0; i < ranks; ++i) {
+        fwd.emplace_back(i, (i + 1) % ranks);
+        bwd.emplace_back(i, (i + ranks - 1) % ranks);
+    }
+    ks.addClique(fwd);
+    ks.addClique(bwd);
+    return ks;
+}
+
+CliqueSet
+transposePattern(std::uint32_t ranks)
+{
+    if (ranks < 2)
+        fatal("transposePattern: need at least 2 ranks, got ", ranks);
+    const std::uint32_t rows = gridRows(ranks);
+    const std::uint32_t cols = ranks / rows;
+    if (rows == 1) {
+        fatal("transposePattern: ", ranks,
+              " ranks only factor into a 1-row grid (prime?); the "
+              "transpose would be the identity");
+    }
+    CliqueSet ks(ranks);
+    std::vector<Comm> comms;
+    for (ProcId i = 0; i < ranks; ++i) {
+        const std::uint32_t r = i / cols;
+        const std::uint32_t c = i % cols;
+        // (r, c) of the rows x cols matrix -> (c, r) of the transposed
+        // cols x rows matrix, linearized in its own row-major order.
+        const ProcId dst = c * rows + r;
+        if (dst != i)
+            comms.emplace_back(i, dst);
+    }
+    ks.addClique(comms);
+    return ks;
+}
+
+CliqueSet
+nearestNeighborPattern(std::uint32_t ranks)
+{
+    if (ranks < 2)
+        fatal("nearestNeighborPattern: need at least 2 ranks, got ",
+              ranks);
+    const std::uint32_t rows = gridRows(ranks);
+    const std::uint32_t cols = ranks / rows;
+    CliqueSet ks(ranks);
+    auto shift = [&](std::int32_t dr, std::int32_t dc) {
+        std::vector<Comm> comms;
+        for (ProcId i = 0; i < ranks; ++i) {
+            const std::uint32_t r = i / cols;
+            const std::uint32_t c = i % cols;
+            const std::uint32_t nr =
+                static_cast<std::uint32_t>(
+                    (static_cast<std::int64_t>(r) + dr + rows)) %
+                rows;
+            const std::uint32_t nc =
+                static_cast<std::uint32_t>(
+                    (static_cast<std::int64_t>(c) + dc + cols)) %
+                cols;
+            const ProcId dst = nr * cols + nc;
+            if (dst != i)
+                comms.emplace_back(i, dst);
+        }
+        if (!comms.empty())
+            ks.addClique(comms);
+    };
+    shift(0, 1);  // +x
+    shift(0, -1); // -x
+    shift(1, 0);  // +y
+    shift(-1, 0); // -y
+    return ks;
+}
+
+CliqueSet
+railPattern(std::uint32_t ranks, std::uint32_t groupSize,
+            std::uint32_t rails)
+{
+    if (groupSize == 0 || ranks % groupSize != 0)
+        fatal("railPattern: ", ranks,
+              " ranks do not divide into groups of ", groupSize);
+    const std::uint32_t groups = ranks / groupSize;
+    if (groups < 2)
+        fatal("railPattern: need at least 2 groups, got ", groups);
+    const std::uint32_t k = std::min(rails, groupSize);
+    CliqueSet ks(ranks);
+    for (std::uint32_t d = 0; d < groups; ++d) {
+        // All rail traffic converging on destination group d is one
+        // contention period.
+        std::vector<Comm> comms;
+        for (std::uint32_t s = 0; s < groups; ++s) {
+            if (s == d)
+                continue;
+            for (std::uint32_t i = 0; i < k; ++i) {
+                comms.emplace_back(s * groupSize + i,
+                                   d * groupSize + i);
+            }
+        }
+        ks.addClique(comms);
+    }
+    return ks;
+}
+
+const std::vector<std::string> &
+scalePatternNames()
+{
+    static const std::vector<std::string> names = {
+        "ring", "transpose", "neighbor", "rail"};
+    return names;
+}
+
+CliqueSet
+makeScalePattern(const std::string &name, std::uint32_t ranks)
+{
+    if (name == "ring")
+        return ringPattern(ranks);
+    if (name == "transpose")
+        return transposePattern(ranks);
+    if (name == "neighbor")
+        return nearestNeighborPattern(ranks);
+    if (name == "rail")
+        return railPattern(ranks, 8, 2);
+    fatal("unknown scale pattern '", name,
+          "' (valid: ring, transpose, neighbor, rail)");
+}
+
+} // namespace minnoc::trace

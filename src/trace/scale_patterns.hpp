@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Closed-form clique-set generators for the node-count scaling study.
+ *
+ * The NAS generators build cliques by tracing and analyzing a whole
+ * application; at four-digit rank counts the traces themselves become
+ * the bottleneck and obscure what the scale bench measures. These
+ * generators instead emit the contention cliques of four classic
+ * well-behaved patterns directly — ring, matrix transpose, 2D
+ * nearest-neighbor and grouped-rail (CommBench-style (p, g, k))
+ * exchanges — so the synthesis time is the only thing on the clock.
+ *
+ * Every generator is a pure function of (pattern, ranks): no RNG, no
+ * trace, comms added in ascending source order. The resulting designs
+ * are therefore reproducible inputs for the byte-identity tests.
+ */
+
+#ifndef MINNOC_TRACE_SCALE_PATTERNS_HPP
+#define MINNOC_TRACE_SCALE_PATTERNS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/clique_set.hpp"
+
+namespace minnoc::trace {
+
+/**
+ * Ring shift: every rank sends to (i + 1) mod n and to (i - 1) mod n.
+ * Two cliques, one per direction (each shift is one concurrent phase).
+ */
+core::CliqueSet ringPattern(std::uint32_t ranks);
+
+/**
+ * Matrix transpose on the r x c grid factorization of @p ranks
+ * (r = largest power-of-two divisor not exceeding sqrt(n), else the
+ * largest divisor <= sqrt(n)): rank (i, j) sends to rank (j, i) of the
+ * transposed grid. One clique; fixed points are dropped.
+ */
+core::CliqueSet transposePattern(std::uint32_t ranks);
+
+/**
+ * 2D-torus nearest-neighbor exchange on the same grid factorization:
+ * four cliques (+x, -x, +y, -y shifts), degenerate axes skipped.
+ */
+core::CliqueSet nearestNeighborPattern(std::uint32_t ranks);
+
+/**
+ * Grouped-rail exchange, the (p, g, k) shape of CommBench-style
+ * hierarchical collectives: ranks are split into groups of @p groupSize
+ * and the first @p rails ranks of every group send to the rank holding
+ * the same offset in every other group. One clique per destination
+ * group (each group's inbound rail traffic lands concurrently).
+ */
+core::CliqueSet railPattern(std::uint32_t ranks, std::uint32_t groupSize,
+                            std::uint32_t rails);
+
+/** The generator names accepted by makeScalePattern, in sweep order. */
+const std::vector<std::string> &scalePatternNames();
+
+/**
+ * Name-based dispatch for benches and tools: "ring", "transpose",
+ * "neighbor" or "rail" (rail uses groupSize 8, rails 2). Fails via
+ * fatal() on an unknown name.
+ */
+core::CliqueSet makeScalePattern(const std::string &name,
+                                 std::uint32_t ranks);
+
+} // namespace minnoc::trace
+
+#endif // MINNOC_TRACE_SCALE_PATTERNS_HPP

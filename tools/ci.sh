@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Seven phases:
+# Eight phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -30,6 +30,10 @@
 #     cache-corruption saboteur); the run must report zero crashes,
 #     hangs or leaked in-flight jobs, SIGTERM must drain cleanly, and
 #     the chaos JSON artifact lands in the build dir.
+#  8. Scale-curve smoke: the hierarchical partitioner synthesizes
+#     256-rank designs under ASan/UBSan within a wall-time budget,
+#     every design Theorem-1-verified; the curve JSON lands in the
+#     build dir.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -184,3 +188,22 @@ wait "$serve_pid" ||
 grep -q "drained and stopped" "$build/ci-serve.log" ||
     { echo "FAIL: serve daemon did not drain cleanly"; cat "$build/ci-serve.log"; exit 1; }
 echo "serve chaos artifact: $build/serve_chaos.json"
+
+echo "=== phase 8: scale curve (ASan) ==="
+cmake --build "$build" -j "$jobs" --target scale_curve
+# 256 ranks across all four patterns under ASan must finish inside the
+# budget (the un-instrumented binary is ~10x faster; the bound guards
+# against the pre-hierarchical super-linear blowup, where N=256 alone
+# took minutes).
+scale_budget=600
+start_s=$SECONDS
+"$build/bench/scale_curve" --sizes 64,128,256 --restarts 2 \
+    --out "$build/scale_curve.json" ||
+    { echo "FAIL: scale_curve produced a non-verified design"; exit 1; }
+elapsed=$((SECONDS - start_s))
+echo "scale_curve wall time: ${elapsed}s (budget ${scale_budget}s)"
+[ "$elapsed" -le "$scale_budget" ] ||
+    { echo "FAIL: scale_curve exceeded ${scale_budget}s budget"; exit 1; }
+grep -q '"verified": false' "$build/scale_curve.json" &&
+    { echo "FAIL: scale_curve JSON contains unverified designs"; exit 1; }
+echo "scale curve artifact: $build/scale_curve.json"

@@ -218,6 +218,9 @@ cmdDesign(const Args &args)
     mcfg.restarts = args.getU32("restarts", 16);
     mcfg.partitioner.seed = args.getU32("seed", 1);
     mcfg.threads = args.getU32("threads", 0);
+    mcfg.partitioner.hierarchicalThreshold =
+        args.getU32("hier-threshold", 64);
+    mcfg.partitioner.hierarchicalLeaf = args.getU32("hier-leaf", 8);
 
     obs::MetricsRegistry metrics;
     obs::TraceEventLog traceLog;
@@ -645,6 +648,9 @@ usage()
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "           [--threads N]  (0 = hardware concurrency; any N\n"
         "           yields the same design)\n"
+        "           [--hier-threshold N] [--hier-leaf L]\n"
+        "           (above N ranks the scalable hierarchical\n"
+        "           partitioner engages; 0 forces the flat paper path)\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "  show     DESIGN\n"
         "  simulate TRACE --network mesh|torus|crossbar|DESIGN\n"
@@ -691,8 +697,8 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"gen", {"bench", "ranks", "iterations", "seed", "out", "patterns"}},
     {"analyze", {"verbose"}},
     {"design",
-     {"max-degree", "restarts", "seed", "out", "threads", "metrics-out",
-      "chrome-trace"}},
+     {"max-degree", "restarts", "seed", "out", "threads",
+      "hier-threshold", "hier-leaf", "metrics-out", "chrome-trace"}},
     {"show", {}},
     {"simulate",
      {"network", "fail-links", "fail-link-ids", "fail-at",
