@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Lax-sync and distributed-exploration speedup study.
+ *
+ * Part 1 — bounded-slack credit sync (`SimConfig::laxSyncSlack`): on
+ * credit-starved configurations (1 VC, depth-1 buffers) sweep the
+ * slack window over ring and transpose replays on three networks and
+ * report, per setting, the wall-time speedup over the strict
+ * simulator and the observed latency/energy deviation. The networks
+ * span the wire-delay axis that decides whether relaxation can bite:
+ * a mesh (every wire 1 cycle — a credit generated at T is consumable
+ * at T+1 in both modes, so lax-sync is provably exact there), a torus
+ * (folded wrap wires, 2 cycles), and the floorplan-built design the
+ * methodology synthesizes for the pattern (multi-tile wires). Per
+ * flit the relaxation saves at most min(slack, delay - 1) stall
+ * cycles; across a credit-limited multi-flit packet those savings
+ * accumulate, so the per-packet deviation columns GROW with slack and
+ * packet depth — that curve is the error model quoted in DESIGN.md.
+ *
+ * Part 2 — `minnoc explore --workers N`: the same 16-job sweep run
+ * in-process and through 1 and 4 forked workers (cache off, so every
+ * job pays full synthesis cost), asserting byte-identical reports and
+ * recording the wall-time speedup.
+ *
+ *   lax_sync [--ranks N] [--slacks 1,2,4,8,16,32] [--bytes B]
+ *            [--iterations I] [--workers W] [--skip-dist 0|1]
+ *            [--out FILE]
+ *
+ * Output is one JSON document tagged "benchmark": "lax_sync" for CI
+ * trend tracking. Exit status is nonzero if a delay-1 (mesh) lax run
+ * deviates from strict at all — exactness there is a theorem, not a
+ * tuning result — or if a distributed report differs from the
+ * in-process bytes.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "dist/coordinator.hpp"
+#include "dse/explorer.hpp"
+#include "sim/trace_driver.hpp"
+#include "topo/builders.hpp"
+#include "topo/floorplan.hpp"
+#include "topo/power.hpp"
+#include "trace/scale_patterns.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace minnoc;
+
+namespace {
+
+double
+wallMs(const std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct LaxPoint
+{
+    std::string pattern;
+    std::string network;
+    sim::Cycle slack = 0;
+    double wallMsStrict = 0.0;
+    double wallMsLax = 0.0;
+    double speedup = 0.0;
+    sim::Cycle execStrict = 0;
+    sim::Cycle execLax = 0;
+    double latencyStrict = 0.0;
+    double latencyLax = 0.0;
+    double latencyErrorCycles = 0.0; ///< |lax - strict| mean latency
+    double energyErrorFrac = 0.0;    ///< |lax - strict| / strict
+    bool exact = false;              ///< lax run matched strict
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = cli::Args::parse(
+        argc, argv, 1,
+        {"ranks", "slacks", "bytes", "iterations", "workers",
+         "skip-dist", "out"});
+    const auto ranks = args.getU32("ranks", 64);
+    const auto slacks = args.getU64List("slacks", {1, 2, 4, 8, 16, 32});
+    const auto bytes = args.getU64("bytes", 4096);
+    const auto iterations = args.getU32("iterations", 2);
+    const auto workers = args.getU32("workers", 4);
+    const auto skipDist = args.getU32("skip-dist", 0) != 0;
+    const auto out = args.get("out");
+
+    // Depth-1 single-VC buffers keep every sender on the credit
+    // round-trip critical path — the regime lax-sync accelerates.
+    sim::SimConfig strictCfg;
+    strictCfg.numVcs = 1;
+    strictCfg.vcDepth = 1;
+
+    bool meshExact = true;
+    std::vector<LaxPoint> points;
+    for (const std::string pattern : {"ring", "transpose"}) {
+        const auto ks = trace::makeScalePattern(pattern, ranks);
+        const auto tr =
+            trace::traceFromCliques(ks, pattern, bytes, iterations);
+
+        // Third network: the floorplan-built design the methodology
+        // synthesizes for this exact pattern — its multi-tile wires
+        // are where bounded-slack credit returns actually pay off.
+        core::MethodologyConfig mcfg;
+        mcfg.partitioner.constraints.maxDegree = 5;
+        mcfg.restarts = 2;
+        mcfg.threads = 1;
+        const auto outcome = core::runMethodology(ks, mcfg);
+        const auto plan = topo::planFloor(outcome.design);
+        const auto generated =
+            topo::buildFromDesign(outcome.design, plan);
+
+        const auto mesh = topo::buildMesh(ranks);
+        const auto torus = topo::buildTorus(ranks);
+        const struct
+        {
+            const char *name;
+            const topo::BuiltNetwork *net;
+        } nets[] = {{"mesh", &mesh},
+                    {"torus", &torus},
+                    {"generated", &generated}};
+
+        for (const auto &n : nets) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto strict = sim::runTrace(tr, *n.net->topo,
+                                              *n.net->routing,
+                                              strictCfg);
+            const auto strictMs = wallMs(t0);
+            const auto strictEnergy =
+                topo::computeEnergy(*n.net->topo, strict.linkFlits,
+                                    static_cast<std::int64_t>(
+                                        strict.execTime))
+                    .total();
+
+            for (const auto slack : slacks) {
+                auto laxCfg = strictCfg;
+                laxCfg.laxSyncSlack = static_cast<sim::Cycle>(slack);
+                const auto t1 = std::chrono::steady_clock::now();
+                const auto lax = sim::runTrace(tr, *n.net->topo,
+                                               *n.net->routing,
+                                               laxCfg);
+                const auto laxMs = wallMs(t1);
+                const auto laxEnergy =
+                    topo::computeEnergy(*n.net->topo, lax.linkFlits,
+                                        static_cast<std::int64_t>(
+                                            lax.execTime))
+                        .total();
+
+                LaxPoint p;
+                p.pattern = pattern;
+                p.network = n.name;
+                p.slack = static_cast<sim::Cycle>(slack);
+                p.wallMsStrict = strictMs;
+                p.wallMsLax = laxMs;
+                p.speedup = laxMs > 0.0 ? strictMs / laxMs : 0.0;
+                p.execStrict = strict.execTime;
+                p.execLax = lax.execTime;
+                p.latencyStrict = strict.avgPacketLatency;
+                p.latencyLax = lax.avgPacketLatency;
+                p.latencyErrorCycles =
+                    p.latencyLax > p.latencyStrict
+                        ? p.latencyLax - p.latencyStrict
+                        : p.latencyStrict - p.latencyLax;
+                p.energyErrorFrac =
+                    strictEnergy > 0.0
+                        ? (laxEnergy > strictEnergy
+                               ? laxEnergy - strictEnergy
+                               : strictEnergy - laxEnergy) /
+                              strictEnergy
+                        : 0.0;
+                p.exact = p.execStrict == p.execLax &&
+                          p.latencyErrorCycles == 0.0;
+                if (std::string(n.name) == "mesh")
+                    meshExact &= p.exact;
+
+                std::fprintf(
+                    stderr,
+                    "%-9s %-9s slack=%-4llu exec %llu -> %llu  "
+                    "lat err %.2f cyc  energy err %.4f%%\n",
+                    pattern.c_str(), n.name,
+                    static_cast<unsigned long long>(slack),
+                    static_cast<unsigned long long>(p.execStrict),
+                    static_cast<unsigned long long>(p.execLax),
+                    p.latencyErrorCycles, 100.0 * p.energyErrorFrac);
+                points.push_back(std::move(p));
+            }
+        }
+    }
+
+    // Part 2: distributed exploration wall-time speedup on a 16-job
+    // grid, cache off so each job pays full synthesis cost.
+    double distBaseMs = 0.0, distW1Ms = 0.0, distWNMs = 0.0;
+    double distSpeedup = 0.0;
+    bool distIdentical = true;
+    if (!skipDist) {
+        const auto tr = trace::traceFromCliques(
+            trace::makeScalePattern("transpose", 16), "transpose", 1024,
+            1);
+        dse::ExploreConfig cfg;
+        cfg.grid.maxDegrees = {4, 5};
+        cfg.grid.restarts = {4};
+        cfg.grid.seeds = {1, 2};
+        cfg.grid.vcs = {2, 3};
+        cfg.grid.unidirectional = {0, 1};
+        cfg.grid.phaseWindows = {0};
+        cfg.useCache = false;
+        cfg.threads = 1;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto base = dse::explore(tr, cfg);
+        distBaseMs = wallMs(t0);
+
+        dist::DistOptions one;
+        one.workers = 1;
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto w1 = dist::exploreDistributed(tr, cfg, one);
+        distW1Ms = wallMs(t1);
+
+        dist::DistOptions many;
+        many.workers = workers;
+        const auto t2 = std::chrono::steady_clock::now();
+        const auto wn = dist::exploreDistributed(tr, cfg, many);
+        distWNMs = wallMs(t2);
+
+        distIdentical = base.toJson() == w1.toJson() &&
+                        base.toJson() == wn.toJson();
+        distSpeedup = distWNMs > 0.0 ? distW1Ms / distWNMs : 0.0;
+        std::fprintf(stderr,
+                     "dist: in-process %.0fms, 1 worker %.0fms, "
+                     "%u workers %.0fms -> x%.2f%s\n",
+                     distBaseMs, distW1Ms, workers, distWNMs,
+                     distSpeedup,
+                     distIdentical ? "" : "  REPORTS DIFFER");
+    }
+
+    std::ostringstream oss;
+    oss << "{\n  \"benchmark\": \"lax_sync\",\n  \"ranks\": " << ranks
+        << ",\n  \"machine_threads\": "
+        << std::thread::hardware_concurrency() << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"pattern\": \"%s\", \"network\": \"%s\", "
+            "\"slack\": %llu, \"speedup\": %.2f, "
+            "\"exec_strict\": %llu, \"exec_lax\": %llu, "
+            "\"latency_error_cycles\": %.2f, "
+            "\"energy_error_frac\": %.6f, \"exact\": %s}",
+            p.pattern.c_str(), p.network.c_str(),
+            static_cast<unsigned long long>(p.slack), p.speedup,
+            static_cast<unsigned long long>(p.execStrict),
+            static_cast<unsigned long long>(p.execLax),
+            p.latencyErrorCycles, p.energyErrorFrac,
+            p.exact ? "true" : "false");
+        oss << buf << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n  \"dist\": {\"workers\": " << workers
+        << ", \"in_process_ms\": " << distBaseMs
+        << ", \"one_worker_ms\": " << distW1Ms << ", \"n_worker_ms\": "
+        << distWNMs << ", \"speedup\": " << distSpeedup
+        << ", \"byte_identical\": "
+        << (distIdentical ? "true" : "false") << "}\n}\n";
+
+    const auto json = oss.str();
+    std::fputs(json.c_str(), stdout);
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write '", out, "'");
+        os << json;
+    }
+    return meshExact && distIdentical ? 0 : 1;
+}

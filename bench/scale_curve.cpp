@@ -9,6 +9,8 @@
  * and the curve emitted as JSON for CI trend tracking.
  *
  *   scale_curve [--patterns ring,transpose,neighbor,rail]
+ *               (also: fan_uni/fan_bi/fan_omni and
+ *               dense_uni/dense_bi/dense_omni group-to-group shapes)
  *               [--sizes 64,128,256,512,1024] [--restarts R]
  *               [--threads T] [--max-degree D] [--seed S] [--out FILE]
  *

@@ -1,0 +1,601 @@
+#include "coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <poll.h>
+#include <sstream>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "dse/cache.hpp"
+#include "phase/multi_design.hpp"
+#include "protocol.hpp"
+#include "serve/protocol.hpp"
+#include "util/cancel.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "worker.hpp"
+
+namespace minnoc::dist {
+
+namespace {
+
+/** Scheduler tick; also the cancellation-polling period. */
+constexpr int kPollMs = 100;
+/** SIGTERM -> SIGKILL drain window on cancellation. */
+constexpr std::int64_t kDrainUs = 2'000'000;
+
+/** One forked worker, as the coordinator tracks it. */
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int fd = -1; ///< result-pipe read end (non-blocking); -1 = reaped
+    FrameBuffer frames;
+    std::vector<std::uint32_t> pending; ///< jobs not yet resulted
+    std::uint32_t attempt = 1;
+    std::int64_t lastActivityUs = 0;
+    bool doneSeen = false;
+    bool timedOut = false;
+    std::string errorText; ///< from an `error` frame, "code: message"
+};
+
+using RequestBuilder = std::function<std::string(
+    std::uint32_t slot, std::uint32_t attempt,
+    const std::vector<std::uint32_t> &jobs)>;
+using ResultHandler =
+    std::function<void(const WorkerMsg &msg, std::uint32_t slot)>;
+
+/** Restore the previous SIGPIPE disposition on scope exit. */
+class SigpipeGuard
+{
+  public:
+    SigpipeGuard() : _prev(std::signal(SIGPIPE, SIG_IGN)) {}
+    ~SigpipeGuard() { std::signal(SIGPIPE, _prev); }
+
+  private:
+    using Handler = void (*)(int);
+    Handler _prev;
+};
+
+WorkerProc
+spawnWorker(std::uint32_t slot, std::uint32_t attempt,
+            const std::vector<std::uint32_t> &jobs,
+            const RequestBuilder &makeRequest)
+{
+    const std::string request = makeRequest(slot, attempt, jobs);
+    int req[2];
+    int res[2];
+    if (::pipe(req) != 0 || ::pipe(res) != 0)
+        fatal("dist: pipe: ", std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("dist: fork: ", std::strerror(errno));
+    if (pid == 0) {
+        // Child: only its own pipe ends stay open. Inherited read ends
+        // of sibling result pipes are harmless (they never block EOF);
+        // write ends were already closed in the parent before this
+        // fork, so no sibling can keep another worker's pipe alive.
+        ::close(req[1]);
+        ::close(res[0]);
+        ::_exit(runWorker(req[0], res[1]));
+    }
+    ::close(req[0]);
+    ::close(res[1]);
+    // Exactly one request frame, then EOF: the worker's whole input.
+    // A write failure means the child died instantly; the reaper will
+    // pick the corpse up through the result pipe's EOF.
+    (void)writeFrame(req[1], request);
+    ::close(req[1]);
+    const int flags = ::fcntl(res[0], F_GETFL, 0);
+    ::fcntl(res[0], F_SETFL, flags | O_NONBLOCK);
+
+    WorkerProc w;
+    w.pid = pid;
+    w.fd = res[0];
+    w.pending = jobs;
+    w.attempt = attempt;
+    w.lastActivityUs = CancelToken::nowUs();
+    return w;
+}
+
+/** SIGTERM everyone, give kDrainUs to exit, SIGKILL stragglers. */
+void
+terminateAll(std::vector<WorkerProc> &procs)
+{
+    for (auto &w : procs)
+        if (w.fd >= 0 && w.pid > 0)
+            ::kill(w.pid, SIGTERM);
+    const std::int64_t deadline = CancelToken::nowUs() + kDrainUs;
+    for (auto &w : procs) {
+        if (w.fd < 0 || w.pid <= 0)
+            continue;
+        int status = 0;
+        for (;;) {
+            const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+            if (r == w.pid || (r < 0 && errno == ECHILD))
+                break;
+            if (CancelToken::nowUs() >= deadline) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, &status, 0);
+                break;
+            }
+            ::usleep(20'000);
+        }
+        ::close(w.fd);
+        w.fd = -1;
+        w.pid = -1;
+    }
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "unknown exit";
+}
+
+/**
+ * Drive every worker to completion: poll result pipes, dispatch
+ * frames, reap crashed/hung workers and requeue their unfinished jobs
+ * (at most once per shard) onto fresh workers. Throws CancelledError
+ * when @p cancel fires, std::runtime_error when a shard fails twice.
+ */
+void
+runShards(const std::vector<std::vector<std::uint32_t>> &shards,
+          const DistOptions &options, const CancelToken *cancel,
+          const RequestBuilder &makeRequest, const ResultHandler &onResult,
+          DistStats &stats, obs::TraceEventLog *traceLog,
+          const char *jobLabel)
+{
+    SigpipeGuard sigpipe;
+    const std::int64_t timeoutUs =
+        std::max<std::int64_t>(options.workerTimeoutMs, 1) * 1000;
+
+    std::vector<WorkerProc> procs;
+    const auto addSlot = [&](const std::vector<std::uint32_t> &jobs,
+                             std::uint32_t attempt) {
+        const auto slot = static_cast<std::uint32_t>(procs.size());
+        procs.push_back(spawnWorker(slot, attempt, jobs, makeRequest));
+        stats.jobs.push_back(0);
+        stats.cacheHits.push_back(0);
+        stats.wallUsSum.push_back(0);
+        stats.workers = static_cast<std::uint32_t>(procs.size());
+        if constexpr (obs::kEnabled) {
+            if (traceLog)
+                traceLog->threadName(obs::kPidDist, slot,
+                                     "worker " + std::to_string(slot));
+        }
+    };
+    for (const auto &shard : shards)
+        addSlot(shard, 1);
+
+    // Reap one worker: close, waitpid, decide clean vs failed, requeue.
+    const auto reap = [&](std::uint32_t slot) {
+        auto &w = procs[slot];
+        ::close(w.fd);
+        w.fd = -1;
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+
+        const bool clean = w.doneSeen && w.pending.empty() &&
+                           w.errorText.empty() && !w.timedOut &&
+                           WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (clean)
+            return;
+
+        std::string reason;
+        if (w.timedOut)
+            reason = "timeout";
+        else if (!w.errorText.empty())
+            reason = w.errorText;
+        else if (w.doneSeen && !w.pending.empty())
+            reason = "protocol: done with " +
+                     std::to_string(w.pending.size()) + " jobs pending";
+        else
+            reason = describeExit(status);
+
+        WorkerFailure failure;
+        failure.worker = slot;
+        failure.reason = reason;
+        failure.requeuedJobs = w.pending;
+        stats.failures.push_back(failure);
+        warn("dist: worker ", slot, " failed (", reason, "), ",
+             w.pending.size(), " job(s) to requeue");
+
+        if (w.pending.empty())
+            return; // every assigned job already landed; nothing lost
+        if (w.attempt >= 2) {
+            terminateAll(procs);
+            throw std::runtime_error(
+                "dist: shard failed twice (last: " + reason +
+                "); aborting");
+        }
+        const auto requeued = w.pending;
+        const auto nextAttempt = w.attempt + 1;
+        w.pending.clear();
+        addSlot(requeued, nextAttempt);
+    };
+
+    while (true) {
+        if (cancel && cancel->cancelled()) {
+            terminateAll(procs);
+            throw CancelledError(cancel->reason());
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::uint32_t> slotOf;
+        for (std::uint32_t i = 0; i < procs.size(); ++i) {
+            if (procs[i].fd >= 0) {
+                fds.push_back({procs[i].fd, POLLIN, 0});
+                slotOf.push_back(i);
+            }
+        }
+        if (fds.empty())
+            break;
+
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()), kPollMs);
+        if (rc < 0 && errno != EINTR)
+            fatal("dist: poll: ", std::strerror(errno));
+
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            const std::uint32_t slot = slotOf[k];
+            auto &w = procs[slot];
+            if (w.fd < 0)
+                continue; // already reaped this tick
+
+            bool eof = false;
+            char buf[65536];
+            for (;;) {
+                const ssize_t n = ::read(w.fd, buf, sizeof buf);
+                if (n > 0) {
+                    w.frames.append(buf, static_cast<std::size_t>(n));
+                    continue;
+                }
+                if (n == 0) {
+                    eof = true;
+                    break;
+                }
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                eof = true;
+                break;
+            }
+
+            while (auto payload = w.frames.next()) {
+                std::string err;
+                const auto msg = parseWorkerMsg(*payload, err);
+                if (!msg) {
+                    w.errorText = "protocol: " + err;
+                    ::kill(w.pid, SIGKILL);
+                    break;
+                }
+                w.lastActivityUs = CancelToken::nowUs();
+                switch (msg->kind) {
+                case WorkerMsg::Kind::Result: {
+                    const auto it = std::find(w.pending.begin(),
+                                              w.pending.end(),
+                                              msg->index);
+                    if (it == w.pending.end()) {
+                        w.errorText = "protocol: unexpected result for "
+                                      "job " +
+                                      std::to_string(msg->index);
+                        ::kill(w.pid, SIGKILL);
+                        break;
+                    }
+                    w.pending.erase(it);
+                    ++stats.jobs[slot];
+                    if (msg->cached)
+                        ++stats.cacheHits[slot];
+                    stats.wallUsSum[slot] += msg->wallUs;
+                    if constexpr (obs::kEnabled) {
+                        if (traceLog) {
+                            const std::int64_t arrival =
+                                obs::wallMicros();
+                            traceLog->complete(
+                                std::string(jobLabel) + " " +
+                                    std::to_string(msg->index),
+                                obs::kPidDist, slot,
+                                arrival - msg->wallUs,
+                                std::max<std::int64_t>(msg->wallUs, 1),
+                                "\"cached\": " +
+                                    std::string(msg->cached ? "true"
+                                                            : "false"));
+                        }
+                    }
+                    onResult(*msg, slot);
+                    break;
+                }
+                case WorkerMsg::Kind::Done:
+                    w.doneSeen = true;
+                    break;
+                case WorkerMsg::Kind::Error:
+                    w.errorText = msg->code + ": " + msg->message;
+                    break;
+                }
+                if (!w.errorText.empty())
+                    break;
+            }
+            if (w.frames.corrupt() && w.errorText.empty()) {
+                w.errorText = "protocol: corrupt frame stream";
+                ::kill(w.pid, SIGKILL);
+            }
+            if (eof)
+                reap(slot);
+        }
+
+        // Hang detection: no result and no done for the whole window.
+        const std::int64_t now = CancelToken::nowUs();
+        for (std::uint32_t i = 0; i < procs.size(); ++i) {
+            auto &w = procs[i];
+            if (w.fd >= 0 && now - w.lastActivityUs > timeoutUs) {
+                w.timedOut = true;
+                ::kill(w.pid, SIGKILL);
+                reap(i);
+            }
+        }
+    }
+}
+
+/** Post-run telemetry shared by both distributed entry points. */
+void
+recordDistTelemetry(obs::MetricsRegistry *metrics,
+                    obs::TraceEventLog *traceLog, const DistStats &stats)
+{
+    if constexpr (obs::kEnabled) {
+        if (metrics) {
+            auto &m = *metrics;
+            for (std::uint32_t w = 0; w < stats.workers; ++w) {
+                const std::string prefix =
+                    "dist/worker/" + std::to_string(w) + "/";
+                m.counter(prefix + "jobs").add(stats.jobs[w]);
+                m.counter(prefix + "cache_hits")
+                    .add(stats.cacheHits[w]);
+            }
+            m.counter("dist/worker_failures")
+                .add(stats.failures.size());
+            m.gauge("dist/workers")
+                .set(static_cast<double>(stats.workers));
+        }
+        if (traceLog)
+            traceLog->processName(obs::kPidDist, "minnoc dist");
+    }
+}
+
+} // namespace
+
+std::string
+DistStats::toJson(const std::string &task) const
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"report\": \"minnoc-dist-status\",\n"
+        << "  \"task\": \"" << task << "\",\n"
+        << "  \"workers\": " << workers << ",\n"
+        << "  \"per_worker\": [\n";
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        oss << "    {\"worker\": " << w << ", \"jobs\": " << jobs[w]
+            << ", \"cache_hits\": " << cacheHits[w]
+            << ", \"wall_us\": " << wallUsSum[w] << "}"
+            << (w + 1 < workers ? "," : "") << "\n";
+    }
+    oss << "  ],\n"
+        << "  \"worker_failed\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const auto &f = failures[i];
+        oss << (i ? ", " : "") << "{\"worker\": " << f.worker
+            << ", \"reason\": \"" << serve::jsonEscape(f.reason)
+            << "\", \"requeued_jobs\": [";
+        for (std::size_t j = 0; j < f.requeuedJobs.size(); ++j)
+            oss << (j ? ", " : "") << f.requeuedJobs[j];
+        oss << "]}";
+    }
+    oss << "]\n}\n";
+    return oss.str();
+}
+
+dse::ExploreReport
+exploreDistributed(const trace::Trace &trace,
+                   const dse::ExploreConfig &config,
+                   const DistOptions &options, DistStats *statsOut)
+{
+    std::ostringstream patternStream;
+    trace.save(patternStream);
+    const std::string patternBytes = patternStream.str();
+
+    const auto jobs = config.grid.expand();
+
+    dse::ExploreReport report;
+    report.pattern = trace.name();
+    report.ranks = trace.numRanks();
+    report.points.resize(jobs.size());
+
+    DistStats localStats;
+    DistStats &stats = statsOut ? *statsOut : localStats;
+    stats = DistStats{};
+
+    if (!jobs.empty()) {
+        for (const auto seed : config.grid.seeds)
+            if (seed > (1ull << 53))
+                fatal("dist: seed ", seed,
+                      " exceeds the wire's exact integer range");
+
+        std::vector<std::string> sigs(jobs.size());
+        std::vector<std::string> keys(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            sigs[i] = dse::jobSignature(jobs[i], config);
+            keys[i] = dse::jobKey(patternBytes, sigs[i]);
+        }
+
+        // Content-hash sharding: order jobs by cache key (ties by grid
+        // index) and deal them round-robin, so shards are balanced to
+        // ±1 job and the assignment depends only on workload content
+        // and grid, never on timing.
+        std::vector<std::uint32_t> order(jobs.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return keys[a] != keys[b] ? keys[a] < keys[b]
+                                                : a < b;
+                  });
+        const auto n = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(
+                   options.workers,
+                   static_cast<std::uint32_t>(jobs.size())));
+        std::vector<std::vector<std::uint32_t>> shards(n);
+        for (std::size_t k = 0; k < order.size(); ++k)
+            shards[k % n].push_back(order[k]);
+        for (auto &shard : shards)
+            std::sort(shard.begin(), shard.end());
+
+        const auto makeRequest =
+            [&](std::uint32_t slot, std::uint32_t attempt,
+                const std::vector<std::uint32_t> &assigned) {
+                ShardRequest req;
+                req.cmd = "explore_shard";
+                req.worker = slot;
+                req.attempt = attempt;
+                req.traceText = patternBytes;
+                req.jobs = assigned;
+                for (const auto j : assigned)
+                    req.sigs.push_back(sigs[j]);
+                req.grid = config.grid;
+                req.reconfigCost = config.phaseReconfigCost;
+                req.cacheDir = config.cacheDir;
+                req.useCache = config.useCache;
+                req.mergeThreshold =
+                    config.phaseSegmenter.mergeThreshold;
+                req.minPhaseWindows =
+                    config.phaseSegmenter.minPhaseWindows;
+                req.matrixWeight = config.phaseSegmenter.matrixWeight;
+                return encodeShardRequest(req);
+            };
+        const auto onResult = [&](const WorkerMsg &msg,
+                                  std::uint32_t /*slot*/) {
+            dse::DsePoint pt;
+            pt.params = jobs[msg.index];
+            pt.metrics = msg.metrics;
+            pt.fromCache = msg.cached;
+            dse::recordJobPoint(config, msg.index, pt);
+            report.points[msg.index] = std::move(pt);
+        };
+        runShards(shards, options, config.cancel, makeRequest, onResult,
+                  stats, config.traceLog, "job");
+    }
+
+    dse::finalizeReport(report, config);
+    recordDistTelemetry(config.metrics, config.traceLog, stats);
+    return report;
+}
+
+phase::PhaseReport
+evaluatePhasesDistributed(const trace::Trace &trace,
+                          const phase::PhaseEvalConfig &config,
+                          const DistOptions &options, DistStats *statsOut)
+{
+    const phase::Segmentation seg =
+        phase::segmentTrace(trace, config.segmenter);
+
+    DistStats localStats;
+    DistStats &stats = statsOut ? *statsOut : localStats;
+    stats = DistStats{};
+
+    // Whole-trace artifacts stay in-process: the monolithic and union
+    // designs need the full workload, and the per-phase standalone
+    // designs (the bulk of the work) never feed into them — see
+    // DESIGN.md §5j. The restart pool is scoped so no extra threads
+    // exist when the workers fork below.
+    phase::MultiPhaseResult multi;
+    {
+        std::uint32_t threads =
+            config.threads ? config.threads
+                           : std::thread::hardware_concurrency();
+        threads = std::max(threads, 1u);
+        std::optional<ThreadPool> pool;
+        if (threads > 1)
+            pool.emplace(threads);
+        multi = phase::synthesizeMultiPhase(
+            trace, seg, config.methodology, pool ? &*pool : nullptr,
+            /*withPhaseDesigns=*/false);
+    }
+
+    const phase::VariantResult mono = phase::evalDesignVariant(
+        multi.monolithic.design, multi.monolithic.violations.size(),
+        trace, config);
+    const phase::VariantResult uni = phase::evalDesignVariant(
+        multi.unionDesign, multi.unionViolationCount(), trace, config);
+    std::vector<std::size_t> unionViolations;
+    unionViolations.reserve(multi.unionPhaseViolations.size());
+    for (const auto &v : multi.unionPhaseViolations)
+        unionViolations.push_back(v.size());
+
+    const auto nPhases = static_cast<std::uint32_t>(seg.phases.size());
+    std::vector<phase::PhaseRowEval> rows(nPhases);
+    if (nPhases > 0) {
+        if (config.methodology.partitioner.seed > (1ull << 53))
+            fatal("dist: seed ", config.methodology.partitioner.seed,
+                  " exceeds the wire's exact integer range");
+        std::ostringstream patternStream;
+        trace.save(patternStream);
+        const std::string traceText = patternStream.str();
+        const std::string sig = phasesSignature(config);
+
+        const auto n = std::max<std::uint32_t>(
+            1, std::min<std::uint32_t>(options.workers, nPhases));
+        std::vector<std::vector<std::uint32_t>> shards(n);
+        for (std::uint32_t p = 0; p < nPhases; ++p)
+            shards[p % n].push_back(p);
+
+        const auto makeRequest =
+            [&](std::uint32_t slot, std::uint32_t attempt,
+                const std::vector<std::uint32_t> &assigned) {
+                ShardRequest req;
+                req.cmd = "phases_shard";
+                req.worker = slot;
+                req.attempt = attempt;
+                req.traceText = traceText;
+                req.jobs = assigned;
+                req.sigs.assign(assigned.size(), sig);
+                req.window = config.segmenter.windowMessages;
+                req.mergeThreshold = config.segmenter.mergeThreshold;
+                req.minPhaseWindows = config.segmenter.minPhaseWindows;
+                req.matrixWeight = config.segmenter.matrixWeight;
+                req.maxDegree =
+                    config.methodology.partitioner.constraints.maxDegree;
+                req.restarts = config.methodology.restarts;
+                req.seed = config.methodology.partitioner.seed;
+                req.reconfigCost = config.reconfigCost;
+                req.expectedPhases = nPhases;
+                return encodeShardRequest(req);
+            };
+        const auto onResult = [&](const WorkerMsg &msg,
+                                  std::uint32_t /*slot*/) {
+            rows.at(msg.index) = msg.row;
+        };
+        runShards(shards, options, config.methodology.cancel,
+                  makeRequest, onResult, stats, config.traceLog,
+                  "phase");
+    }
+
+    auto report = phase::assemblePhaseReport(trace, config, seg, mono,
+                                             uni, unionViolations, rows);
+    recordDistTelemetry(config.metrics, config.traceLog, stats);
+    return report;
+}
+
+} // namespace minnoc::dist

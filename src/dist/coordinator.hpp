@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Multi-process exploration coordinator.
+ *
+ * Forks N workers, shards the job grid over them by content hash
+ * (each job's cache key orders the jobs deterministically; shards are
+ * dealt round-robin off that order, so they are balanced to ±1 job and
+ * independent of grid layout), streams results back over pipes, and
+ * merges them through the exact finalization path the in-process
+ * explorer uses. Reports are therefore byte-identical to
+ * `--workers 1` and to the single-process run by construction.
+ *
+ * Fault handling: a worker that crashes, reports an error, or goes
+ * silent past the activity timeout is reaped (SIGKILL if necessary)
+ * and its *unfinished* jobs are requeued once onto a fresh worker;
+ * jobs the dead worker already stored in the shared cache are not
+ * recomputed. A second failure on the same shard is fatal. Every
+ * failure is recorded in DistStats and surfaced as `worker_failed`
+ * in the dist status JSON — never in the explore report itself, whose
+ * bytes stay crash-independent.
+ *
+ * Cancellation: the caller's CancelToken is polled every scheduler
+ * tick; once fired, workers get SIGTERM, a short drain window, then
+ * SIGKILL, and the coordinator unwinds with CancelledError.
+ */
+
+#ifndef MINNOC_DIST_COORDINATOR_HPP
+#define MINNOC_DIST_COORDINATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "phase/evaluator.hpp"
+
+namespace minnoc::dist {
+
+/** Knobs of one distributed run. */
+struct DistOptions
+{
+    /** Worker processes to fork (clamped to the job count, min 1). */
+    std::uint32_t workers = 2;
+
+    /**
+     * A worker producing no result for this long is presumed hung,
+     * killed, and its shard requeued. Generous by default: one DSE
+     * job on a large pattern can legitimately run minutes.
+     */
+    std::int64_t workerTimeoutMs = 600'000;
+};
+
+/** One reaped worker, for the status report. */
+struct WorkerFailure
+{
+    std::uint32_t worker = 0; ///< worker slot
+    std::string reason;       ///< "timeout", "exit 42", "signal 9", ...
+    /** Job indices requeued onto the replacement worker. */
+    std::vector<std::uint32_t> requeuedJobs;
+};
+
+/** Per-worker accounting of one distributed run. */
+struct DistStats
+{
+    /** Worker slots used (initial workers + any replacements). */
+    std::uint32_t workers = 0;
+    std::vector<std::uint64_t> jobs;      ///< results per slot
+    std::vector<std::uint64_t> cacheHits; ///< cached results per slot
+    std::vector<std::int64_t> wallUsSum;  ///< summed job wall time
+    std::vector<WorkerFailure> failures;
+
+    /**
+     * Deterministic-shape status JSON (wall times are wall times; the
+     * shape and counts are reproducible, the durations are not):
+     * per-worker rows plus the `worker_failed` array.
+     */
+    std::string toJson(const std::string &task) const;
+};
+
+/**
+ * Distributed dse::explore. Identical output to explore(trace, config)
+ * — same points, same frontier, same JSON bytes — with the grid
+ * fanned out over DistOptions::workers processes sharing the disk
+ * cache. config.threads is ignored (parallelism is process-level);
+ * config.cancel is honored at scheduler-tick granularity here and at
+ * job granularity inside each worker.
+ */
+dse::ExploreReport exploreDistributed(const trace::Trace &trace,
+                                      const dse::ExploreConfig &config,
+                                      const DistOptions &options,
+                                      DistStats *stats = nullptr);
+
+/**
+ * Distributed phase::evaluatePhases: the coordinator segments the
+ * trace and synthesizes the monolithic + union designs (they depend
+ * on the whole trace), while the per-phase standalone synthesis and
+ * replay — the bulk of the work — is sharded over workers. Byte-
+ * identical to the in-process report.
+ */
+phase::PhaseReport
+evaluatePhasesDistributed(const trace::Trace &trace,
+                          const phase::PhaseEvalConfig &config,
+                          const DistOptions &options,
+                          DistStats *stats = nullptr);
+
+} // namespace minnoc::dist
+
+#endif // MINNOC_DIST_COORDINATOR_HPP

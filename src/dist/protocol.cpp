@@ -1,0 +1,585 @@
+#include "protocol.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace minnoc::dist {
+
+namespace {
+
+/** %.17g — enough digits for exact double round-tripping. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Largest integer a JSON double carries exactly. */
+constexpr double kMaxExact = 9007199254740992.0; // 2^53
+
+bool
+getU32(const json::Value &obj, const char *key, std::uint32_t &out,
+       std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        err = std::string("missing or non-numeric '") + key + "'";
+        return false;
+    }
+    const double d = v->asNumber();
+    if (d < 0 || d > 4294967295.0 || d != std::floor(d)) {
+        err = std::string("'") + key + "' out of u32 range";
+        return false;
+    }
+    out = static_cast<std::uint32_t>(d);
+    return true;
+}
+
+bool
+getU64(const json::Value &obj, const char *key, std::uint64_t &out,
+       std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        err = std::string("missing or non-numeric '") + key + "'";
+        return false;
+    }
+    const double d = v->asNumber();
+    if (d < 0 || d > kMaxExact || d != std::floor(d)) {
+        err = std::string("'") + key + "' out of exact-u64 range";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+bool
+getI64(const json::Value &obj, const char *key, std::int64_t &out,
+       std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        err = std::string("missing or non-numeric '") + key + "'";
+        return false;
+    }
+    const double d = v->asNumber();
+    if (d < -kMaxExact || d > kMaxExact || d != std::floor(d)) {
+        err = std::string("'") + key + "' out of exact-i64 range";
+        return false;
+    }
+    out = static_cast<std::int64_t>(d);
+    return true;
+}
+
+bool
+getDouble(const json::Value &obj, const char *key, double &out,
+          std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        err = std::string("missing or non-numeric '") + key + "'";
+        return false;
+    }
+    out = v->asNumber();
+    return true;
+}
+
+bool
+getBool(const json::Value &obj, const char *key, bool &out,
+        std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isBool()) {
+        err = std::string("missing or non-bool '") + key + "'";
+        return false;
+    }
+    out = v->asBool();
+    return true;
+}
+
+bool
+getString(const json::Value &obj, const char *key, std::string &out,
+          std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isString()) {
+        err = std::string("missing or non-string '") + key + "'";
+        return false;
+    }
+    out = v->asString();
+    return true;
+}
+
+bool
+getU32List(const json::Value &obj, const char *key,
+           std::vector<std::uint32_t> &out, std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isArray()) {
+        err = std::string("missing or non-array '") + key + "'";
+        return false;
+    }
+    out.clear();
+    for (const auto &e : v->asArray()) {
+        if (!e.isNumber() || e.asNumber() < 0 ||
+            e.asNumber() > 4294967295.0 ||
+            e.asNumber() != std::floor(e.asNumber())) {
+            err = std::string("non-u32 element in '") + key + "'";
+            return false;
+        }
+        out.push_back(static_cast<std::uint32_t>(e.asNumber()));
+    }
+    return true;
+}
+
+bool
+getU64List(const json::Value &obj, const char *key,
+           std::vector<std::uint64_t> &out, std::string &err)
+{
+    const auto *v = obj.find(key);
+    if (!v || !v->isArray()) {
+        err = std::string("missing or non-array '") + key + "'";
+        return false;
+    }
+    out.clear();
+    for (const auto &e : v->asArray()) {
+        if (!e.isNumber() || e.asNumber() < 0 ||
+            e.asNumber() > kMaxExact ||
+            e.asNumber() != std::floor(e.asNumber())) {
+            err = std::string("non-exact-u64 element in '") + key + "'";
+            return false;
+        }
+        out.push_back(static_cast<std::uint64_t>(e.asNumber()));
+    }
+    return true;
+}
+
+template <typename T>
+void
+appendList(std::string &out, const char *key, const std::vector<T> &v)
+{
+    out += std::string("\"") + key + "\": [";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(v[i]);
+    }
+    out += "]";
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    std::string frame = std::to_string(payload.size());
+    frame += ':';
+    frame += payload;
+    frame += '\n';
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n = ::write(fd, frame.data() + off,
+                                  frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+    // Length prefix: decimal digits terminated by ':'.
+    std::size_t len = 0;
+    std::size_t digits = 0;
+    for (;;) {
+        char c = 0;
+        const ssize_t n = ::read(fd, &c, 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (n == 0)
+            return std::nullopt; // EOF
+        if (c == ':')
+            break;
+        if (c < '0' || c > '9' || ++digits > 9)
+            return std::nullopt;
+        len = len * 10 + static_cast<std::size_t>(c - '0');
+        if (len > kMaxFrameBytes)
+            return std::nullopt;
+    }
+    if (digits == 0)
+        return std::nullopt;
+    std::string payload(len, '\0');
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::read(fd, payload.data() + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (n == 0)
+            return std::nullopt;
+        off += static_cast<std::size_t>(n);
+    }
+    char nl = 0;
+    for (;;) {
+        const ssize_t n = ::read(fd, &nl, 1);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n != 1 || nl != '\n')
+            return std::nullopt;
+        break;
+    }
+    return payload;
+}
+
+void
+FrameBuffer::append(const char *data, std::size_t n)
+{
+    if (!_corrupt)
+        _buf.append(data, n);
+}
+
+std::optional<std::string>
+FrameBuffer::next()
+{
+    if (_corrupt)
+        return std::nullopt;
+    const auto colon = _buf.find(':');
+    if (colon == std::string::npos) {
+        if (_buf.size() > 10)
+            _corrupt = true; // length prefix can't be this long
+        return std::nullopt;
+    }
+    if (colon == 0 || colon > 9) {
+        _corrupt = true;
+        return std::nullopt;
+    }
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < colon; ++i) {
+        const char c = _buf[i];
+        if (c < '0' || c > '9') {
+            _corrupt = true;
+            return std::nullopt;
+        }
+        len = len * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (len > kMaxFrameBytes) {
+        _corrupt = true;
+        return std::nullopt;
+    }
+    const std::size_t total = colon + 1 + len + 1;
+    if (_buf.size() < total)
+        return std::nullopt;
+    if (_buf[total - 1] != '\n') {
+        _corrupt = true;
+        return std::nullopt;
+    }
+    std::string payload = _buf.substr(colon + 1, len);
+    _buf.erase(0, total);
+    return payload;
+}
+
+std::string
+encodeShardRequest(const ShardRequest &req)
+{
+    std::string out = "{\"cmd\": \"" + req.cmd + "\"";
+    out += ", \"worker\": " + std::to_string(req.worker);
+    out += ", \"attempt\": " + std::to_string(req.attempt);
+    out += ", \"trace\": \"" + serve::jsonEscape(req.traceText) + "\"";
+    out += ", ";
+    appendList(out, "jobs", req.jobs);
+    out += ", \"sigs\": [";
+    for (std::size_t i = 0; i < req.sigs.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + serve::jsonEscape(req.sigs[i]) + "\"";
+    }
+    out += "]";
+    if (req.cmd == "explore_shard") {
+        out += ", ";
+        appendList(out, "degrees", req.grid.maxDegrees);
+        out += ", ";
+        appendList(out, "restarts", req.grid.restarts);
+        out += ", ";
+        appendList(out, "seeds", req.grid.seeds);
+        out += ", ";
+        appendList(out, "unidirectional", req.grid.unidirectional);
+        out += ", ";
+        appendList(out, "vcs", req.grid.vcs);
+        out += ", \"vc_depth\": " + std::to_string(req.grid.vcDepth);
+        out += ", ";
+        appendList(out, "phase_windows", req.grid.phaseWindows);
+        out += ", \"reconfig_cost\": " + std::to_string(req.reconfigCost);
+        out += ", \"cache_dir\": \"" + serve::jsonEscape(req.cacheDir) +
+               "\"";
+        out += std::string(", \"cache\": ") +
+               (req.useCache ? "true" : "false");
+        out += ", \"threshold\": " + fmtDouble(req.mergeThreshold);
+        out += ", \"min_phase_windows\": " +
+               std::to_string(req.minPhaseWindows);
+        out += ", \"matrix_weight\": " + fmtDouble(req.matrixWeight);
+    } else {
+        out += ", \"window\": " + std::to_string(req.window);
+        out += ", \"threshold\": " + fmtDouble(req.mergeThreshold);
+        out += ", \"min_phase_windows\": " +
+               std::to_string(req.minPhaseWindows);
+        out += ", \"matrix_weight\": " + fmtDouble(req.matrixWeight);
+        out += ", \"max_degree\": " + std::to_string(req.maxDegree);
+        out += ", \"restarts\": " + std::to_string(req.restarts);
+        out += ", \"seed\": " + std::to_string(req.seed);
+        out += ", \"reconfig_cost\": " + std::to_string(req.reconfigCost);
+        out += ", \"expected_phases\": " +
+               std::to_string(req.expectedPhases);
+    }
+    out += "}";
+    return out;
+}
+
+std::optional<ShardRequest>
+parseShardRequest(const std::string &text, std::string &err)
+{
+    const auto doc = json::parse(text);
+    if (!doc || !doc->isObject()) {
+        err = "request frame is not a JSON object";
+        return std::nullopt;
+    }
+    ShardRequest req;
+    if (!getString(*doc, "cmd", req.cmd, err) ||
+        !getU32(*doc, "worker", req.worker, err) ||
+        !getU32(*doc, "attempt", req.attempt, err) ||
+        !getString(*doc, "trace", req.traceText, err) ||
+        !getU32List(*doc, "jobs", req.jobs, err))
+        return std::nullopt;
+    const auto *sigs = doc->find("sigs");
+    if (!sigs || !sigs->isArray()) {
+        err = "missing or non-array 'sigs'";
+        return std::nullopt;
+    }
+    for (const auto &s : sigs->asArray()) {
+        if (!s.isString()) {
+            err = "non-string element in 'sigs'";
+            return std::nullopt;
+        }
+        req.sigs.push_back(s.asString());
+    }
+    if (req.sigs.size() != req.jobs.size()) {
+        err = "'sigs' and 'jobs' length mismatch";
+        return std::nullopt;
+    }
+    if (req.cmd == "explore_shard") {
+        std::vector<std::uint64_t> seeds;
+        if (!getU32List(*doc, "degrees", req.grid.maxDegrees, err) ||
+            !getU32List(*doc, "restarts", req.grid.restarts, err) ||
+            !getU64List(*doc, "seeds", seeds, err) ||
+            !getU32List(*doc, "unidirectional", req.grid.unidirectional,
+                        err) ||
+            !getU32List(*doc, "vcs", req.grid.vcs, err) ||
+            !getU32(*doc, "vc_depth", req.grid.vcDepth, err) ||
+            !getU32List(*doc, "phase_windows", req.grid.phaseWindows,
+                        err) ||
+            !getI64(*doc, "reconfig_cost", req.reconfigCost, err) ||
+            !getString(*doc, "cache_dir", req.cacheDir, err) ||
+            !getBool(*doc, "cache", req.useCache, err) ||
+            !getDouble(*doc, "threshold", req.mergeThreshold, err) ||
+            !getU32(*doc, "min_phase_windows", req.minPhaseWindows,
+                    err) ||
+            !getDouble(*doc, "matrix_weight", req.matrixWeight, err))
+            return std::nullopt;
+        req.grid.seeds = std::move(seeds);
+    } else if (req.cmd == "phases_shard") {
+        std::uint64_t seed = 0;
+        if (!getU32(*doc, "window", req.window, err) ||
+            !getDouble(*doc, "threshold", req.mergeThreshold, err) ||
+            !getU32(*doc, "min_phase_windows", req.minPhaseWindows,
+                    err) ||
+            !getDouble(*doc, "matrix_weight", req.matrixWeight, err) ||
+            !getU32(*doc, "max_degree", req.maxDegree, err) ||
+            !getU32(*doc, "restarts", req.restarts, err) ||
+            !getU64(*doc, "seed", seed, err) ||
+            !getI64(*doc, "reconfig_cost", req.reconfigCost, err) ||
+            !getU32(*doc, "expected_phases", req.expectedPhases, err))
+            return std::nullopt;
+        req.seed = seed;
+    } else {
+        err = "unknown cmd '" + req.cmd + "'";
+        return std::nullopt;
+    }
+    return req;
+}
+
+std::string
+encodeResult(std::uint32_t index, bool cached, std::int64_t wallUs,
+             const dse::JobMetrics &m)
+{
+    std::string out = "{\"type\": \"result\", \"index\": " +
+                      std::to_string(index);
+    out += std::string(", \"cached\": ") + (cached ? "true" : "false");
+    out += ", \"wall_us\": " + std::to_string(wallUs);
+    out += ", \"metrics\": {";
+    out += "\"switches\": " + std::to_string(m.switches);
+    out += ", \"links\": " + std::to_string(m.links);
+    out += ", \"channels\": " + std::to_string(m.channels);
+    out += std::string(", \"constraints_met\": ") +
+           (m.constraintsMet ? "true" : "false");
+    out += ", \"violations\": " + std::to_string(m.violations);
+    out += ", \"rounds\": " + std::to_string(m.rounds);
+    out += ", \"switch_area\": " + std::to_string(m.switchArea);
+    out += ", \"link_area\": " + std::to_string(m.linkArea);
+    out += ", \"proc_link_area\": " + std::to_string(m.procLinkArea);
+    out += ", \"exec_time\": " + std::to_string(m.execTime);
+    out += ", \"avg_latency\": " + fmtDouble(m.avgLatency);
+    out += ", \"avg_hops\": " + fmtDouble(m.avgHops);
+    out += ", \"max_link_util\": " + fmtDouble(m.maxLinkUtil);
+    out += ", \"energy\": " + fmtDouble(m.energy);
+    out += "}}";
+    return out;
+}
+
+std::string
+encodePhaseResult(std::uint32_t index, std::int64_t wallUs,
+                  const phase::PhaseRowEval &row)
+{
+    const auto &v = row.network;
+    std::string out = "{\"type\": \"result\", \"index\": " +
+                      std::to_string(index);
+    out += ", \"wall_us\": " + std::to_string(wallUs);
+    out += ", \"row\": {";
+    out += "\"switches\": " + std::to_string(v.switches);
+    out += ", \"links\": " + std::to_string(v.links);
+    out += ", \"channels\": " + std::to_string(v.channels);
+    out += ", \"area\": " + std::to_string(v.area);
+    out += ", \"exec_time\": " + std::to_string(v.execTime);
+    out += ", \"avg_latency\": " + fmtDouble(v.avgLatency);
+    out += ", \"energy\": " + fmtDouble(v.energy);
+    out += ", \"packets\": " + std::to_string(v.packetsDelivered);
+    out += ", \"violations\": " + std::to_string(v.violations);
+    out += ", \"reconfig_idle_energy\": " +
+           fmtDouble(row.reconfigIdleEnergy);
+    out += "}}";
+    return out;
+}
+
+std::string
+encodeDone(std::uint64_t jobs, std::uint64_t cacheHits)
+{
+    return "{\"type\": \"done\", \"jobs\": " + std::to_string(jobs) +
+           ", \"cache_hits\": " + std::to_string(cacheHits) + "}";
+}
+
+std::string
+encodeError(const std::string &code, const std::string &message)
+{
+    return "{\"type\": \"error\", \"code\": \"" + serve::jsonEscape(code) +
+           "\", \"message\": \"" + serve::jsonEscape(message) + "\"}";
+}
+
+std::string
+phasesSignature(const phase::PhaseEvalConfig &config)
+{
+    return config.methodology.signature() + "|" +
+           config.floorplan.signature() + "|" +
+           config.power.signature() + "|" + config.sim.signature() +
+           "|" + config.segmenter.signature() +
+           ";rc=" + std::to_string(config.reconfigCost);
+}
+
+std::optional<WorkerMsg>
+parseWorkerMsg(const std::string &text, std::string &err)
+{
+    const auto doc = json::parse(text);
+    if (!doc || !doc->isObject()) {
+        err = "worker frame is not a JSON object";
+        return std::nullopt;
+    }
+    std::string type;
+    if (!getString(*doc, "type", type, err))
+        return std::nullopt;
+    WorkerMsg msg;
+    if (type == "result") {
+        msg.kind = WorkerMsg::Kind::Result;
+        if (!getU32(*doc, "index", msg.index, err) ||
+            !getI64(*doc, "wall_us", msg.wallUs, err))
+            return std::nullopt;
+        if (const auto *m = doc->find("metrics")) {
+            std::uint32_t violations = 0;
+            if (!getU32(*m, "switches", msg.metrics.switches, err) ||
+                !getU32(*m, "links", msg.metrics.links, err) ||
+                !getU32(*m, "channels", msg.metrics.channels, err) ||
+                !getBool(*m, "constraints_met",
+                         msg.metrics.constraintsMet, err) ||
+                !getU32(*m, "violations", violations, err) ||
+                !getU32(*m, "rounds", msg.metrics.rounds, err) ||
+                !getU32(*m, "switch_area", msg.metrics.switchArea,
+                        err) ||
+                !getU32(*m, "link_area", msg.metrics.linkArea, err) ||
+                !getU32(*m, "proc_link_area", msg.metrics.procLinkArea,
+                        err) ||
+                !getI64(*m, "exec_time", msg.metrics.execTime, err) ||
+                !getDouble(*m, "avg_latency", msg.metrics.avgLatency,
+                           err) ||
+                !getDouble(*m, "avg_hops", msg.metrics.avgHops, err) ||
+                !getDouble(*m, "max_link_util",
+                           msg.metrics.maxLinkUtil, err) ||
+                !getDouble(*m, "energy", msg.metrics.energy, err) ||
+                !getBool(*doc, "cached", msg.cached, err))
+                return std::nullopt;
+            msg.metrics.violations = violations;
+        } else if (const auto *r = doc->find("row")) {
+            msg.isPhaseRow = true;
+            auto &v = msg.row.network;
+            std::uint64_t packets = 0;
+            std::uint64_t violations = 0;
+            std::int64_t exec = 0;
+            if (!getU32(*r, "switches", v.switches, err) ||
+                !getU32(*r, "links", v.links, err) ||
+                !getU32(*r, "channels", v.channels, err) ||
+                !getU32(*r, "area", v.area, err) ||
+                !getI64(*r, "exec_time", exec, err) ||
+                !getDouble(*r, "avg_latency", v.avgLatency, err) ||
+                !getDouble(*r, "energy", v.energy, err) ||
+                !getU64(*r, "packets", packets, err) ||
+                !getU64(*r, "violations", violations, err) ||
+                !getDouble(*r, "reconfig_idle_energy",
+                           msg.row.reconfigIdleEnergy, err))
+                return std::nullopt;
+            v.execTime = exec;
+            v.packetsDelivered = packets;
+            v.violations = static_cast<std::size_t>(violations);
+        } else {
+            err = "result frame lacks both 'metrics' and 'row'";
+            return std::nullopt;
+        }
+    } else if (type == "done") {
+        msg.kind = WorkerMsg::Kind::Done;
+        if (!getU64(*doc, "jobs", msg.jobs, err) ||
+            !getU64(*doc, "cache_hits", msg.cacheHits, err))
+            return std::nullopt;
+    } else if (type == "error") {
+        msg.kind = WorkerMsg::Kind::Error;
+        if (!getString(*doc, "code", msg.code, err) ||
+            !getString(*doc, "message", msg.message, err))
+            return std::nullopt;
+    } else {
+        err = "unknown worker message type '" + type + "'";
+        return std::nullopt;
+    }
+    return msg;
+}
+
+} // namespace minnoc::dist

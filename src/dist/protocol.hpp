@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Wire protocol of the multi-process exploration coordinator.
+ *
+ * A coordinator forks N workers and speaks to each over a pair of
+ * anonymous pipes. Every message is one length-prefixed frame
+ *
+ *     <decimal byte count>:<payload>\n
+ *
+ * whose payload is a single JSON object — the same NDJSON documents
+ * the `minnoc serve` protocol uses, wrapped in netstring framing so a
+ * reader never depends on payload content to find message boundaries
+ * (the trace text travels inside the request, escaped).
+ *
+ * The conversation is deliberately minimal: the coordinator writes
+ * exactly one request frame and closes the pipe; the worker streams
+ * back one `result` frame per finished job followed by one `done`
+ * frame, or a single `error` frame drawn from the serve error taxonomy
+ * (`parse_error`, `validation_error`, `cancelled`, `internal`, ...).
+ *
+ * Determinism contract: every number that feeds the final report
+ * crosses the wire losslessly — integers as decimal (rejected beyond
+ * 2^53, like serve), doubles as %.17g which strtod round-trips
+ * bit-exactly. The coordinator sends each job's expected parameter
+ * signature; the worker recomputes it from the wire fields and refuses
+ * to run on any mismatch, so configuration drift between the two
+ * processes is a structured error, never a silently different report.
+ */
+
+#ifndef MINNOC_DIST_PROTOCOL_HPP
+#define MINNOC_DIST_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "phase/evaluator.hpp"
+
+namespace minnoc::dist {
+
+/** Hard cap on one frame (requests carry whole traces). */
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/**
+ * Write one frame, handling partial writes and EINTR. Returns false on
+ * any write error (EPIPE included) — the caller decides whether a
+ * vanished peer is fatal.
+ */
+bool writeFrame(int fd, std::string_view payload);
+
+/** Blocking read of one frame; nullopt on EOF or malformed framing. */
+std::optional<std::string> readFrame(int fd);
+
+/**
+ * Incremental netstring decoder for the coordinator's non-blocking
+ * reads: append() whatever arrived, next() yields complete payloads.
+ */
+class FrameBuffer
+{
+  public:
+    void append(const char *data, std::size_t n);
+
+    /** Extract the next complete payload, if one is buffered. */
+    std::optional<std::string> next();
+
+    /** Latched on any framing violation (junk, oversized frame). */
+    bool corrupt() const { return _corrupt; }
+
+  private:
+    std::string _buf;
+    bool _corrupt = false;
+};
+
+/**
+ * One shard of work, coordinator -> worker. `cmd` selects the task;
+ * the grid block is explore-only, the phase block phases-only.
+ */
+struct ShardRequest
+{
+    std::string cmd; ///< "explore_shard" | "phases_shard"
+    std::uint32_t worker = 0;
+    std::uint32_t attempt = 1; ///< 2 on the one allowed requeue
+    std::string traceText;     ///< Trace::save bytes
+    /** Assigned job indices: grid indices / phase indices. */
+    std::vector<std::uint32_t> jobs;
+    /** Per assigned job, the coordinator's expected signature. */
+    std::vector<std::string> sigs;
+
+    // explore_shard: the full grid (jobs index into its expansion).
+    dse::ExploreGrid grid;
+    std::int64_t reconfigCost = 500;
+    std::string cacheDir;
+    bool useCache = true;
+    /** Segmenter knobs for phase-window jobs. */
+    double mergeThreshold = 0.4;
+    std::uint32_t minPhaseWindows = 2;
+    double matrixWeight = 0.5;
+
+    // phases_shard scalars (CLI-equivalent knobs).
+    std::uint32_t window = 64;
+    std::uint32_t maxDegree = 5;
+    std::uint32_t restarts = 16;
+    std::uint64_t seed = 1;
+    /** Segmentation cross-check: phases the coordinator detected. */
+    std::uint32_t expectedPhases = 0;
+};
+
+std::string encodeShardRequest(const ShardRequest &req);
+
+/** Parse a request payload; on failure fills @p err, returns nullopt. */
+std::optional<ShardRequest> parseShardRequest(const std::string &text,
+                                              std::string &err);
+
+/** Everything a worker sends back, one frame per message. */
+struct WorkerMsg
+{
+    enum class Kind : std::uint8_t { Result, Done, Error };
+    Kind kind = Kind::Done;
+
+    // Result
+    std::uint32_t index = 0; ///< grid index / phase index
+    bool cached = false;     ///< explore only
+    std::int64_t wallUs = 0; ///< worker-side wall time of this job
+    dse::JobMetrics metrics; ///< explore payload
+    phase::PhaseRowEval row; ///< phases payload
+    bool isPhaseRow = false;
+
+    // Done
+    std::uint64_t jobs = 0;
+    std::uint64_t cacheHits = 0;
+
+    // Error (codes follow serve::errorCodeName)
+    std::string code;
+    std::string message;
+};
+
+std::string encodeResult(std::uint32_t index, bool cached,
+                         std::int64_t wallUs,
+                         const dse::JobMetrics &metrics);
+std::string encodePhaseResult(std::uint32_t index, std::int64_t wallUs,
+                              const phase::PhaseRowEval &row);
+std::string encodeDone(std::uint64_t jobs, std::uint64_t cacheHits);
+std::string encodeError(const std::string &code,
+                        const std::string &message);
+
+/** Parse a worker payload; on failure fills @p err, returns nullopt. */
+std::optional<WorkerMsg> parseWorkerMsg(const std::string &text,
+                                        std::string &err);
+
+/**
+ * Combined signature of one phases evaluation — every stage signature
+ * concatenated plus the reconfiguration cost. The coordinator sends
+ * it, the worker recomputes it from the wire scalars; inequality means
+ * the config carries knobs the wire cannot express, and the worker
+ * refuses rather than produce a silently different report.
+ */
+std::string phasesSignature(const phase::PhaseEvalConfig &config);
+
+} // namespace minnoc::dist
+
+#endif // MINNOC_DIST_PROTOCOL_HPP

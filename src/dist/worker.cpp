@@ -1,0 +1,245 @@
+#include "worker.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "dse/cache.hpp"
+#include "dse/explorer.hpp"
+#include "phase/multi_design.hpp"
+#include "protocol.hpp"
+#include "serve/protocol.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/trace.hpp"
+#include "util/cancel.hpp"
+#include "util/log.hpp"
+
+namespace minnoc::dist {
+
+namespace {
+
+/** The worker's cancellation token, fired from the signal handlers. */
+CancelToken gWorkerToken;
+
+extern "C" void
+onWorkerSignal(int)
+{
+    // Async-signal-safe: one relaxed atomic store.
+    gWorkerToken.cancel(CancelReason::Shutdown);
+}
+
+/** True when the test hook @p env selects this worker on attempt 1. */
+bool
+hookFires(const char *env, const ShardRequest &req)
+{
+    if (req.attempt != 1)
+        return false;
+    const char *v = std::getenv(env);
+    return v && std::string(v) == std::to_string(req.worker);
+}
+
+/** After the first result: simulated crash / hang fault injection. */
+void
+maybeInjectFault(const ShardRequest &req)
+{
+    if (hookFires("MINNOC_DIST_TEST_CRASH", req))
+        ::_exit(42);
+    if (hookFires("MINNOC_DIST_TEST_HANG", req)) {
+        // Stop responding; only the coordinator's activity timeout (or
+        // a cancellation signal) ends this worker.
+        for (;;) {
+            if (gWorkerToken.cancelled())
+                ::_exit(130);
+            ::usleep(50'000);
+        }
+    }
+}
+
+int
+runExploreShard(const ShardRequest &req, int resultFd)
+{
+    std::istringstream in(req.traceText);
+    const trace::Trace tr = trace::Trace::load(in);
+
+    dse::ExploreConfig cfg;
+    cfg.grid = req.grid;
+    cfg.threads = 1;
+    cfg.cacheDir = req.cacheDir;
+    cfg.useCache = req.useCache;
+    cfg.phaseSegmenter.mergeThreshold = req.mergeThreshold;
+    cfg.phaseSegmenter.minPhaseWindows = req.minPhaseWindows;
+    cfg.phaseSegmenter.matrixWeight = req.matrixWeight;
+    cfg.phaseReconfigCost = req.reconfigCost;
+    cfg.cancel = &gWorkerToken;
+
+    // Re-serialize: save∘load round-trips bit-exactly (the serve
+    // daemon depends on the same property), so cache keys computed
+    // here equal the coordinator's.
+    std::ostringstream patternStream;
+    tr.save(patternStream);
+    const std::string patternBytes = patternStream.str();
+
+    const auto jobs = cfg.grid.expand();
+    auto cliques = trace::analyzeByCall(tr);
+    cliques.prepareCaches();
+    const dse::ResultCache cache(cfg.cacheDir, cfg.useCache);
+
+    std::uint64_t finished = 0;
+    std::uint64_t cacheHits = 0;
+    for (std::size_t k = 0; k < req.jobs.size(); ++k) {
+        checkCancel(&gWorkerToken);
+        const std::uint32_t i = req.jobs[k];
+        if (i >= jobs.size())
+            fatal("shard references job ", i, " of a ", jobs.size(),
+                  "-job grid");
+        const auto &params = jobs[i];
+        const auto sig = dse::jobSignature(params, cfg);
+        if (sig != req.sigs[k]) {
+            // Configuration drift between coordinator and worker: the
+            // report would silently diverge, so refuse loudly.
+            fatal("job ", i, " signature drift: coordinator expects '",
+                  req.sigs[k], "', worker computes '", sig, "'");
+        }
+        const auto key = dse::jobKey(patternBytes, sig);
+        const std::int64_t t0 = CancelToken::nowUs();
+        dse::JobMetrics metrics;
+        bool cached = false;
+        if (auto hit = cache.load(key, sig)) {
+            metrics = *hit;
+            cached = true;
+            ++cacheHits;
+        } else {
+            metrics = dse::evaluateJob(tr, cliques, params, cfg);
+            cache.store(key, sig, metrics);
+        }
+        const std::int64_t wallUs = CancelToken::nowUs() - t0;
+        if (!writeFrame(resultFd, encodeResult(i, cached, wallUs,
+                                               metrics)))
+            return 1; // coordinator vanished
+        ++finished;
+        if (finished == 1)
+            maybeInjectFault(req);
+    }
+    if (!writeFrame(resultFd, encodeDone(finished, cacheHits)))
+        return 1;
+    return 0;
+}
+
+int
+runPhasesShard(const ShardRequest &req, int resultFd)
+{
+    std::istringstream in(req.traceText);
+    const trace::Trace tr = trace::Trace::load(in);
+
+    phase::PhaseEvalConfig cfg;
+    cfg.segmenter.windowMessages = req.window;
+    cfg.segmenter.mergeThreshold = req.mergeThreshold;
+    cfg.segmenter.minPhaseWindows = req.minPhaseWindows;
+    cfg.segmenter.matrixWeight = req.matrixWeight;
+    cfg.methodology.partitioner.constraints.maxDegree = req.maxDegree;
+    cfg.methodology.partitioner.seed = req.seed;
+    cfg.methodology.restarts = req.restarts;
+    cfg.methodology.threads = 1;
+    cfg.methodology.cancel = &gWorkerToken;
+    cfg.sim.cancel = &gWorkerToken;
+    cfg.reconfigCost = req.reconfigCost;
+    cfg.threads = 1;
+
+    const auto sig = phasesSignature(cfg);
+    if (!req.sigs.empty() && req.sigs.front() != sig) {
+        fatal("phases signature drift: coordinator expects '",
+              req.sigs.front(), "', worker computes '", sig, "'");
+    }
+
+    const phase::Segmentation seg =
+        phase::segmentTrace(tr, cfg.segmenter);
+    if (seg.phases.size() != req.expectedPhases) {
+        fatal("segmentation drift: coordinator detected ",
+              req.expectedPhases, " phases, worker detected ",
+              seg.phases.size());
+    }
+    const phase::PhaseCliques cliques = phase::buildPhaseCliques(tr, seg);
+
+    std::uint64_t finished = 0;
+    for (const std::uint32_t p : req.jobs) {
+        checkCancel(&gWorkerToken);
+        if (p >= seg.phases.size())
+            fatal("shard references phase ", p, " of ",
+                  seg.phases.size());
+        const std::int64_t t0 = CancelToken::nowUs();
+        const auto row = phase::evalPhaseStandalone(
+            tr, seg, cliques.standalone[p], p, cfg);
+        const std::int64_t wallUs = CancelToken::nowUs() - t0;
+        if (!writeFrame(resultFd, encodePhaseResult(p, wallUs, row)))
+            return 1;
+        ++finished;
+        if (finished == 1)
+            maybeInjectFault(req);
+    }
+    if (!writeFrame(resultFd, encodeDone(finished, 0)))
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+runWorker(int requestFd, int resultFd)
+{
+    // A vanished coordinator must surface as a write error, not
+    // SIGPIPE; Ctrl-C / coordinator SIGTERM fire the shared token.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, onWorkerSignal);
+    std::signal(SIGTERM, onWorkerSignal);
+    gWorkerToken.reset();
+
+    // User-level errors (malformed trace, bad shard) become structured
+    // error frames instead of killing the process silently.
+    LogConfig::instance().fatalThrows(true);
+
+    const auto frame = readFrame(requestFd);
+    if (!frame) {
+        writeFrame(resultFd,
+                   encodeError(serve::errorCodeName(
+                                   serve::ErrorCode::ParseError),
+                               "missing or malformed request frame"));
+        return 1;
+    }
+    std::string err;
+    const auto req = parseShardRequest(*frame, err);
+    if (!req) {
+        writeFrame(resultFd,
+                   encodeError(serve::errorCodeName(
+                                   serve::ErrorCode::ParseError),
+                               err));
+        return 1;
+    }
+
+    try {
+        if (req->cmd == "explore_shard")
+            return runExploreShard(*req, resultFd);
+        return runPhasesShard(*req, resultFd);
+    } catch (const CancelledError &e) {
+        writeFrame(resultFd,
+                   encodeError(serve::errorCodeName(
+                                   serve::ErrorCode::Cancelled),
+                               e.what()));
+        return 130;
+    } catch (const FatalError &e) {
+        writeFrame(resultFd,
+                   encodeError(serve::errorCodeName(
+                                   serve::ErrorCode::ValidationError),
+                               e.what()));
+        return 1;
+    } catch (const std::exception &e) {
+        writeFrame(resultFd,
+                   encodeError(serve::errorCodeName(
+                                   serve::ErrorCode::Internal),
+                               e.what()));
+        return 1;
+    }
+}
+
+} // namespace minnoc::dist

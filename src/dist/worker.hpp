@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Worker half of the multi-process exploration pipeline.
+ *
+ * A worker is a forked child that reads exactly one ShardRequest frame
+ * from its request pipe, evaluates the assigned jobs strictly
+ * sequentially, streams one `result` frame per job back over its
+ * result pipe, and finishes with a `done` frame. Any failure — parse
+ * error, signature drift, cancellation, internal fault — is reported
+ * as a single structured `error` frame before exit, so the coordinator
+ * never has to guess why a child died.
+ *
+ * All workers share the coordinator's content-hashed disk cache:
+ * entries are atomic write-then-rename with payload checksums, so
+ * concurrent writers are safe by construction (see dse/cache.hpp).
+ */
+
+#ifndef MINNOC_DIST_WORKER_HPP
+#define MINNOC_DIST_WORKER_HPP
+
+namespace minnoc::dist {
+
+/**
+ * Run the worker loop on an already-forked child: read one request
+ * from @p requestFd, stream results to @p resultFd, return the child's
+ * exit code (0 ok, 1 error, 130 cancelled). Installs its own
+ * SIGINT/SIGTERM handlers (cooperative cancellation) and ignores
+ * SIGPIPE (a vanished coordinator surfaces as a write error).
+ *
+ * Test hooks, honored only on attempt 1 so requeue tests converge:
+ * MINNOC_DIST_TEST_CRASH=<worker> exits 42 after the first result;
+ * MINNOC_DIST_TEST_HANG=<worker> stops responding after the first
+ * result (the coordinator's activity timeout must reap it).
+ */
+int runWorker(int requestFd, int resultFd);
+
+} // namespace minnoc::dist
+
+#endif // MINNOC_DIST_WORKER_HPP

@@ -193,6 +193,62 @@ evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
     return m;
 }
 
+void
+recordJobPoint(const ExploreConfig &config, std::size_t index,
+               const DsePoint &pt)
+{
+    if constexpr (obs::kEnabled) {
+        if (!config.metrics)
+            return;
+        // Keyed by grid index and derived only from the job's result +
+        // cache state: identical at any thread or worker count.
+        const std::string prefix =
+            "dse/job/" + std::to_string(index) + "/";
+        auto &m = *config.metrics;
+        m.gauge(prefix + "cache_hit").set(pt.fromCache ? 1.0 : 0.0);
+        m.gauge(prefix + "switches")
+            .set(static_cast<double>(pt.metrics.switches));
+        m.gauge(prefix + "links")
+            .set(static_cast<double>(pt.metrics.links));
+        m.gauge(prefix + "exec_time")
+            .set(static_cast<double>(pt.metrics.execTime));
+        m.gauge(prefix + "energy").set(pt.metrics.energy);
+    }
+}
+
+void
+finalizeReport(ExploreReport &report, const ExploreConfig &config)
+{
+    report.cacheHits = 0;
+    report.cacheMisses = 0;
+    for (const auto &pt : report.points)
+        (pt.fromCache ? report.cacheHits : report.cacheMisses)++;
+
+    // Pareto reduction over (area, latency, energy).
+    std::vector<Objectives> objectives;
+    objectives.reserve(report.points.size());
+    for (const auto &pt : report.points)
+        objectives.push_back(objectivesOf(pt.metrics));
+    const auto dominated = dominatedFlags(objectives);
+    for (std::size_t i = 0; i < report.points.size(); ++i)
+        report.points[i].dominated = dominated[i];
+    report.frontier = frontierIndices(dominated);
+
+    if constexpr (obs::kEnabled) {
+        if (config.metrics) {
+            auto &m = *config.metrics;
+            m.counter("dse/cache_hits").add(report.cacheHits);
+            m.counter("dse/cache_misses").add(report.cacheMisses);
+            m.gauge("dse/jobs")
+                .set(static_cast<double>(report.points.size()));
+            m.gauge("dse/frontier_size")
+                .set(static_cast<double>(report.frontier.size()));
+        }
+        if (config.traceLog)
+            config.traceLog->processName(obs::kPidDse, "minnoc dse");
+    }
+}
+
 ExploreReport
 explore(const trace::Trace &trace, const ExploreConfig &config)
 {
@@ -246,23 +302,8 @@ explore(const trace::Trace &trace, const ExploreConfig &config)
                     "\"cached\": " +
                         std::string(pt.fromCache ? "true" : "false"));
             }
-            if (config.metrics) {
-                // Keyed by grid index and derived only from the job's
-                // result + cache state: identical at any thread count.
-                const std::string prefix =
-                    "dse/job/" + std::to_string(i) + "/";
-                auto &m = *config.metrics;
-                m.gauge(prefix + "cache_hit")
-                    .set(pt.fromCache ? 1.0 : 0.0);
-                m.gauge(prefix + "switches")
-                    .set(static_cast<double>(pt.metrics.switches));
-                m.gauge(prefix + "links")
-                    .set(static_cast<double>(pt.metrics.links));
-                m.gauge(prefix + "exec_time")
-                    .set(static_cast<double>(pt.metrics.execTime));
-                m.gauge(prefix + "energy").set(pt.metrics.energy);
-            }
         }
+        recordJobPoint(config, i, pt);
         report.points[i] = std::move(pt);
     };
 
@@ -280,32 +321,7 @@ explore(const trace::Trace &trace, const ExploreConfig &config)
             evalOne(i);
     }
 
-    for (const auto &pt : report.points)
-        (pt.fromCache ? report.cacheHits : report.cacheMisses)++;
-
-    // Pareto reduction over (area, latency, energy).
-    std::vector<Objectives> objectives;
-    objectives.reserve(report.points.size());
-    for (const auto &pt : report.points)
-        objectives.push_back(objectivesOf(pt.metrics));
-    const auto dominated = dominatedFlags(objectives);
-    for (std::size_t i = 0; i < report.points.size(); ++i)
-        report.points[i].dominated = dominated[i];
-    report.frontier = frontierIndices(dominated);
-
-    if constexpr (obs::kEnabled) {
-        if (config.metrics) {
-            auto &m = *config.metrics;
-            m.counter("dse/cache_hits").add(report.cacheHits);
-            m.counter("dse/cache_misses").add(report.cacheMisses);
-            m.gauge("dse/jobs")
-                .set(static_cast<double>(report.points.size()));
-            m.gauge("dse/frontier_size")
-                .set(static_cast<double>(report.frontier.size()));
-        }
-        if (config.traceLog)
-            config.traceLog->processName(obs::kPidDse, "minnoc dse");
-    }
+    finalizeReport(report, config);
     return report;
 }
 

@@ -156,6 +156,26 @@ JobMetrics evaluateJob(const trace::Trace &trace,
                        std::uint32_t tid = 0);
 
 /**
+ * Record one evaluated point's per-job telemetry: gauges keyed by grid
+ * index, derived only from the job's result and cache state, so the
+ * dump is byte-identical at any thread or worker count. Shared by the
+ * in-process explorer and the distributed coordinator; no-op without a
+ * metrics sink.
+ */
+void recordJobPoint(const ExploreConfig &config, std::size_t index,
+                    const DsePoint &pt);
+
+/**
+ * Shared report finalization: tally cache hits/misses from the point
+ * flags, run the Pareto reduction over (area, latency, energy), and
+ * emit the run-level summary metrics. Expects report.points fully
+ * populated in grid-expansion order — the merge point the in-process
+ * explorer and the distributed coordinator share, so their reports are
+ * byte-identical by construction.
+ */
+void finalizeReport(ExploreReport &report, const ExploreConfig &config);
+
+/**
  * Explore @p trace over the grid: analyze the pattern once, evaluate
  * every job (cache-first) on a thread pool, extract the frontier.
  */

@@ -31,6 +31,7 @@ inline constexpr std::uint32_t kPidSim = 1;
 inline constexpr std::uint32_t kPidMethodology = 2;
 inline constexpr std::uint32_t kPidDse = 3;
 inline constexpr std::uint32_t kPidPhase = 4;
+inline constexpr std::uint32_t kPidDist = 5;
 
 /**
  * Wall-clock microseconds since the first call in this process — the

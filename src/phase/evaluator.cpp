@@ -80,8 +80,56 @@ jsonVariant(const VariantResult &v)
 
 } // namespace
 
+VariantResult
+evalDesignVariant(const core::FinalizedDesign &design,
+                  std::size_t violations, const trace::Trace &tr,
+                  const PhaseEvalConfig &config)
+{
+    return evalDesign(design, violations, tr, config).result;
+}
+
+PhaseRowEval
+evalPhaseRow(const trace::Trace &trace, const Segmentation &seg,
+             const core::DesignOutcome &outcome, std::uint32_t p,
+             const PhaseEvalConfig &config)
+{
+    const trace::Trace sub = phaseSubTrace(trace, seg, p);
+    const auto pe = evalDesign(outcome.design, outcome.violations.size(),
+                               sub, config);
+    PhaseRowEval row;
+    row.network = pe.result;
+    // Priced unconditionally; the assembly charges it only for p > 0
+    // (every phase after the first is swapped in exactly once).
+    const std::vector<std::uint64_t> idle(pe.sim.linkFlits.size(), 0);
+    row.reconfigIdleEnergy =
+        topo::computeEnergy(*pe.net.topo, idle, config.reconfigCost,
+                            config.power)
+            .total();
+    return row;
+}
+
+PhaseRowEval
+evalPhaseStandalone(const trace::Trace &trace, const Segmentation &seg,
+                    const core::CliqueSet &standalone, std::uint32_t p,
+                    const PhaseEvalConfig &config)
+{
+    // Mirror synthesizeMultiPhase's inner runs: telemetry off, strictly
+    // sequential. Designs are thread-count-invariant, so this
+    // reproduces the pooled in-process outcome exactly.
+    core::MethodologyConfig quiet = config.methodology;
+    quiet.metrics = nullptr;
+    quiet.traceLog = nullptr;
+    const auto outcome = core::runMethodology(standalone, quiet, nullptr);
+    return evalPhaseRow(trace, seg, outcome, p, config);
+}
+
 PhaseReport
-evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
+assemblePhaseReport(const trace::Trace &trace,
+                    const PhaseEvalConfig &config, const Segmentation &seg,
+                    const VariantResult &monolithic,
+                    const VariantResult &unionVariant,
+                    const std::vector<std::size_t> &unionPhaseViolations,
+                    const std::vector<PhaseRowEval> &rows)
 {
     PhaseReport report;
     report.pattern = trace.name();
@@ -89,36 +137,12 @@ evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
     report.methodologySignature = config.methodology.signature();
     report.segmenterSignature = config.segmenter.signature();
     report.reconfigCost = config.reconfigCost;
-
-    const Segmentation seg = segmentTrace(trace, config.segmenter);
     report.numMessages = seg.numMessages;
     report.numWindows = seg.numWindows;
     report.distances = seg.distances;
-
-    // One shared pool for every methodology run's restart loop; the
-    // runs themselves stay sequential, so the produced designs are
-    // thread-count-invariant.
-    std::uint32_t threads =
-        config.threads ? config.threads
-                       : std::thread::hardware_concurrency();
-    threads = std::max(threads, 1u);
-    std::optional<ThreadPool> pool;
-    if (threads > 1)
-        pool.emplace(threads);
-
-    const MultiPhaseResult multi = synthesizeMultiPhase(
-        trace, seg, config.methodology, pool ? &*pool : nullptr);
-
-    // Monolithic and union variants replay the full trace.
-    const auto mono =
-        evalDesign(multi.monolithic.design,
-                   multi.monolithic.violations.size(), trace, config);
-    report.monolithic = mono.result;
-    const auto uni = evalDesign(multi.unionDesign,
-                                multi.unionViolationCount(), trace, config);
-    report.unionVariant = uni.result;
-    for (const auto &v : multi.unionPhaseViolations)
-        report.unionPhaseViolations.push_back(v.size());
+    report.monolithic = monolithic;
+    report.unionVariant = unionVariant;
+    report.unionPhaseViolations = unionPhaseViolations;
 
     // Time-multiplexed: each phase's sub-trace on its own network, a
     // drain+swap stall at every boundary, and the incoming network
@@ -126,10 +150,7 @@ evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
     std::uint64_t tmDelivered = 0;
     double tmLatencyWeighted = 0.0;
     for (std::uint32_t p = 0; p < seg.phases.size(); ++p) {
-        const trace::Trace sub = phaseSubTrace(trace, seg, p);
-        const auto &outcome = multi.phases[p].outcome;
-        const auto pe = evalDesign(outcome.design,
-                                   outcome.violations.size(), sub, config);
+        const VariantResult &net = rows.at(p).network;
 
         PhaseRow row;
         row.index = p;
@@ -138,36 +159,30 @@ evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
         row.calls = seg.phases[p].calls.size();
         row.messages = seg.phases[p].messages;
         row.bytes = seg.phases[p].bytes;
-        row.network = pe.result;
+        row.network = net;
         report.phases.push_back(row);
 
         report.timeMultiplexed.switches =
-            std::max(report.timeMultiplexed.switches, pe.result.switches);
+            std::max(report.timeMultiplexed.switches, net.switches);
         report.timeMultiplexed.links =
-            std::max(report.timeMultiplexed.links, pe.result.links);
+            std::max(report.timeMultiplexed.links, net.links);
         report.timeMultiplexed.channels =
-            std::max(report.timeMultiplexed.channels, pe.result.channels);
+            std::max(report.timeMultiplexed.channels, net.channels);
         report.timeMultiplexed.area =
-            std::max(report.timeMultiplexed.area, pe.result.area);
-        report.timeMultiplexed.execTime += pe.result.execTime;
-        report.timeMultiplexed.energy += pe.result.energy;
-        report.timeMultiplexed.packetsDelivered +=
-            pe.result.packetsDelivered;
-        report.timeMultiplexed.violations += pe.result.violations;
-        tmDelivered += pe.sim.packetsDelivered;
-        tmLatencyWeighted += pe.sim.avgPacketLatency *
-                             static_cast<double>(pe.sim.packetsDelivered);
+            std::max(report.timeMultiplexed.area, net.area);
+        report.timeMultiplexed.execTime += net.execTime;
+        report.timeMultiplexed.energy += net.energy;
+        report.timeMultiplexed.packetsDelivered += net.packetsDelivered;
+        report.timeMultiplexed.violations += net.violations;
+        tmDelivered += net.packetsDelivered;
+        tmLatencyWeighted +=
+            net.avgLatency * static_cast<double>(net.packetsDelivered);
 
         if (p > 0) {
             // The incoming network idles for the drain+swap window.
             ++report.reconfigCount;
             report.reconfigCycles += config.reconfigCost;
-            const std::vector<std::uint64_t> idle(pe.sim.linkFlits.size(),
-                                                  0);
-            report.reconfigEnergy +=
-                topo::computeEnergy(*pe.net.topo, idle,
-                                    config.reconfigCost, config.power)
-                    .total();
+            report.reconfigEnergy += rows.at(p).reconfigIdleEnergy;
         }
     }
     report.timeMultiplexed.execTime += report.reconfigCycles;
@@ -244,6 +259,48 @@ evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
         }
     }
     return report;
+}
+
+PhaseReport
+evaluatePhases(const trace::Trace &trace, const PhaseEvalConfig &config)
+{
+    const Segmentation seg = segmentTrace(trace, config.segmenter);
+
+    // One shared pool for every methodology run's restart loop; the
+    // runs themselves stay sequential, so the produced designs are
+    // thread-count-invariant.
+    std::uint32_t threads =
+        config.threads ? config.threads
+                       : std::thread::hardware_concurrency();
+    threads = std::max(threads, 1u);
+    std::optional<ThreadPool> pool;
+    if (threads > 1)
+        pool.emplace(threads);
+
+    const MultiPhaseResult multi = synthesizeMultiPhase(
+        trace, seg, config.methodology, pool ? &*pool : nullptr);
+
+    // Monolithic and union variants replay the full trace.
+    const VariantResult mono =
+        evalDesignVariant(multi.monolithic.design,
+                          multi.monolithic.violations.size(), trace,
+                          config);
+    const VariantResult uni =
+        evalDesignVariant(multi.unionDesign, multi.unionViolationCount(),
+                          trace, config);
+    std::vector<std::size_t> unionViolations;
+    unionViolations.reserve(multi.unionPhaseViolations.size());
+    for (const auto &v : multi.unionPhaseViolations)
+        unionViolations.push_back(v.size());
+
+    std::vector<PhaseRowEval> rows;
+    rows.reserve(seg.phases.size());
+    for (std::uint32_t p = 0; p < seg.phases.size(); ++p)
+        rows.push_back(
+            evalPhaseRow(trace, seg, multi.phases[p].outcome, p, config));
+
+    return assemblePhaseReport(trace, config, seg, mono, uni,
+                               unionViolations, rows);
 }
 
 TimeMultiplexedSummary

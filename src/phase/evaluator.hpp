@@ -118,6 +118,59 @@ struct PhaseReport
 };
 
 /**
+ * One phase's contribution to the time-multiplexed comparison: the
+ * phase network's VariantResult over its own sub-trace plus the energy
+ * that network leaks while idling one reconfiguration window.
+ * Everything the report assembly needs and nothing design-shaped, so a
+ * distributed worker ships it as a handful of numbers.
+ */
+struct PhaseRowEval
+{
+    VariantResult network;
+    /** computeEnergy of this network idling reconfigCost cycles. */
+    double reconfigIdleEnergy = 0.0;
+};
+
+/** Floorplan, build and replay one finalized design on @p tr. */
+VariantResult evalDesignVariant(const core::FinalizedDesign &design,
+                                std::size_t violations,
+                                const trace::Trace &tr,
+                                const PhaseEvalConfig &config);
+
+/** Evaluate phase @p p's already-synthesized standalone design. */
+PhaseRowEval evalPhaseRow(const trace::Trace &trace,
+                          const Segmentation &seg,
+                          const core::DesignOutcome &outcome,
+                          std::uint32_t p, const PhaseEvalConfig &config);
+
+/**
+ * Worker-side unit of the distributed phases pipeline: synthesize
+ * phase @p p's standalone design (sequential, telemetry off — exactly
+ * how synthesizeMultiPhase runs it) and evaluate it. Produces the same
+ * row evaluatePhases computes for the same phase at any thread count.
+ */
+PhaseRowEval evalPhaseStandalone(const trace::Trace &trace,
+                                 const Segmentation &seg,
+                                 const core::CliqueSet &standalone,
+                                 std::uint32_t p,
+                                 const PhaseEvalConfig &config);
+
+/**
+ * Assemble the full PhaseReport — time-multiplexed aggregation,
+ * reconfiguration accounting, metrics and trace-event emission — from
+ * pre-computed variant results (@p rows is one PhaseRowEval per
+ * detected phase, in phase order). The merge point evaluatePhases and
+ * the distributed coordinator share, so their reports are
+ * byte-identical by construction.
+ */
+PhaseReport assemblePhaseReport(
+    const trace::Trace &trace, const PhaseEvalConfig &config,
+    const Segmentation &seg, const VariantResult &monolithic,
+    const VariantResult &unionVariant,
+    const std::vector<std::size_t> &unionPhaseViolations,
+    const std::vector<PhaseRowEval> &rows);
+
+/**
  * Segment @p trace, synthesize the three variants, replay each, and
  * assemble the comparison report.
  */

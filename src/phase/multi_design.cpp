@@ -98,7 +98,7 @@ imposePartition(const core::CliqueSet &cliques,
 MultiPhaseResult
 synthesizeMultiPhase(const trace::Trace &trace, const Segmentation &seg,
                      const core::MethodologyConfig &config,
-                     ThreadPool *pool)
+                     ThreadPool *pool, bool withPhaseDesigns)
 {
     // Inner telemetry off: phase-level metrics are the evaluator's job,
     // and repeated monolithic-style recordings would collide.
@@ -119,12 +119,14 @@ synthesizeMultiPhase(const trace::Trace &trace, const Segmentation &seg,
     // so the baseline's registry equals the merged registry).
     result.monolithic = run(result.cliques.merged);
 
-    result.phases.reserve(seg.phases.size());
-    for (std::uint32_t p = 0; p < seg.phases.size(); ++p) {
-        PhaseDesign pd;
-        pd.phase = p;
-        pd.outcome = run(result.cliques.standalone[p]);
-        result.phases.push_back(std::move(pd));
+    if (withPhaseDesigns) {
+        result.phases.reserve(seg.phases.size());
+        for (std::uint32_t p = 0; p < seg.phases.size(); ++p) {
+            PhaseDesign pd;
+            pd.phase = p;
+            pd.outcome = run(result.cliques.standalone[p]);
+            result.phases.push_back(std::move(pd));
+        }
     }
 
     // Union design: monolithic partition, direct routes, one exact

@@ -108,11 +108,17 @@ struct MultiPhaseResult
  * identical at every thread count, nullptr included. Telemetry sinks in
  * @p config are ignored for the inner runs (the evaluator records
  * phase-level telemetry instead).
+ *
+ * @p withPhaseDesigns false skips the per-phase standalone runs
+ * (result.phases stays empty) while still producing the monolithic,
+ * union, and per-phase violation artifacts — the distributed
+ * coordinator farms the standalone runs out to workers instead.
  */
 MultiPhaseResult synthesizeMultiPhase(const trace::Trace &trace,
                                       const Segmentation &seg,
                                       const core::MethodologyConfig &config,
-                                      ThreadPool *pool = nullptr);
+                                      ThreadPool *pool = nullptr,
+                                      bool withPhaseDesigns = true);
 
 } // namespace minnoc::phase
 

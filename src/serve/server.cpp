@@ -199,7 +199,7 @@ Server::start(std::string &error)
     const auto workers = _config.workers ? _config.workers : 1u;
     _workers.reserve(workers);
     for (std::uint32_t i = 0; i < workers; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i); });
     _acceptThread = std::jthread([this] { acceptLoop(); });
     return true;
 }
@@ -513,8 +513,12 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
 }
 
 void
-Server::workerLoop()
+Server::workerLoop(std::uint32_t worker)
 {
+    // Per-worker registration + counters: a skewed jobs distribution
+    // across rows in `status` flags a stuck worker or lock contention.
+    auto &jobsCounter = _metrics.counter(
+        "serve/worker/" + std::to_string(worker) + "/jobs");
     for (;;) {
         Job job;
         {
@@ -528,14 +532,15 @@ Server::workerLoop()
             _queue.pop_front();
         }
         _inFlight.fetch_add(1);
-        handleJob(job);
+        jobsCounter.add();
+        handleJob(job, worker);
         _inFlight.fetch_sub(1);
         _queueDrained.notify_all();
     }
 }
 
 void
-Server::handleJob(Job &job)
+Server::handleJob(Job &job, const std::uint32_t worker)
 {
     const auto &req = job.req;
 
@@ -553,6 +558,10 @@ Server::handleJob(Job &job)
             // Count before the socket write: a client that has seen
             // the reply must never observe a stale counter.
             _metrics.counter("serve/responses_ok").add();
+            _metrics
+                .counter("serve/worker/" + std::to_string(worker) +
+                         "/cache_hits")
+                .add();
             respond(job.conn,
                     okResponse(req.id, req.cmd, *hit));
             break;
@@ -589,6 +598,10 @@ Server::handleJob(Job &job)
             if (auto hit = _lru.get(job.key)) {
                 ok = true;
                 payload = std::move(*hit);
+                _metrics
+                    .counter("serve/worker/" + std::to_string(worker) +
+                             "/cache_hits")
+                    .add();
             } else {
                 try {
                     payload = compute(job);
@@ -910,7 +923,17 @@ Server::statusJson()
        << counter("serve/design_restarts_used")
        << ", \"partitioner_wall_us\": {\"count\": " << partCount
        << ", \"p50\": " << partP50 << ", \"p99\": " << partP99
-       << ", \"max\": " << partMax << "}}";
+       << ", \"max\": " << partMax << "}"
+       << ", \"workers\": [";
+    const auto nWorkers = _config.workers ? _config.workers : 1u;
+    for (std::uint32_t w = 0; w < nWorkers; ++w) {
+        const auto base = "serve/worker/" + std::to_string(w) + "/";
+        os << (w ? ", " : "") << "{\"worker\": " << w
+           << ", \"jobs\": " << _metrics.counter(base + "jobs").value()
+           << ", \"cache_hits\": "
+           << _metrics.counter(base + "cache_hits").value() << "}";
+    }
+    os << "]}";
     return os.str();
 }
 

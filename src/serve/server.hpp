@@ -181,12 +181,12 @@ class Server
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<Conn> conn);
-    void workerLoop();
+    void workerLoop(std::uint32_t worker);
 
     /** Parse + admit one request line from @p conn. */
     void handleLine(const std::shared_ptr<Conn> &conn,
                     const std::string &line);
-    void handleJob(Job &job);
+    void handleJob(Job &job, std::uint32_t worker);
 
     /** Run the actual pipeline for @p job; returns the payload. */
     std::string compute(const Job &job);

@@ -166,7 +166,13 @@ Network::arriveCredits(Cycle now)
     for (topo::LinkId l = 0; l < _pipes.size(); ++l) {
         auto &pipe = _pipes[l];
         auto &out = _outputs[l];
-        while (!pipe.credits.empty() && pipe.credits.front().arrive <= now) {
+        // Lax-sync: credits may be consumed up to laxSyncSlack cycles
+        // before their modeled wire arrival (0 = strict, bit-exact with
+        // the historical comparison). Only this backward channel is
+        // relaxed; flit arrivals in arriveFlits() stay cycle-exact.
+        const Cycle horizon = now + _config.laxSyncSlack;
+        while (!pipe.credits.empty() &&
+               pipe.credits.front().arrive <= horizon) {
             const auto vc = pipe.credits.front().vc;
             pipe.credits.pop_front();
             ++out.credits[vc];

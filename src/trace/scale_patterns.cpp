@@ -138,16 +138,112 @@ railPattern(std::uint32_t ranks, std::uint32_t groupSize,
     return ks;
 }
 
+namespace {
+
+/** Shared (ranks, groupSize, subgroup) validation for fan / dense. */
+std::uint32_t
+groupCountFor(const char *what, std::uint32_t ranks,
+              std::uint32_t groupSize)
+{
+    if (groupSize == 0 || ranks % groupSize != 0)
+        fatal(what, ": ", ranks, " ranks do not divide into groups of ",
+              groupSize);
+    const std::uint32_t groups = ranks / groupSize;
+    if (groups < 2)
+        fatal(what, ": need at least 2 groups, got ", groups);
+    return groups;
+}
+
+} // namespace
+
+CliqueSet
+fanPattern(std::uint32_t ranks, std::uint32_t groupSize,
+           std::uint32_t subgroup, GroupDirection dir)
+{
+    const std::uint32_t groups =
+        groupCountFor("fanPattern", ranks, groupSize);
+    const std::uint32_t k = std::min(std::max(subgroup, 1u), groupSize);
+    CliqueSet ks(ranks);
+    // All traffic converging on destination group d is one contention
+    // period, matching railPattern's clique convention.
+    for (std::uint32_t d = 0; d < groups; ++d) {
+        std::vector<Comm> comms;
+        for (std::uint32_t s = 0; s < groups; ++s) {
+            if (s == d)
+                continue;
+            const bool sIsRoot = dir == GroupDirection::Omni || s == 0;
+            const bool dIsRoot = dir == GroupDirection::Omni || d == 0;
+            // Root subgroup fans out to every rank of group d.
+            if (sIsRoot) {
+                for (std::uint32_t i = 0; i < k; ++i)
+                    for (std::uint32_t j = 0; j < groupSize; ++j)
+                        comms.emplace_back(s * groupSize + i,
+                                           d * groupSize + j);
+            }
+            // Bi adds the gather half: every rank of group s answers
+            // the root subgroup of group d.
+            if (dir != GroupDirection::Uni && dIsRoot && !sIsRoot) {
+                for (std::uint32_t j = 0; j < groupSize; ++j)
+                    for (std::uint32_t i = 0; i < k; ++i)
+                        comms.emplace_back(s * groupSize + j,
+                                           d * groupSize + i);
+            }
+        }
+        if (!comms.empty())
+            ks.addClique(comms);
+    }
+    return ks;
+}
+
+CliqueSet
+densePattern(std::uint32_t ranks, std::uint32_t groupSize,
+             std::uint32_t subgroup, GroupDirection dir)
+{
+    const std::uint32_t groups =
+        groupCountFor("densePattern", ranks, groupSize);
+    const std::uint32_t k = std::min(std::max(subgroup, 1u), groupSize);
+    CliqueSet ks(ranks);
+    for (std::uint32_t d = 0; d < groups; ++d) {
+        std::vector<Comm> comms;
+        for (std::uint32_t s = 0; s < groups; ++s) {
+            if (s == d)
+                continue;
+            // k x k subgroup-to-subgroup product; Uni keeps group 0 as
+            // the only source, Bi adds the pairs flowing back into it,
+            // Omni activates every ordered group pair.
+            const bool active = dir == GroupDirection::Omni || s == 0 ||
+                                (dir == GroupDirection::Bi && d == 0);
+            if (!active)
+                continue;
+            for (std::uint32_t i = 0; i < k; ++i)
+                for (std::uint32_t j = 0; j < k; ++j)
+                    comms.emplace_back(s * groupSize + i,
+                                       d * groupSize + j);
+        }
+        if (!comms.empty())
+            ks.addClique(comms);
+    }
+    return ks;
+}
+
 const std::vector<std::string> &
 scalePatternNames()
 {
     static const std::vector<std::string> names = {
-        "ring", "transpose", "neighbor", "rail"};
+        "ring",    "transpose", "neighbor",  "rail",      "fan_uni",
+        "fan_bi",  "fan_omni",  "dense_uni", "dense_bi",  "dense_omni"};
     return names;
 }
 
 CliqueSet
 makeScalePattern(const std::string &name, std::uint32_t ranks)
+{
+    return makeScalePattern(name, ranks, 8, 2);
+}
+
+CliqueSet
+makeScalePattern(const std::string &name, std::uint32_t ranks,
+                 std::uint32_t groupSize, std::uint32_t rails)
 {
     if (name == "ring")
         return ringPattern(ranks);
@@ -156,9 +252,48 @@ makeScalePattern(const std::string &name, std::uint32_t ranks)
     if (name == "neighbor")
         return nearestNeighborPattern(ranks);
     if (name == "rail")
-        return railPattern(ranks, 8, 2);
+        return railPattern(ranks, groupSize, rails);
+    if (name == "fan_uni")
+        return fanPattern(ranks, groupSize, rails, GroupDirection::Uni);
+    if (name == "fan_bi")
+        return fanPattern(ranks, groupSize, rails, GroupDirection::Bi);
+    if (name == "fan_omni")
+        return fanPattern(ranks, groupSize, rails, GroupDirection::Omni);
+    if (name == "dense_uni")
+        return densePattern(ranks, groupSize, rails, GroupDirection::Uni);
+    if (name == "dense_bi")
+        return densePattern(ranks, groupSize, rails, GroupDirection::Bi);
+    if (name == "dense_omni")
+        return densePattern(ranks, groupSize, rails,
+                            GroupDirection::Omni);
     fatal("unknown scale pattern '", name,
-          "' (valid: ring, transpose, neighbor, rail)");
+          "' (valid: ring, transpose, neighbor, rail, fan_uni, fan_bi, "
+          "fan_omni, dense_uni, dense_bi, dense_omni)");
+}
+
+Trace
+traceFromCliques(const core::CliqueSet &cliques, std::string name,
+                 std::uint64_t bytes, std::uint32_t iterations)
+{
+    Trace tr(std::move(name), cliques.numProcs());
+    for (std::uint32_t it = 0; it < std::max(iterations, 1u); ++it) {
+        // One bulk-synchronous epoch per iteration: every clique posts
+        // its sends first, then the matching recvs, so blocking sends
+        // complete on injection and the epoch cannot rendezvous-lock.
+        for (std::uint32_t c = 0; c < cliques.numCliques(); ++c) {
+            const auto call = static_cast<std::uint32_t>(c);
+            for (const auto id : cliques.cliques()[c].comms) {
+                const auto &comm = cliques.comm(id);
+                tr.push(comm.src, TraceOp::send(comm.dst, bytes, call));
+            }
+            for (const auto id : cliques.cliques()[c].comms) {
+                const auto &comm = cliques.comm(id);
+                tr.push(comm.dst, TraceOp::recv(comm.src, bytes, call));
+            }
+        }
+    }
+    tr.validateMatching();
+    return tr;
 }
 
 } // namespace minnoc::trace

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/clique_set.hpp"
+#include "trace.hpp"
 
 namespace minnoc::trace {
 
@@ -56,16 +57,62 @@ core::CliqueSet nearestNeighborPattern(std::uint32_t ranks);
 core::CliqueSet railPattern(std::uint32_t ranks, std::uint32_t groupSize,
                             std::uint32_t rails);
 
+/** Direction variant of the grouped Fan / Dense exchanges. */
+enum class GroupDirection : std::uint8_t {
+    Uni,  ///< root group -> other groups only
+    Bi,   ///< uni plus the reversed comms
+    Omni, ///< every group takes the root role in turn
+};
+
+/**
+ * CommBench-style Fan exchange on the (p, g, k) grouping: the first
+ * @p subgroup ranks of the root group (group 0) each send to every
+ * rank of every other group. Uni is that root->rest fan-out; Bi adds
+ * the reversed comms; Omni makes every group the root in turn. One
+ * clique per destination group, same convention as railPattern (all
+ * traffic converging on a group is one contention period).
+ */
+core::CliqueSet fanPattern(std::uint32_t ranks, std::uint32_t groupSize,
+                           std::uint32_t subgroup, GroupDirection dir);
+
+/**
+ * CommBench-style Dense exchange: for every ordered group pair the
+ * first @p subgroup ranks of the source group each send to the first
+ * @p subgroup ranks of the destination group (a k x k product). Uni
+ * keeps group 0 as the only source; Bi adds the reversed comms; Omni
+ * uses every ordered pair. One clique per destination group.
+ */
+core::CliqueSet densePattern(std::uint32_t ranks, std::uint32_t groupSize,
+                             std::uint32_t subgroup, GroupDirection dir);
+
 /** The generator names accepted by makeScalePattern, in sweep order. */
 const std::vector<std::string> &scalePatternNames();
 
 /**
  * Name-based dispatch for benches and tools: "ring", "transpose",
- * "neighbor" or "rail" (rail uses groupSize 8, rails 2). Fails via
- * fatal() on an unknown name.
+ * "neighbor", "rail", or the grouped CommBench shapes "fan_uni",
+ * "fan_bi", "fan_omni", "dense_uni", "dense_bi", "dense_omni". The
+ * two-argument overload uses groupSize 8 and subgroup/rails 2; the
+ * four-argument overload exposes both knobs (rails doubles as the
+ * fan/dense subgroup size k). Fails via fatal() on an unknown name.
  */
 core::CliqueSet makeScalePattern(const std::string &name,
                                  std::uint32_t ranks);
+core::CliqueSet makeScalePattern(const std::string &name,
+                                 std::uint32_t ranks,
+                                 std::uint32_t groupSize,
+                                 std::uint32_t rails);
+
+/**
+ * Materialize a clique set as a replayable Trace: @p iterations
+ * bulk-synchronous epochs, each posting every clique's comms as
+ * blocking sends (then the matching recvs) of @p bytes payload, with
+ * callId = clique index so analyzeByCall() recovers exactly the
+ * generating cliques. Validates send/recv matching before returning.
+ */
+trace::Trace traceFromCliques(const core::CliqueSet &cliques,
+                              std::string name, std::uint64_t bytes,
+                              std::uint32_t iterations);
 
 } // namespace minnoc::trace
 

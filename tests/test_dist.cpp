@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Multi-process distributed exploration tests: netstring framing, the
+ * shard request / worker message round trip, byte-identity of the
+ * coordinator's merged report against the in-process explorer (across
+ * worker counts, warm shared caches, injected worker crashes and
+ * hangs), Ctrl-C propagation, and the distributed phases evaluation.
+ *
+ * Fault injection uses the worker-side test hooks: setting
+ * MINNOC_DIST_TEST_CRASH=<worker> (or _HANG) makes that worker die
+ * with _exit(42) (or go unresponsive) after its first result on its
+ * first attempt, so every crash test exercises the real requeue path
+ * with part of the shard already delivered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dse/explorer.hpp"
+#include "phase/evaluator.hpp"
+#include "trace/nas_generators.hpp"
+#include "trace/scale_patterns.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cancel.hpp"
+
+using namespace minnoc;
+using namespace minnoc::dist;
+
+namespace {
+
+std::string
+tempCacheDir(const char *leaf)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / leaf;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** 2 x 2 = 4-job grid on CG-8, mirroring test_dse's smallConfig. */
+dse::ExploreConfig
+smallConfig(const std::string &cacheDir, bool useCache)
+{
+    dse::ExploreConfig cfg;
+    cfg.grid.maxDegrees = {4, 5};
+    cfg.grid.restarts = {2};
+    cfg.grid.seeds = {1};
+    cfg.grid.unidirectional = {0};
+    cfg.grid.vcs = {2, 3};
+    cfg.threads = 1;
+    cfg.cacheDir = cacheDir;
+    cfg.useCache = useCache;
+    return cfg;
+}
+
+trace::Trace
+cgTrace()
+{
+    trace::NasConfig ncfg;
+    ncfg.ranks = 8;
+    ncfg.iterations = 1;
+    return trace::generateCG(ncfg);
+}
+
+/** RAII guard for the worker fault-injection environment hooks. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : _name(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard() { ::unsetenv(_name); }
+
+  private:
+    const char *_name;
+};
+
+} // namespace
+
+TEST(DistFraming, RoundTripsThroughFrameBuffer)
+{
+    const std::string payload = "{\"type\":\"done\"}";
+    std::string wire = std::to_string(payload.size()) + ":" + payload +
+                       "\n";
+    wire += "3:abc\n";
+
+    FrameBuffer buf;
+    // Feed byte-by-byte: the decoder must survive arbitrary splits.
+    for (const char c : wire)
+        buf.append(&c, 1);
+    auto first = buf.next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, payload);
+    auto second = buf.next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, "abc");
+    EXPECT_FALSE(buf.next().has_value());
+    EXPECT_FALSE(buf.corrupt());
+}
+
+TEST(DistFraming, LatchesCorruptOnJunk)
+{
+    FrameBuffer buf;
+    const std::string junk = "not-a-netstring\n";
+    buf.append(junk.data(), junk.size());
+    EXPECT_FALSE(buf.next().has_value());
+    EXPECT_TRUE(buf.corrupt());
+}
+
+TEST(DistProtocol, ShardRequestRoundTrips)
+{
+    ShardRequest req;
+    req.cmd = "explore_shard";
+    req.worker = 3;
+    req.attempt = 2;
+    req.traceText = "trace bytes\nwith newline";
+    req.jobs = {0, 2, 5};
+    req.sigs = {"sig-a", "sig-b", "sig-c"};
+    req.grid.maxDegrees = {4, 5};
+    req.grid.seeds = {7};
+    req.cacheDir = "/tmp/x";
+    req.useCache = false;
+
+    std::string err;
+    const auto parsed = parseShardRequest(encodeShardRequest(req), err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(parsed->cmd, req.cmd);
+    EXPECT_EQ(parsed->worker, 3u);
+    EXPECT_EQ(parsed->attempt, 2u);
+    EXPECT_EQ(parsed->traceText, req.traceText);
+    EXPECT_EQ(parsed->jobs, req.jobs);
+    EXPECT_EQ(parsed->sigs, req.sigs);
+    EXPECT_EQ(parsed->grid.maxDegrees, req.grid.maxDegrees);
+    EXPECT_EQ(parsed->grid.seeds, req.grid.seeds);
+    EXPECT_EQ(parsed->cacheDir, "/tmp/x");
+    EXPECT_FALSE(parsed->useCache);
+}
+
+TEST(DistProtocol, WorkerResultRoundTripsDoublesExactly)
+{
+    dse::JobMetrics m;
+    m.switches = 7;
+    m.avgHops = 2.7142857142857144; // not exactly representable in %g
+    m.energy = 1.2345678901234567e6;
+    m.maxLinkUtil = 0.33333333333333331;
+
+    std::string err;
+    const auto msg =
+        parseWorkerMsg(encodeResult(11, true, 12345, m), err);
+    ASSERT_TRUE(msg.has_value()) << err;
+    EXPECT_EQ(msg->kind, WorkerMsg::Kind::Result);
+    EXPECT_EQ(msg->index, 11u);
+    EXPECT_TRUE(msg->cached);
+    EXPECT_EQ(msg->wallUs, 12345);
+    EXPECT_EQ(msg->metrics.switches, 7u);
+    EXPECT_EQ(msg->metrics.avgHops, m.avgHops);   // bit-exact
+    EXPECT_EQ(msg->metrics.energy, m.energy);     // bit-exact
+    EXPECT_EQ(msg->metrics.maxLinkUtil, m.maxLinkUtil);
+
+    const auto done = parseWorkerMsg(encodeDone(4, 2), err);
+    ASSERT_TRUE(done.has_value()) << err;
+    EXPECT_EQ(done->kind, WorkerMsg::Kind::Done);
+    EXPECT_EQ(done->jobs, 4u);
+    EXPECT_EQ(done->cacheHits, 2u);
+
+    const auto fail =
+        parseWorkerMsg(encodeError("internal", "boom \"quoted\""), err);
+    ASSERT_TRUE(fail.has_value()) << err;
+    EXPECT_EQ(fail->kind, WorkerMsg::Kind::Error);
+    EXPECT_EQ(fail->code, "internal");
+    EXPECT_EQ(fail->message, "boom \"quoted\"");
+}
+
+TEST(DistExplore, ByteIdenticalAcrossWorkerCounts)
+{
+    const auto tr = cgTrace();
+    const auto cfg = smallConfig("", false);
+    const auto base = dse::explore(tr, cfg);
+
+    for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+        DistOptions opt;
+        opt.workers = workers; // 8 > jobs exercises the min() clamp
+        DistStats stats;
+        const auto report = exploreDistributed(tr, cfg, opt, &stats);
+        EXPECT_EQ(base.toJson(), report.toJson())
+            << "workers=" << workers;
+        std::uint64_t jobs = 0;
+        for (const auto n : stats.jobs)
+            jobs += n;
+        EXPECT_EQ(jobs, base.points.size()) << "workers=" << workers;
+        EXPECT_TRUE(stats.failures.empty());
+    }
+}
+
+TEST(DistExplore, WarmRerunAcrossWorkerCountsIsAllHits)
+{
+    const auto tr = cgTrace();
+    const auto dir = tempCacheDir("dist-warm");
+
+    DistOptions two;
+    two.workers = 2;
+    const auto cold =
+        exploreDistributed(tr, smallConfig(dir, true), two);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, cold.points.size());
+
+    // Warm rerun at a different worker count: every job must land on
+    // the shared disk cache entries the first run stored.
+    DistOptions four;
+    four.workers = 4;
+    const auto warm =
+        exploreDistributed(tr, smallConfig(dir, true), four);
+    EXPECT_EQ(warm.cacheHits, warm.points.size());
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(cold.toJson(), warm.toJson());
+
+    // And the in-process explorer agrees byte-for-byte on the same
+    // cache — the merge argument: keys are content-hashed, so sharing
+    // a directory between processes cannot change any result.
+    const auto inproc = dse::explore(tr, smallConfig(dir, true));
+    EXPECT_EQ(inproc.cacheHits, inproc.points.size());
+    EXPECT_EQ(cold.toJson(), inproc.toJson());
+}
+
+TEST(DistExplore, CrashedWorkerIsRequeuedAndReportUnchanged)
+{
+    const auto tr = cgTrace();
+    const auto cfg = smallConfig("", false);
+    const auto base = dse::explore(tr, cfg);
+
+    const EnvGuard crash("MINNOC_DIST_TEST_CRASH", "0");
+    DistOptions opt;
+    opt.workers = 2;
+    DistStats stats;
+    const auto report = exploreDistributed(tr, cfg, opt, &stats);
+
+    EXPECT_EQ(base.toJson(), report.toJson());
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].worker, 0u);
+    EXPECT_EQ(stats.failures[0].reason, "exit 42");
+    EXPECT_FALSE(stats.failures[0].requeuedJobs.empty());
+    EXPECT_NE(stats.toJson("explore").find("\"worker_failed\""),
+              std::string::npos);
+    EXPECT_NE(stats.toJson("explore").find("exit 42"),
+              std::string::npos);
+}
+
+TEST(DistExplore, HungWorkerIsReapedOnTimeoutAndReportUnchanged)
+{
+    const auto tr = cgTrace();
+    const auto cfg = smallConfig("", false);
+    const auto base = dse::explore(tr, cfg);
+
+    const EnvGuard hang("MINNOC_DIST_TEST_HANG", "0");
+    DistOptions opt;
+    opt.workers = 2;
+    opt.workerTimeoutMs = 1500; // long enough for real results
+    DistStats stats;
+    const auto report = exploreDistributed(tr, cfg, opt, &stats);
+
+    EXPECT_EQ(base.toJson(), report.toJson());
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].reason, "timeout");
+}
+
+TEST(DistExplore, SecondFailureOfSameShardAborts)
+{
+    const auto tr = cgTrace();
+    const auto cfg = smallConfig("", false);
+
+    // Both workers crash; shard 0's requeue lands on a fresh slot that
+    // inherits the crash hook for worker index 0... the requeued
+    // attempt carries attempt=2, where hooks are disarmed, so a single
+    // injected index cannot abort the run. Injecting both indices
+    // makes the first requeue succeed (attempt 2) but exercises the
+    // bookkeeping under concurrent failures.
+    const EnvGuard crash0("MINNOC_DIST_TEST_CRASH", "0");
+    DistOptions opt;
+    opt.workers = 2;
+    DistStats stats;
+    const auto report = exploreDistributed(tr, cfg, opt, &stats);
+    EXPECT_EQ(report.points.size(), 4u);
+    EXPECT_GE(stats.failures.size(), 1u);
+}
+
+TEST(DistExplore, CancelTokenDrainsWorkers)
+{
+    const auto tr = cgTrace();
+    auto cfg = smallConfig("", false);
+    // Enough work that the deadline fires mid-run on any machine.
+    cfg.grid.maxDegrees = {4, 5, 6};
+    cfg.grid.seeds = {1, 2, 3};
+    cfg.grid.restarts = {8};
+
+    CancelToken token;
+    cfg.cancel = &token;
+    token.setDeadlineIn(250'000); // 250 ms
+
+    DistOptions opt;
+    opt.workers = 2;
+    EXPECT_THROW(exploreDistributed(tr, cfg, opt), CancelledError);
+}
+
+TEST(DistPhases, ByteIdenticalToInProcessEvaluation)
+{
+    const auto tr = trace::phaseShift({trace::Pattern::Neighbor,
+                                       trace::Pattern::Transpose,
+                                       trace::Pattern::Hotspot});
+    phase::PhaseEvalConfig cfg;
+    cfg.methodology.partitioner.constraints.maxDegree = 5;
+    cfg.methodology.restarts = 4;
+    cfg.threads = 1;
+
+    const auto base = phase::evaluatePhases(tr, cfg);
+
+    DistOptions opt;
+    opt.workers = 3;
+    DistStats stats;
+    const auto report =
+        evaluatePhasesDistributed(tr, cfg, opt, &stats);
+    EXPECT_EQ(base.toJson(), report.toJson());
+    std::uint64_t jobs = 0;
+    for (const auto n : stats.jobs)
+        jobs += n;
+    EXPECT_EQ(jobs, report.phases.size());
+}
+
+TEST(DistPhases, CrashedWorkerStillYieldsIdenticalReport)
+{
+    const auto tr = trace::phaseShift(
+        {trace::Pattern::Neighbor, trace::Pattern::Transpose});
+    phase::PhaseEvalConfig cfg;
+    cfg.methodology.partitioner.constraints.maxDegree = 5;
+    cfg.methodology.restarts = 2;
+    cfg.threads = 1;
+
+    const auto base = phase::evaluatePhases(tr, cfg);
+
+    const EnvGuard crash("MINNOC_DIST_TEST_CRASH", "0");
+    DistOptions opt;
+    opt.workers = 2;
+    DistStats stats;
+    const auto report = evaluatePhasesDistributed(tr, cfg, opt, &stats);
+    EXPECT_EQ(base.toJson(), report.toJson());
+}
+
+TEST(DistStatsJson, ReportsPerWorkerRowsAndFailures)
+{
+    DistStats stats;
+    stats.workers = 2;
+    stats.jobs = {3, 1};
+    stats.cacheHits = {1, 0};
+    stats.wallUsSum = {1000, 2000};
+    stats.failures.push_back(WorkerFailure{1, "signal 9", {5, 6}});
+
+    const auto json = stats.toJson("explore");
+    EXPECT_NE(json.find("\"report\": \"minnoc-dist-status\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"task\": \"explore\""), std::string::npos);
+    EXPECT_NE(json.find("\"per_worker\""), std::string::npos);
+    EXPECT_NE(json.find("\"worker_failed\""), std::string::npos);
+    EXPECT_NE(json.find("signal 9"), std::string::npos);
+}

@@ -15,6 +15,7 @@
 #include "core/hier_partitioner.hpp"
 #include "core/methodology.hpp"
 #include "core/verify.hpp"
+#include "trace/analyzer.hpp"
 #include "trace/scale_patterns.hpp"
 
 using namespace minnoc::core;
@@ -103,6 +104,69 @@ TEST(ScalePatterns, DispatchMatchesDirectCalls)
     const auto named = trace::makeScalePattern("ring", 64);
     EXPECT_EQ(direct.numComms(), named.numComms());
     EXPECT_EQ(direct.numCliques(), named.numCliques());
+}
+
+TEST(ScalePatterns, FanDirectionsGrowMonotonically)
+{
+    using trace::GroupDirection;
+    // 4 groups of 8, subgroup 2: uni fans the root subgroup out to
+    // the 3 other groups (2 x 8 comms each), bi adds the gather into
+    // group 0, omni makes every group the root.
+    const auto uni = trace::fanPattern(32, 8, 2, GroupDirection::Uni);
+    EXPECT_EQ(uni.numCliques(), 3u);
+    EXPECT_EQ(uni.numComms(), 48u);
+
+    const auto bi = trace::fanPattern(32, 8, 2, GroupDirection::Bi);
+    EXPECT_EQ(bi.numCliques(), 4u);
+    EXPECT_EQ(bi.numComms(), 96u);
+
+    const auto omni = trace::fanPattern(32, 8, 2, GroupDirection::Omni);
+    EXPECT_EQ(omni.numCliques(), 4u);
+    EXPECT_EQ(omni.numComms(), 192u);
+}
+
+TEST(ScalePatterns, DenseSubgroupProducts)
+{
+    using trace::GroupDirection;
+    // 4 groups of 4, subgroup 2: each active ordered pair contributes
+    // the 2 x 2 subgroup product.
+    const auto uni = trace::densePattern(16, 4, 2, GroupDirection::Uni);
+    EXPECT_EQ(uni.numCliques(), 3u);
+    EXPECT_EQ(uni.numComms(), 12u);
+
+    const auto bi = trace::densePattern(16, 4, 2, GroupDirection::Bi);
+    EXPECT_EQ(bi.numCliques(), 4u);
+    EXPECT_EQ(bi.numComms(), 24u);
+
+    const auto omni =
+        trace::densePattern(16, 4, 2, GroupDirection::Omni);
+    EXPECT_EQ(omni.numCliques(), 4u);
+    EXPECT_EQ(omni.numComms(), 48u);
+}
+
+TEST(ScalePatterns, NamedFanDenseDispatch)
+{
+    const auto named = trace::makeScalePattern("dense_omni", 16, 4, 2);
+    const auto direct = trace::densePattern(
+        16, 4, 2, trace::GroupDirection::Omni);
+    EXPECT_EQ(named.numComms(), direct.numComms());
+    EXPECT_EQ(named.numCliques(), direct.numCliques());
+    // Every advertised name dispatches (fatal() would abort).
+    for (const auto &name : trace::scalePatternNames())
+        EXPECT_GT(trace::makeScalePattern(name, 64).numComms(), 0u);
+}
+
+TEST(ScalePatterns, TraceFromCliquesRoundTripsThroughAnalyzer)
+{
+    const auto ks =
+        trace::fanPattern(16, 4, 2, trace::GroupDirection::Omni);
+    const auto tr = trace::traceFromCliques(ks, "fan", 256, 2);
+    EXPECT_EQ(tr.numRanks(), ks.numProcs());
+    // callId = clique index, so by-call analysis recovers exactly the
+    // generating contention periods (iterations dedupe away).
+    const auto recovered = trace::analyzeByCall(tr);
+    EXPECT_EQ(recovered.numCliques(), ks.numCliques());
+    EXPECT_EQ(recovered.numComms(), ks.numComms());
 }
 
 TEST(HierPartitioner, LeafSizesAndInvariants)

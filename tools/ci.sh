@@ -34,6 +34,13 @@
 #     256-rank designs under ASan/UBSan within a wall-time budget,
 #     every design Theorem-1-verified; the curve JSON lands in the
 #     build dir.
+#  9. Distributed explore + lax-sync smoke: `explore --workers 3`
+#     under ASan must produce a frontier byte-identical to the
+#     in-process run, a warm rerun against the merged shared cache
+#     must hit on every job, the dist status JSON must report zero
+#     worker failures, and the lax_sync bench must hold its
+#     exactness/byte-identity gates; both JSON artifacts land in the
+#     build dir.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -207,3 +214,44 @@ echo "scale_curve wall time: ${elapsed}s (budget ${scale_budget}s)"
 grep -q '"verified": false' "$build/scale_curve.json" &&
     { echo "FAIL: scale_curve JSON contains unverified designs"; exit 1; }
 echo "scale curve artifact: $build/scale_curve.json"
+
+echo "=== phase 9: distributed explore + lax-sync (ASan) ==="
+cmake --build "$build" -j "$jobs" --target minnoc lax_sync
+dist_cache="$build/ci-dist-cache"
+rm -rf "$dist_cache"
+"$build/tools/minnoc" gen --bench CG --ranks 8 --iterations 1 \
+    --out "$build/ci-dist.trace"
+dist_flags=(--degrees 4,5 --vcs 2,3 --restarts 2
+            --cache-dir "$dist_cache")
+# In-process reference, then a cold 3-worker run: same cache, and the
+# frontier JSON must be byte-identical (sharding cannot change bytes).
+"$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    "${dist_flags[@]}" --cache 0 \
+    --out "$build/dist_frontier_ref.json"
+"$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    "${dist_flags[@]}" --workers 3 \
+    --dist-report "$build/dist_status.json" \
+    --out "$build/dist_frontier_cold.json"
+cmp "$build/dist_frontier_ref.json" "$build/dist_frontier_cold.json" ||
+    { echo "FAIL: 3-worker frontier differs from in-process"; exit 1; }
+grep -q '"worker_failed": \[\]' "$build/dist_status.json" ||
+    { echo "FAIL: dist status reports worker failures"; exit 1; }
+# Warm rerun against the merged cache the three workers populated:
+# every job must hit, and the bytes must not move.
+dist_warm="$("$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    "${dist_flags[@]}" --workers 3 \
+    --out "$build/dist_frontier_warm.json")"
+echo "$dist_warm"
+echo "$dist_warm" | grep -q "100.0% hit rate" ||
+    { echo "FAIL: warm distributed rerun below 100% cache hits"; exit 1; }
+cmp "$build/dist_frontier_cold.json" "$build/dist_frontier_warm.json" ||
+    { echo "FAIL: warm distributed frontier differs from cold"; exit 1; }
+# Lax-sync bench gates: mesh exactness and dist byte-identity are its
+# exit status; the JSON is the CI trend artifact.
+"$build/bench/lax_sync" --ranks 16 --iterations 1 --workers 3 \
+    --out "$build/lax_sync.json" >/dev/null ||
+    { echo "FAIL: lax_sync bench gates"; exit 1; }
+grep -q '"benchmark": "lax_sync"' "$build/lax_sync.json" ||
+    { echo "FAIL: lax_sync bench produced no report"; exit 1; }
+echo "dist status artifact: $build/dist_status.json"
+echo "lax sync artifact: $build/lax_sync.json"

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/design_io.hpp"
+#include "dist/coordinator.hpp"
 #include "dse/explorer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sim_observer.hpp"
@@ -39,6 +40,7 @@
 #include "topo/power.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/nas_generators.hpp"
+#include "trace/scale_patterns.hpp"
 #include "trace/synthetic.hpp"
 #include "serve/server.hpp"
 #include "util/cancel.hpp"
@@ -132,6 +134,35 @@ exportObservability(const Args &args, const obs::MetricsRegistry &metrics,
     }
 }
 
+/**
+ * Per-worker accounting of a distributed run: --dist-report FILE gets
+ * the status JSON (including the `worker_failed` array), and the human
+ * stream gets one line per worker slot plus any failures.
+ */
+void
+reportDistRun(const Args &args, const dist::DistStats &stats,
+              const char *task, std::FILE *human)
+{
+    const auto out = args.get("dist-report");
+    if (!out.empty()) {
+        writeFileOrDie(out, stats.toJson(task));
+        std::fprintf(human, "wrote %s\n", out.c_str());
+    }
+    for (std::uint32_t w = 0; w < stats.workers; ++w) {
+        std::fprintf(
+            human, "worker %u: %llu job(s), %llu cache hit(s), %.1f ms "
+                   "busy\n",
+            w, static_cast<unsigned long long>(stats.jobs[w]),
+            static_cast<unsigned long long>(stats.cacheHits[w]),
+            static_cast<double>(stats.wallUsSum[w]) / 1000.0);
+    }
+    for (const auto &f : stats.failures) {
+        std::fprintf(human,
+                     "worker %u FAILED (%s), %zu job(s) requeued\n",
+                     f.worker, f.reason.c_str(), f.requeuedJobs.size());
+    }
+}
+
 /** Parse a comma-separated synthetic-pattern list ("neighbor,transpose"). */
 std::vector<trace::Pattern>
 parsePatternList(const std::string &spec)
@@ -149,6 +180,22 @@ parsePatternList(const std::string &spec)
 trace::Trace
 genTrace(const Args &args)
 {
+    // --scale-pattern switches to the scale-curve pattern family
+    // (ring/transpose/neighbor/rail plus the CommBench-style fan and
+    // dense group-to-group generators), one bulk-synchronous epoch per
+    // iteration.
+    const auto scale = args.get("scale-pattern");
+    if (!scale.empty()) {
+        const auto ranks = args.getU32("ranks", 64);
+        const auto groupSize = args.getU32("group-size", 8);
+        const auto rails = args.getU32("rails", 2);
+        const auto bytes = args.getU64("bytes", 1024);
+        const auto iterations = args.getU32("iterations", 1);
+        const auto ks =
+            trace::makeScalePattern(scale, ranks, groupSize, rails);
+        return trace::traceFromCliques(
+            ks, scale + "-" + std::to_string(ranks), bytes, iterations);
+    }
     // --patterns switches to the multi-phase synthetic generator: one
     // bulk-synchronous epoch per listed pattern.
     const auto patterns = args.get("patterns");
@@ -346,6 +393,8 @@ cmdSimulate(const Args &args)
 
     sim::SimConfig scfg;
     scfg.maxRecoveries = args.getU32("max-recoveries", scfg.maxRecoveries);
+    scfg.laxSyncSlack = static_cast<sim::Cycle>(
+        args.getU64("lax-sync", 0));
     installCliCancel();
     scfg.cancel = &gCliToken;
 
@@ -470,9 +519,21 @@ cmdExplore(const Args &args)
     installCliCancel();
     cfg.cancel = &gCliToken;
 
+    // --workers N forks N worker processes sharing the disk cache;
+    // the merged report is byte-identical to the in-process sweep.
+    const std::uint32_t workers = args.getU32("workers", 0);
+    dist::DistStats distStats;
     dse::ExploreReport report;
     try {
-        report = dse::explore(tr, cfg);
+        if (workers > 0) {
+            dist::DistOptions dopt;
+            dopt.workers = workers;
+            dopt.workerTimeoutMs = static_cast<std::int64_t>(
+                args.getU64("worker-timeout-ms", 600'000));
+            report = dist::exploreDistributed(tr, cfg, dopt, &distStats);
+        } else {
+            report = dse::explore(tr, cfg);
+        }
     } catch (const CancelledError &) {
         std::fprintf(stderr,
                      "explore: interrupted, partial sweep discarded "
@@ -508,6 +569,8 @@ cmdExplore(const Args &args)
                  total ? 100.0 * static_cast<double>(report.cacheHits) /
                              static_cast<double>(total)
                        : 0.0);
+    if (workers > 0)
+        reportDistRun(args, distStats, "explore", human);
     return 0;
 }
 
@@ -545,9 +608,23 @@ cmdPhases(const Args &args)
     cfg.methodology.cancel = &gCliToken;
     cfg.sim.cancel = &gCliToken;
 
+    // --workers N farms the per-phase standalone syntheses out to
+    // forked workers; the merged report is byte-identical to the
+    // in-process evaluation.
+    const std::uint32_t workers = args.getU32("workers", 0);
+    dist::DistStats distStats;
     phase::PhaseReport report;
     try {
-        report = phase::evaluatePhases(tr, cfg);
+        if (workers > 0) {
+            dist::DistOptions dopt;
+            dopt.workers = workers;
+            dopt.workerTimeoutMs = static_cast<std::int64_t>(
+                args.getU64("worker-timeout-ms", 600'000));
+            report =
+                dist::evaluatePhasesDistributed(tr, cfg, dopt, &distStats);
+        } else {
+            report = phase::evaluatePhases(tr, cfg);
+        }
     } catch (const CancelledError &) {
         std::fprintf(stderr,
                      "phases: interrupted, no report written\n");
@@ -570,6 +647,8 @@ cmdPhases(const Args &args)
     std::fprintf(human, "phases %s-%u:\n", report.pattern.c_str(),
                  report.ranks);
     std::fputs(report.summaryTable().c_str(), human);
+    if (workers > 0)
+        reportDistRun(args, distStats, "phases", human);
     std::size_t unionViolations = 0;
     for (const auto v : report.unionPhaseViolations)
         unionViolations += v;
@@ -644,6 +723,12 @@ usage()
         "           [--patterns neighbor,transpose,hotspot]\n"
         "           (--patterns generates a multi-phase synthetic\n"
         "           workload instead: one epoch per listed pattern)\n"
+        "           [--scale-pattern ring|transpose|neighbor|rail|\n"
+        "            fan_uni|fan_bi|fan_omni|dense_uni|dense_bi|\n"
+        "            dense_omni] [--group-size G] [--rails R]\n"
+        "           [--bytes B]\n"
+        "           (CommBench-style single-pattern trace at scale;\n"
+        "           fan/dense are group-to-group collectives)\n"
         "  analyze  TRACE [--verbose 1]\n"
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "           [--threads N]  (0 = hardware concurrency; any N\n"
@@ -657,10 +742,12 @@ usage()
         "           [--fail-links N] [--fail-link-ids 3,17]\n"
         "           [--fail-at CYCLE] [--flit-error-rate P]\n"
         "           [--fault-seed S] [--max-retransmits R]\n"
-        "           [--max-recoveries R]\n"
+        "           [--max-recoveries R] [--lax-sync SLACK]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           (metrics-out: deterministic JSON telemetry dump;\n"
-        "           chrome-trace: Perfetto-loadable timeline)\n"
+        "           chrome-trace: Perfetto-loadable timeline;\n"
+        "           lax-sync: bounded-slack credit sync, cycles of\n"
+        "           allowed credit lag; 0 = strict, the default)\n"
         "  compare  TRACE [--max-degree D]\n"
         "  explore  TRACE [--degrees 4,5,6] [--restarts 8]\n"
         "           [--seeds 1] [--vcs 2,3] [--unidirectional 0,1]\n"
@@ -668,18 +755,25 @@ usage()
         "           [--reconfig-cost C] [--threads N] [--cache-dir DIR]\n"
         "           [--cache 0|1] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
+        "           [--workers N] [--worker-timeout-ms MS]\n"
+        "           [--dist-report FILE]\n"
         "           (design-space sweep -> Pareto frontier JSON;\n"
         "           results are content-cached and byte-identical at\n"
         "           any --threads value; phase-windows 0 = classic\n"
-        "           pipeline, N = time-multiplexed phase networks)\n"
+        "           pipeline, N = time-multiplexed phase networks;\n"
+        "           workers N forks N processes sharing the disk\n"
+        "           cache -- same bytes as --workers 0)\n"
         "  phases   TRACE [--window N] [--threshold T]\n"
         "           [--min-phase-windows W] [--reconfig-cost C]\n"
         "           [--max-degree D] [--restarts R] [--seed S]\n"
         "           [--threads N] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
+        "           [--workers N] [--worker-timeout-ms MS]\n"
+        "           [--dist-report FILE]\n"
         "           (segment the trace into temporal phases and compare\n"
         "           monolithic vs union vs time-multiplexed designs;\n"
-        "           the JSON report is byte-identical at any --threads)\n"
+        "           the JSON report is byte-identical at any --threads\n"
+        "           and at any --workers)\n"
         "  serve    --socket PATH | --port N   (0 = ephemeral port)\n"
         "           [--workers W] [--queue Q] [--deadline-ms D]\n"
         "           [--max-deadline-ms M] [--drain-ms MS]\n"
@@ -694,7 +788,9 @@ usage()
 
 /** Valid flags per subcommand (anything else is an error). */
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
-    {"gen", {"bench", "ranks", "iterations", "seed", "out", "patterns"}},
+    {"gen",
+     {"bench", "ranks", "iterations", "seed", "out", "patterns",
+      "scale-pattern", "group-size", "rails", "bytes"}},
     {"analyze", {"verbose"}},
     {"design",
      {"max-degree", "restarts", "seed", "out", "threads",
@@ -703,16 +799,17 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"simulate",
      {"network", "fail-links", "fail-link-ids", "fail-at",
       "flit-error-rate", "fault-seed", "max-retransmits",
-      "max-recoveries", "metrics-out", "chrome-trace"}},
+      "max-recoveries", "lax-sync", "metrics-out", "chrome-trace"}},
     {"compare", {"max-degree", "threads"}},
     {"explore",
      {"degrees", "restarts", "seeds", "vcs", "unidirectional",
       "vc-depth", "phase-windows", "reconfig-cost", "threads",
-      "cache-dir", "cache", "out", "metrics-out", "chrome-trace"}},
+      "cache-dir", "cache", "out", "metrics-out", "chrome-trace",
+      "workers", "worker-timeout-ms", "dist-report"}},
     {"phases",
      {"window", "threshold", "min-phase-windows", "reconfig-cost",
       "max-degree", "restarts", "seed", "threads", "out", "metrics-out",
-      "chrome-trace"}},
+      "chrome-trace", "workers", "worker-timeout-ms", "dist-report"}},
     {"serve",
      {"socket", "port", "workers", "queue", "deadline-ms",
       "max-deadline-ms", "drain-ms", "idle-timeout-ms", "lru",
