@@ -4,10 +4,11 @@
  *
  * Connects to a running daemon and hammers it from many client
  * threads with a seeded mix of traffic: valid design/explore/ping
- * requests, malformed JSON, garbage bytes, oversized lines, slow
- * writers dribbling a request byte by byte, mid-request disconnects,
- * and tiny deadlines — optionally while a saboteur thread flips bytes
- * in the daemon's on-disk cache records. Afterwards it runs a
+ * requests, coordinator-style dse_job submissions (valid and with a
+ * missing signature), malformed JSON, garbage bytes, oversized lines,
+ * slow writers dribbling a request byte by byte, mid-request
+ * disconnects, and tiny deadlines — optionally while a saboteur
+ * thread flips bytes in the daemon's on-disk cache records. Afterwards it runs a
  * single-flight wave (N identical concurrent submissions) and checks
  * the daemon's own computation counter moved by exactly one, then
  * asserts the daemon is fully quiesced (queue empty, nothing in
@@ -42,6 +43,7 @@
 
 #include <sys/socket.h>
 
+#include "dse/explorer.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "trace/nas_generators.hpp"
@@ -146,6 +148,38 @@ exploreRequest(const std::string &id, const std::string &trace,
     return os.str();
 }
 
+/**
+ * Coordinator-style dse_job with the signature the daemon itself
+ * computes, so a well-formed submission is accepted (and its result
+ * lands in the job cache for warm repeats). Omitting the signature
+ * instead turns it into a hostile line the daemon must fail closed.
+ */
+std::string
+dseJobRequest(const std::string &id, const std::string &trace,
+              std::uint64_t seed, bool withSig)
+{
+    dse::JobParams params;
+    params.maxDegree = 4;
+    params.restarts = 2;
+    params.seed = seed;
+    params.unidirectional = false;
+    params.numVcs = 2;
+    params.vcDepth = 4;
+    params.phaseWindow = 0;
+    const auto sig = dse::jobSignature(params, dse::ExploreConfig{});
+    std::ostringstream os;
+    os << "{\"id\": \"" << id << "\", \"cmd\": \"dse_job\","
+          " \"attempt\": 1, \"job_index\": 0,";
+    if (withSig)
+        os << " \"sig\": \"" << serve::jsonEscape(sig) << "\",";
+    os << " \"max_degree\": 4, \"restarts\": 2, \"seed\": " << seed
+       << ", \"unidirectional\": 0, \"vcs\": 2, \"vc_depth\": 4,"
+          " \"phase_window\": 0, \"deadline_ms\": 60000,"
+          " \"trace\": \""
+       << serve::jsonEscape(trace) << "\"}";
+    return os.str();
+}
+
 /** Send one line, read one reply, classify the outcome. */
 void
 roundTrip(serve::Client &client, Tally &tally, const std::string &line,
@@ -191,7 +225,7 @@ clientLoop(const Options &opt, unsigned threadIdx, unsigned requests,
             "c" + std::to_string(threadIdx) + "-" + std::to_string(i);
         const auto &trace = traces[rng() % traces.size()];
 
-        switch (rng() % 12) {
+        switch (rng() % 14) {
           case 0:
           case 1: // liveness probe
             roundTrip(client, tally,
@@ -261,6 +295,15 @@ clientLoop(const Options &opt, unsigned threadIdx, unsigned requests,
           case 11: // tiny deadline: timeout (or ok if cache-warm)
             roundTrip(client, tally,
                       exploreRequest(id, trace, 1), true);
+            break;
+          case 12: // valid coordinator-style dse_job
+            roundTrip(client, tally,
+                      dseJobRequest(id, trace, 1 + rng() % 2, true),
+                      true);
+            break;
+          case 13: // dse_job without its mandatory signature
+            roundTrip(client, tally,
+                      dseJobRequest(id, trace, 1, false), false);
             break;
         }
 

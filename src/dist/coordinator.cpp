@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <fcntl.h>
 #include <functional>
 #include <numeric>
@@ -17,6 +18,7 @@
 #include "dse/cache.hpp"
 #include "phase/multi_design.hpp"
 #include "protocol.hpp"
+#include "remote.hpp"
 #include "serve/protocol.hpp"
 #include "util/cancel.hpp"
 #include "util/log.hpp"
@@ -31,16 +33,24 @@ namespace {
 constexpr int kPollMs = 100;
 /** SIGTERM -> SIGKILL drain window on cancellation. */
 constexpr std::int64_t kDrainUs = 2'000'000;
+/** Requests kept in flight per remote lane (pipelined dispatch). */
+constexpr std::size_t kRemoteWindow = 8;
 
-/** One forked worker, as the coordinator tracks it. */
+/** One lane — a forked pipe worker or a remote daemon connection. */
 struct WorkerProc
 {
-    pid_t pid = -1;
-    int fd = -1; ///< result-pipe read end (non-blocking); -1 = reaped
-    FrameBuffer frames;
-    std::vector<std::uint32_t> pending; ///< jobs not yet resulted
+    pid_t pid = -1; ///< forked lanes only
+    int fd = -1;    ///< pipe read end / socket (non-blocking); -1 = reaped
+    FrameBuffer frames;  ///< pipe lanes: netstring decoder
+    std::string lineBuf; ///< remote lanes: NDJSON reply buffer
+    /** Assigned jobs not yet resulted (dispatched or queued). */
+    std::vector<std::uint32_t> pending;
+    /** Remote lanes: assigned jobs not yet sent (dispatch window). */
+    std::deque<std::uint32_t> unsent;
     std::uint32_t attempt = 1;
     std::int64_t lastActivityUs = 0;
+    bool remote = false;
+    int hostIdx = -1; ///< index into DistOptions::hosts
     bool doneSeen = false;
     bool timedOut = false;
     std::string errorText; ///< from an `error` frame, "code: message"
@@ -49,6 +59,9 @@ struct WorkerProc
 using RequestBuilder = std::function<std::string(
     std::uint32_t slot, std::uint32_t attempt,
     const std::vector<std::uint32_t> &jobs)>;
+/** One serve request line (newline-terminated) for one job. */
+using RemoteJobBuilder = std::function<std::string(
+    std::uint32_t job, std::uint32_t attempt)>;
 using ResultHandler =
     std::function<void(const WorkerMsg &msg, std::uint32_t slot)>;
 
@@ -105,13 +118,71 @@ spawnWorker(std::uint32_t slot, std::uint32_t attempt,
     return w;
 }
 
-/** SIGTERM everyone, give kDrainUs to exit, SIGKILL stragglers. */
+/**
+ * Open a remote lane: connect (with backoff) and dispatch the first
+ * kRemoteWindow job requests; the rest queue in `unsent` and flow as
+ * results land, so the daemon always has work without a failure
+ * losing more than a window's worth of in-flight requests. A lane
+ * that cannot connect or send is returned born dead (fd == -1,
+ * errorText set) for the caller to route through the failure path.
+ */
+WorkerProc
+spawnRemoteLane(int hostIdx, const HostSpec &host,
+                std::uint32_t attempt,
+                const std::vector<std::uint32_t> &jobs,
+                const RemoteJobBuilder &makeJob)
+{
+    WorkerProc w;
+    w.remote = true;
+    w.hostIdx = hostIdx;
+    w.attempt = attempt;
+    w.pending = jobs;
+    w.lastActivityUs = CancelToken::nowUs();
+
+    std::string err;
+    const int fd = connectHost(host, err);
+    if (fd < 0) {
+        w.errorText = err;
+        return w;
+    }
+    const std::size_t window = std::min(jobs.size(), kRemoteWindow);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        if (k < window) {
+            if (!sendAll(fd, makeJob(jobs[k], attempt))) {
+                w.errorText = "send " + host.label() + ": " +
+                              std::strerror(errno);
+                ::close(fd);
+                return w;
+            }
+        } else {
+            w.unsent.push_back(jobs[k]);
+        }
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    w.fd = fd;
+    return w;
+}
+
+/**
+ * SIGTERM forked workers, give kDrainUs to exit, SIGKILL stragglers.
+ * Remote lanes just close: the daemon's reader sees EOF and
+ * Disconnect-cancels every in-flight job, so a Ctrl-C here leaves no
+ * orphaned work on any host.
+ */
 void
 terminateAll(std::vector<WorkerProc> &procs)
 {
-    for (auto &w : procs)
-        if (w.fd >= 0 && w.pid > 0)
+    for (auto &w : procs) {
+        if (w.remote) {
+            if (w.fd >= 0) {
+                ::close(w.fd);
+                w.fd = -1;
+            }
+        } else if (w.fd >= 0 && w.pid > 0) {
             ::kill(w.pid, SIGTERM);
+        }
+    }
     const std::int64_t deadline = CancelToken::nowUs() + kDrainUs;
     for (auto &w : procs) {
         if (w.fd < 0 || w.pid <= 0)
@@ -145,52 +216,84 @@ describeExit(int status)
 }
 
 /**
- * Drive every worker to completion: poll result pipes, dispatch
- * frames, reap crashed/hung workers and requeue their unfinished jobs
- * (at most once per shard) onto fresh workers. Throws CancelledError
- * when @p cancel fires, std::runtime_error when a shard fails twice.
+ * Drive every lane to completion: poll pipe and socket fds, dispatch
+ * result documents, reap crashed/hung lanes and requeue their
+ * unfinished jobs (at most once per shard) onto a surviving remote
+ * host or a fresh forked worker. Throws CancelledError when @p cancel
+ * fires, std::runtime_error when a shard fails twice.
  */
 void
 runShards(const std::vector<std::vector<std::uint32_t>> &shards,
           const DistOptions &options, const CancelToken *cancel,
-          const RequestBuilder &makeRequest, const ResultHandler &onResult,
+          const RequestBuilder &makeRequest,
+          const RemoteJobBuilder &makeJob, const ResultHandler &onResult,
           DistStats &stats, obs::TraceEventLog *traceLog,
           const char *jobLabel)
 {
     SigpipeGuard sigpipe;
     const std::int64_t timeoutUs =
         std::max<std::int64_t>(options.workerTimeoutMs, 1) * 1000;
+    const auto &hosts = options.hosts;
+    const std::size_t remoteLanes =
+        std::min(hosts.size(), shards.size());
+    // A host that failed once is never retried: its replacement lane
+    // must not inherit the same fault.
+    std::vector<char> hostDead(hosts.size(), 0);
 
     std::vector<WorkerProc> procs;
+    /** hostIdx >= 0: remote lane on hosts[hostIdx]; -1: forked. */
     const auto addSlot = [&](const std::vector<std::uint32_t> &jobs,
-                             std::uint32_t attempt) {
+                             std::uint32_t attempt, int hostIdx) {
         const auto slot = static_cast<std::uint32_t>(procs.size());
-        procs.push_back(spawnWorker(slot, attempt, jobs, makeRequest));
+        if (hostIdx >= 0)
+            procs.push_back(
+                spawnRemoteLane(hostIdx,
+                                hosts[static_cast<std::size_t>(hostIdx)],
+                                attempt, jobs, makeJob));
+        else
+            procs.push_back(
+                spawnWorker(slot, attempt, jobs, makeRequest));
         stats.jobs.push_back(0);
         stats.cacheHits.push_back(0);
         stats.wallUsSum.push_back(0);
+        stats.hostOf.push_back(
+            hostIdx >= 0
+                ? hosts[static_cast<std::size_t>(hostIdx)].label()
+                : "");
         stats.workers = static_cast<std::uint32_t>(procs.size());
         if constexpr (obs::kEnabled) {
             if (traceLog)
-                traceLog->threadName(obs::kPidDist, slot,
-                                     "worker " + std::to_string(slot));
+                traceLog->threadName(
+                    obs::kPidDist, slot,
+                    hostIdx >= 0
+                        ? "host " + stats.hostOf.back()
+                        : "worker " + std::to_string(slot));
         }
+        return slot;
     };
-    for (const auto &shard : shards)
-        addSlot(shard, 1);
 
-    // Reap one worker: close, waitpid, decide clean vs failed, requeue.
-    const auto reap = [&](std::uint32_t slot) {
+    // Reap one lane: close, waitpid (forked only), decide clean vs
+    // failed, requeue. std::function so the born-dead replacement path
+    // can recurse (depth bounded by the two-attempt cap).
+    std::function<void(std::uint32_t)> reap =
+        [&](std::uint32_t slot) {
         auto &w = procs[slot];
-        ::close(w.fd);
-        w.fd = -1;
+        if (w.fd >= 0) {
+            ::close(w.fd);
+            w.fd = -1;
+        }
         int status = 0;
-        ::waitpid(w.pid, &status, 0);
-        w.pid = -1;
+        if (!w.remote) {
+            ::waitpid(w.pid, &status, 0);
+            w.pid = -1;
+        }
 
-        const bool clean = w.doneSeen && w.pending.empty() &&
-                           w.errorText.empty() && !w.timedOut &&
-                           WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        const bool clean =
+            w.pending.empty() && w.unsent.empty() &&
+            w.errorText.empty() && !w.timedOut &&
+            (w.remote ? true
+                      : w.doneSeen && WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0);
         if (clean)
             return;
 
@@ -199,21 +302,37 @@ runShards(const std::vector<std::vector<std::uint32_t>> &shards,
             reason = "timeout";
         else if (!w.errorText.empty())
             reason = w.errorText;
-        else if (w.doneSeen && !w.pending.empty())
+        else if (!w.remote && w.doneSeen && !w.pending.empty())
             reason = "protocol: done with " +
                      std::to_string(w.pending.size()) + " jobs pending";
+        else if (w.remote)
+            reason = "connection closed";
         else
             reason = describeExit(status);
 
+        // Lost work: results never arrive for dispatched-but-unfinished
+        // jobs (pending) nor for the queued window tail (unsent ⊆
+        // pending for remote lanes; empty for forked ones).
+        std::vector<std::uint32_t> lost = w.pending;
+        std::sort(lost.begin(), lost.end());
+
+        if (w.remote && w.hostIdx >= 0)
+            hostDead[static_cast<std::size_t>(w.hostIdx)] = 1;
+
         WorkerFailure failure;
         failure.worker = slot;
+        if (w.remote && w.hostIdx >= 0)
+            failure.host =
+                hosts[static_cast<std::size_t>(w.hostIdx)].label();
         failure.reason = reason;
-        failure.requeuedJobs = w.pending;
+        failure.requeuedJobs = lost;
         stats.failures.push_back(failure);
-        warn("dist: worker ", slot, " failed (", reason, "), ",
-             w.pending.size(), " job(s) to requeue");
+        warn("dist: ", w.remote ? "host lane " : "worker ", slot,
+             w.remote ? " (" + failure.host + ")" : std::string(),
+             " failed (", reason, "), ", lost.size(),
+             " job(s) to requeue");
 
-        if (w.pending.empty())
+        if (lost.empty())
             return; // every assigned job already landed; nothing lost
         if (w.attempt >= 2) {
             terminateAll(procs);
@@ -221,11 +340,94 @@ runShards(const std::vector<std::vector<std::uint32_t>> &shards,
                 "dist: shard failed twice (last: " + reason +
                 "); aborting");
         }
-        const auto requeued = w.pending;
         const auto nextAttempt = w.attempt + 1;
         w.pending.clear();
-        addSlot(requeued, nextAttempt);
+        w.unsent.clear();
+
+        // Requeue onto the first surviving host, else a forked local
+        // worker — the run converges as long as one backend exists.
+        int target = -1;
+        for (std::size_t h = 0; h < hosts.size(); ++h) {
+            if (!hostDead[h]) {
+                target = static_cast<int>(h);
+                break;
+            }
+        }
+        const auto fresh = addSlot(lost, nextAttempt, target);
+        if (procs[fresh].remote && procs[fresh].fd < 0)
+            reap(fresh); // born dead (connect/send failed): recurse
     };
+
+    // Shared Result/Done/Error handling for both wire formats. On a
+    // protocol violation errorText gets a "protocol: " prefix, which
+    // the pipe path translates into SIGKILL.
+    const auto dispatch = [&](std::uint32_t slot,
+                              const WorkerMsg &msg) {
+        auto &w = procs[slot];
+        w.lastActivityUs = CancelToken::nowUs();
+        switch (msg.kind) {
+        case WorkerMsg::Kind::Result: {
+            const auto it = std::find(w.pending.begin(),
+                                      w.pending.end(), msg.index);
+            if (it == w.pending.end()) {
+                w.errorText = "protocol: unexpected result for job " +
+                              std::to_string(msg.index);
+                break;
+            }
+            w.pending.erase(it);
+            ++stats.jobs[slot];
+            if (msg.cached)
+                ++stats.cacheHits[slot];
+            stats.wallUsSum[slot] += msg.wallUs;
+            if constexpr (obs::kEnabled) {
+                if (traceLog) {
+                    const std::int64_t arrival = obs::wallMicros();
+                    traceLog->complete(
+                        std::string(jobLabel) + " " +
+                            std::to_string(msg.index),
+                        obs::kPidDist, slot, arrival - msg.wallUs,
+                        std::max<std::int64_t>(msg.wallUs, 1),
+                        "\"cached\": " +
+                            std::string(msg.cached ? "true" : "false"));
+                }
+            }
+            onResult(msg, slot);
+            // Keep the remote window full; an empty pending set is
+            // this lane's `done`.
+            if (w.remote) {
+                if (!w.unsent.empty()) {
+                    const auto next = w.unsent.front();
+                    if (sendAll(w.fd, makeJob(next, w.attempt)))
+                        w.unsent.pop_front();
+                    else
+                        w.errorText = std::string("send: ") +
+                                      std::strerror(errno);
+                } else if (w.pending.empty()) {
+                    w.doneSeen = true;
+                }
+            }
+            break;
+        }
+        case WorkerMsg::Kind::Done:
+            w.doneSeen = true;
+            break;
+        case WorkerMsg::Kind::Error:
+            w.errorText = msg.code + ": " + msg.message;
+            break;
+        }
+    };
+
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        addSlot(shards[i], 1,
+                i < remoteLanes ? static_cast<int>(i) : -1);
+    // Route lanes that never connected through the failure path now.
+    // (pending nonempty distinguishes an unprocessed born-dead lane
+    // from one reap() already requeued recursively.)
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(procs.size()); ++i)
+        if (procs[i].remote && procs[i].fd < 0 &&
+            !procs[i].errorText.empty() && !procs[i].pending.empty())
+            reap(i);
 
     while (true) {
         if (cancel && cancel->cancelled()) {
@@ -253,16 +455,21 @@ runShards(const std::vector<std::vector<std::uint32_t>> &shards,
             if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
             const std::uint32_t slot = slotOf[k];
-            auto &w = procs[slot];
-            if (w.fd < 0)
+            if (procs[slot].fd < 0)
                 continue; // already reaped this tick
 
             bool eof = false;
             char buf[65536];
             for (;;) {
+                auto &w = procs[slot];
                 const ssize_t n = ::read(w.fd, buf, sizeof buf);
                 if (n > 0) {
-                    w.frames.append(buf, static_cast<std::size_t>(n));
+                    if (w.remote)
+                        w.lineBuf.append(
+                            buf, static_cast<std::size_t>(n));
+                    else
+                        w.frames.append(
+                            buf, static_cast<std::size_t>(n));
                     continue;
                 }
                 if (n == 0) {
@@ -277,75 +484,82 @@ runShards(const std::vector<std::vector<std::uint32_t>> &shards,
                 break;
             }
 
+            if (procs[slot].remote) {
+                // Remote lane: one serve reply per line; an ok reply
+                // wraps the identical job-wire result document.
+                auto &w = procs[slot];
+                std::size_t start = 0;
+                for (;;) {
+                    const auto nl = w.lineBuf.find('\n', start);
+                    if (nl == std::string::npos)
+                        break;
+                    const std::string line =
+                        w.lineBuf.substr(start, nl - start);
+                    start = nl + 1;
+                    if (line.empty())
+                        continue;
+                    const auto reply = serve::parseReply(line);
+                    if (!reply) {
+                        w.errorText = "protocol: unparseable reply";
+                        break;
+                    }
+                    if (!reply->ok) {
+                        w.errorText =
+                            reply->code + ": " + reply->message;
+                        break;
+                    }
+                    std::string err;
+                    const auto msg =
+                        parseWorkerMsg(reply->result, err);
+                    if (!msg) {
+                        w.errorText = "protocol: " + err;
+                        break;
+                    }
+                    dispatch(slot, *msg);
+                    if (!w.errorText.empty())
+                        break;
+                }
+                w.lineBuf.erase(0, start);
+                if (w.errorText.empty() &&
+                    w.lineBuf.size() > serve::kMaxRequestBytes)
+                    w.errorText = "protocol: oversized reply line";
+                if (!w.errorText.empty() || eof || w.doneSeen)
+                    reap(slot);
+                continue;
+            }
+
+            auto &w = procs[slot];
             while (auto payload = w.frames.next()) {
                 std::string err;
                 const auto msg = parseWorkerMsg(*payload, err);
                 if (!msg) {
                     w.errorText = "protocol: " + err;
-                    ::kill(w.pid, SIGKILL);
                     break;
                 }
-                w.lastActivityUs = CancelToken::nowUs();
-                switch (msg->kind) {
-                case WorkerMsg::Kind::Result: {
-                    const auto it = std::find(w.pending.begin(),
-                                              w.pending.end(),
-                                              msg->index);
-                    if (it == w.pending.end()) {
-                        w.errorText = "protocol: unexpected result for "
-                                      "job " +
-                                      std::to_string(msg->index);
-                        ::kill(w.pid, SIGKILL);
-                        break;
-                    }
-                    w.pending.erase(it);
-                    ++stats.jobs[slot];
-                    if (msg->cached)
-                        ++stats.cacheHits[slot];
-                    stats.wallUsSum[slot] += msg->wallUs;
-                    if constexpr (obs::kEnabled) {
-                        if (traceLog) {
-                            const std::int64_t arrival =
-                                obs::wallMicros();
-                            traceLog->complete(
-                                std::string(jobLabel) + " " +
-                                    std::to_string(msg->index),
-                                obs::kPidDist, slot,
-                                arrival - msg->wallUs,
-                                std::max<std::int64_t>(msg->wallUs, 1),
-                                "\"cached\": " +
-                                    std::string(msg->cached ? "true"
-                                                            : "false"));
-                        }
-                    }
-                    onResult(*msg, slot);
-                    break;
-                }
-                case WorkerMsg::Kind::Done:
-                    w.doneSeen = true;
-                    break;
-                case WorkerMsg::Kind::Error:
-                    w.errorText = msg->code + ": " + msg->message;
-                    break;
-                }
+                dispatch(slot, *msg);
                 if (!w.errorText.empty())
                     break;
             }
-            if (w.frames.corrupt() && w.errorText.empty()) {
+            if (w.frames.corrupt() && w.errorText.empty())
                 w.errorText = "protocol: corrupt frame stream";
+            // A protocol violation means the worker is off the rails;
+            // stop it now instead of draining its stream.
+            if (w.errorText.rfind("protocol:", 0) == 0 && w.pid > 0)
                 ::kill(w.pid, SIGKILL);
-            }
             if (eof)
                 reap(slot);
         }
 
         // Hang detection: no result and no done for the whole window.
+        // A stalled socket and a stalled pipe are the same condition;
+        // only the cleanup differs (close vs SIGKILL).
         const std::int64_t now = CancelToken::nowUs();
         for (std::uint32_t i = 0; i < procs.size(); ++i) {
             auto &w = procs[i];
             if (w.fd >= 0 && now - w.lastActivityUs > timeoutUs) {
                 w.timedOut = true;
-                ::kill(w.pid, SIGKILL);
+                if (!w.remote && w.pid > 0)
+                    ::kill(w.pid, SIGKILL);
                 reap(i);
             }
         }
@@ -367,8 +581,13 @@ recordDistTelemetry(obs::MetricsRegistry *metrics,
                 m.counter(prefix + "cache_hits")
                     .add(stats.cacheHits[w]);
             }
+            std::uint64_t hostFailures = 0;
+            for (const auto &f : stats.failures)
+                if (!f.host.empty())
+                    ++hostFailures;
             m.counter("dist/worker_failures")
-                .add(stats.failures.size());
+                .add(stats.failures.size() - hostFailures);
+            m.counter("dist/host_failures").add(hostFailures);
             m.gauge("dist/workers")
                 .set(static_cast<double>(stats.workers));
         }
@@ -389,22 +608,40 @@ DistStats::toJson(const std::string &task) const
         << "  \"workers\": " << workers << ",\n"
         << "  \"per_worker\": [\n";
     for (std::uint32_t w = 0; w < workers; ++w) {
-        oss << "    {\"worker\": " << w << ", \"jobs\": " << jobs[w]
+        oss << "    {\"worker\": " << w;
+        if (w < hostOf.size() && !hostOf[w].empty())
+            oss << ", \"host\": \"" << serve::jsonEscape(hostOf[w])
+                << "\"";
+        oss << ", \"jobs\": " << jobs[w]
             << ", \"cache_hits\": " << cacheHits[w]
             << ", \"wall_us\": " << wallUsSum[w] << "}"
             << (w + 1 < workers ? "," : "") << "\n";
     }
+    // Failures split by backend: `worker_failed` keeps its historical
+    // forked-worker meaning, remote lanes land in `host_failed`.
+    const auto emitFailures = [&](bool remote) {
+        bool first = true;
+        for (const auto &f : failures) {
+            if (f.host.empty() == remote)
+                continue;
+            oss << (first ? "" : ", ") << "{\"worker\": " << f.worker;
+            if (remote)
+                oss << ", \"host\": \"" << serve::jsonEscape(f.host)
+                    << "\"";
+            oss << ", \"reason\": \"" << serve::jsonEscape(f.reason)
+                << "\", \"requeued_jobs\": [";
+            for (std::size_t j = 0; j < f.requeuedJobs.size(); ++j)
+                oss << (j ? ", " : "") << f.requeuedJobs[j];
+            oss << "]}";
+            first = false;
+        }
+    };
     oss << "  ],\n"
         << "  \"worker_failed\": [";
-    for (std::size_t i = 0; i < failures.size(); ++i) {
-        const auto &f = failures[i];
-        oss << (i ? ", " : "") << "{\"worker\": " << f.worker
-            << ", \"reason\": \"" << serve::jsonEscape(f.reason)
-            << "\", \"requeued_jobs\": [";
-        for (std::size_t j = 0; j < f.requeuedJobs.size(); ++j)
-            oss << (j ? ", " : "") << f.requeuedJobs[j];
-        oss << "]}";
-    }
+    emitFailures(false);
+    oss << "],\n"
+        << "  \"host_failed\": [";
+    emitFailures(true);
     oss << "]\n}\n";
     return oss.str();
 }
@@ -455,7 +692,9 @@ exploreDistributed(const trace::Trace &trace,
                   });
         const auto n = std::max<std::uint32_t>(
             1, std::min<std::uint32_t>(
-                   options.workers,
+                   options.workers +
+                       static_cast<std::uint32_t>(
+                           options.hosts.size()),
                    static_cast<std::uint32_t>(jobs.size())));
         std::vector<std::vector<std::uint32_t>> shards(n);
         for (std::size_t k = 0; k < order.size(); ++k)
@@ -485,6 +724,42 @@ exploreDistributed(const trace::Trace &trace,
                 req.matrixWeight = config.phaseSegmenter.matrixWeight;
                 return encodeShardRequest(req);
             };
+        // Remote lanes dispatch one `dse_job` per grid point; the
+        // daemon uses its own disk cache, so `cache_dir` never crosses
+        // the socket.
+        const auto makeJob = [&](std::uint32_t job,
+                                 std::uint32_t attempt) {
+            const auto &p = jobs[job];
+            std::string out = "{\"id\": \"" + std::to_string(job) +
+                              "\", \"cmd\": \"dse_job\"";
+            out += ", \"attempt\": " + std::to_string(attempt);
+            out += ", \"job_index\": " + std::to_string(job);
+            out += ", \"sig\": \"" + serve::jsonEscape(sigs[job]) +
+                   "\"";
+            out += ", \"max_degree\": " + std::to_string(p.maxDegree);
+            out += ", \"restarts\": " + std::to_string(p.restarts);
+            out += ", \"seed\": " + std::to_string(p.seed);
+            out += std::string(", \"unidirectional\": ") +
+                   (p.unidirectional ? "1" : "0");
+            out += ", \"vcs\": " + std::to_string(p.numVcs);
+            out += ", \"vc_depth\": " + std::to_string(p.vcDepth);
+            out += ", \"phase_window\": " +
+                   std::to_string(p.phaseWindow);
+            out += ", \"reconfig_cost\": " +
+                   std::to_string(config.phaseReconfigCost);
+            out += ", \"threshold\": " +
+                   fmtDouble(config.phaseSegmenter.mergeThreshold);
+            out += ", \"min_phase_windows\": " +
+                   std::to_string(config.phaseSegmenter.minPhaseWindows);
+            out += ", \"matrix_weight\": " +
+                   fmtDouble(config.phaseSegmenter.matrixWeight);
+            out += ", \"deadline_ms\": " +
+                   std::to_string(std::max<std::int64_t>(
+                       options.workerTimeoutMs, 1));
+            out += ", \"trace\": \"" + serve::jsonEscape(patternBytes) +
+                   "\"}\n";
+            return out;
+        };
         const auto onResult = [&](const WorkerMsg &msg,
                                   std::uint32_t /*slot*/) {
             dse::DsePoint pt;
@@ -494,8 +769,8 @@ exploreDistributed(const trace::Trace &trace,
             dse::recordJobPoint(config, msg.index, pt);
             report.points[msg.index] = std::move(pt);
         };
-        runShards(shards, options, config.cancel, makeRequest, onResult,
-                  stats, config.traceLog, "job");
+        runShards(shards, options, config.cancel, makeRequest, makeJob,
+                  onResult, stats, config.traceLog, "job");
     }
 
     dse::finalizeReport(report, config);
@@ -556,7 +831,11 @@ evaluatePhasesDistributed(const trace::Trace &trace,
         const std::string sig = phasesSignature(config);
 
         const auto n = std::max<std::uint32_t>(
-            1, std::min<std::uint32_t>(options.workers, nPhases));
+            1, std::min<std::uint32_t>(
+                   options.workers +
+                       static_cast<std::uint32_t>(
+                           options.hosts.size()),
+                   nPhases));
         std::vector<std::vector<std::uint32_t>> shards(n);
         for (std::uint32_t p = 0; p < nPhases; ++p)
             shards[p % n].push_back(p);
@@ -583,13 +862,45 @@ evaluatePhasesDistributed(const trace::Trace &trace,
                 req.expectedPhases = nPhases;
                 return encodeShardRequest(req);
             };
+        const auto makeJob = [&](std::uint32_t job,
+                                 std::uint32_t attempt) {
+            std::string out = "{\"id\": \"" + std::to_string(job) +
+                              "\", \"cmd\": \"phase_job\"";
+            out += ", \"attempt\": " + std::to_string(attempt);
+            out += ", \"job_index\": " + std::to_string(job);
+            out += ", \"sig\": \"" + serve::jsonEscape(sig) + "\"";
+            out += ", \"window\": " +
+                   std::to_string(config.segmenter.windowMessages);
+            out += ", \"threshold\": " +
+                   fmtDouble(config.segmenter.mergeThreshold);
+            out += ", \"min_phase_windows\": " +
+                   std::to_string(config.segmenter.minPhaseWindows);
+            out += ", \"matrix_weight\": " +
+                   fmtDouble(config.segmenter.matrixWeight);
+            out += ", \"max_degree\": " +
+                   std::to_string(config.methodology.partitioner
+                                      .constraints.maxDegree);
+            out += ", \"restarts\": " +
+                   std::to_string(config.methodology.restarts);
+            out += ", \"seed\": " +
+                   std::to_string(config.methodology.partitioner.seed);
+            out += ", \"reconfig_cost\": " +
+                   std::to_string(config.reconfigCost);
+            out += ", \"expected_phases\": " + std::to_string(nPhases);
+            out += ", \"deadline_ms\": " +
+                   std::to_string(std::max<std::int64_t>(
+                       options.workerTimeoutMs, 1));
+            out += ", \"trace\": \"" + serve::jsonEscape(traceText) +
+                   "\"}\n";
+            return out;
+        };
         const auto onResult = [&](const WorkerMsg &msg,
                                   std::uint32_t /*slot*/) {
             rows.at(msg.index) = msg.row;
         };
         runShards(shards, options, config.methodology.cancel,
-                  makeRequest, onResult, stats, config.traceLog,
-                  "phase");
+                  makeRequest, makeJob, onResult, stats,
+                  config.traceLog, "phase");
     }
 
     auto report = phase::assemblePhaseReport(trace, config, seg, mono,

@@ -10,6 +10,13 @@
  * explorer uses. Reports are therefore byte-identical to
  * `--workers 1` and to the single-process run by construction.
  *
+ * With DistOptions::hosts set, the leading lanes are remote `minnoc
+ * serve` daemons instead of forked processes: the same shards, dealt
+ * by the same rule, dispatched one `dse_job`/`phase_job` request per
+ * job over TCP (windowed, so a daemon always has work queued). Both
+ * backends return the identical per-job result documents, so any mix
+ * of hosts and forked workers produces the same report bytes.
+ *
  * Fault handling: a worker that crashes, reports an error, or goes
  * silent past the activity timeout is reaped (SIGKILL if necessary)
  * and its *unfinished* jobs are requeued once onto a fresh worker;
@@ -33,6 +40,7 @@
 
 #include "dse/explorer.hpp"
 #include "phase/evaluator.hpp"
+#include "remote.hpp"
 
 namespace minnoc::dist {
 
@@ -43,9 +51,19 @@ struct DistOptions
     std::uint32_t workers = 2;
 
     /**
+     * Remote `minnoc serve` daemons to drive as job backends, one
+     * lane each, ahead of the forked workers; `workers` may be 0 for
+     * an all-remote run. A dead daemon's unfinished jobs requeue onto
+     * a surviving host, or a forked local worker when none survives.
+     */
+    std::vector<HostSpec> hosts;
+
+    /**
      * A worker producing no result for this long is presumed hung,
      * killed, and its shard requeued. Generous by default: one DSE
-     * job on a large pattern can legitimately run minutes.
+     * job on a large pattern can legitimately run minutes. For remote
+     * lanes this doubles as the per-request deadline sent to the
+     * daemon (subject to the daemon's own max-deadline clamp).
      */
     std::int64_t workerTimeoutMs = 600'000;
 };
@@ -54,6 +72,8 @@ struct DistOptions
 struct WorkerFailure
 {
     std::uint32_t worker = 0; ///< worker slot
+    /** `host:port` when the slot was a remote lane; "" when local. */
+    std::string host;
     std::string reason;       ///< "timeout", "exit 42", "signal 9", ...
     /** Job indices requeued onto the replacement worker. */
     std::vector<std::uint32_t> requeuedJobs;
@@ -67,12 +87,15 @@ struct DistStats
     std::vector<std::uint64_t> jobs;      ///< results per slot
     std::vector<std::uint64_t> cacheHits; ///< cached results per slot
     std::vector<std::int64_t> wallUsSum;  ///< summed job wall time
+    /** Per slot, the remote host label; "" for forked workers. */
+    std::vector<std::string> hostOf;
     std::vector<WorkerFailure> failures;
 
     /**
      * Deterministic-shape status JSON (wall times are wall times; the
      * shape and counts are reproducible, the durations are not):
-     * per-worker rows plus the `worker_failed` array.
+     * per-worker rows plus the `worker_failed` (forked workers) and
+     * `host_failed` (remote lanes) arrays.
      */
     std::string toJson(const std::string &task) const;
 };

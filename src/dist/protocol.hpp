@@ -37,8 +37,23 @@
 
 #include "dse/explorer.hpp"
 #include "phase/evaluator.hpp"
+#include "serve/jobwire.hpp"
 
 namespace minnoc::dist {
+
+// The per-job result layer (WorkerMsg, its encoders/parser and the
+// phases signature) lives in serve/jobwire.*: the serve daemon emits
+// the identical documents for `dse_job`/`phase_job` requests, which is
+// what makes the remote backend byte-compatible with the pipe backend.
+// Re-exported here so dist call sites keep their historical names.
+using serve::WorkerMsg;
+using serve::encodeResult;
+using serve::encodePhaseResult;
+using serve::encodeDone;
+using serve::encodeError;
+using serve::parseWorkerMsg;
+using serve::phasesSignature;
+using serve::fmtDouble;
 
 /** Hard cap on one frame (requests carry whole traces). */
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
@@ -112,51 +127,6 @@ std::string encodeShardRequest(const ShardRequest &req);
 /** Parse a request payload; on failure fills @p err, returns nullopt. */
 std::optional<ShardRequest> parseShardRequest(const std::string &text,
                                               std::string &err);
-
-/** Everything a worker sends back, one frame per message. */
-struct WorkerMsg
-{
-    enum class Kind : std::uint8_t { Result, Done, Error };
-    Kind kind = Kind::Done;
-
-    // Result
-    std::uint32_t index = 0; ///< grid index / phase index
-    bool cached = false;     ///< explore only
-    std::int64_t wallUs = 0; ///< worker-side wall time of this job
-    dse::JobMetrics metrics; ///< explore payload
-    phase::PhaseRowEval row; ///< phases payload
-    bool isPhaseRow = false;
-
-    // Done
-    std::uint64_t jobs = 0;
-    std::uint64_t cacheHits = 0;
-
-    // Error (codes follow serve::errorCodeName)
-    std::string code;
-    std::string message;
-};
-
-std::string encodeResult(std::uint32_t index, bool cached,
-                         std::int64_t wallUs,
-                         const dse::JobMetrics &metrics);
-std::string encodePhaseResult(std::uint32_t index, std::int64_t wallUs,
-                              const phase::PhaseRowEval &row);
-std::string encodeDone(std::uint64_t jobs, std::uint64_t cacheHits);
-std::string encodeError(const std::string &code,
-                        const std::string &message);
-
-/** Parse a worker payload; on failure fills @p err, returns nullopt. */
-std::optional<WorkerMsg> parseWorkerMsg(const std::string &text,
-                                        std::string &err);
-
-/**
- * Combined signature of one phases evaluation — every stage signature
- * concatenated plus the reconfiguration cost. The coordinator sends
- * it, the worker recomputes it from the wire scalars; inequality means
- * the config carries knobs the wire cannot express, and the worker
- * refuses rather than produce a silently different report.
- */
-std::string phasesSignature(const phase::PhaseEvalConfig &config);
 
 } // namespace minnoc::dist
 

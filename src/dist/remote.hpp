@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Remote worker transport: TCP plumbing that lets the coordinator
+ * drive `minnoc serve` daemons as job backends.
+ *
+ * A remote lane speaks the serve NDJSON protocol — one `dse_job` /
+ * `phase_job` request per line, one reply per line — instead of the
+ * netstring pipe protocol, but feeds the coordinator the exact same
+ * per-job result documents (serve/jobwire.*), which is what keeps
+ * `--hosts` byte-identical to `--workers`.
+ *
+ * Scope: address parsing, connection establishment with bounded
+ * exponential backoff, and a partial-write-safe send. The lane state
+ * machine itself lives in the coordinator, next to the pipe lanes.
+ */
+
+#ifndef MINNOC_DIST_REMOTE_HPP
+#define MINNOC_DIST_REMOTE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minnoc::dist {
+
+/** One daemon address from `--hosts host:port,host:port,...`. */
+struct HostSpec
+{
+    std::string host; ///< name or dotted quad
+    std::uint16_t port = 0;
+
+    /** `host:port`, the stable label used in stats and trace lanes. */
+    std::string label() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+/**
+ * Parse a comma-separated `host:port` list. Empty input yields an
+ * empty vector; any malformed entry (missing port, port outside
+ * [1, 65535], empty host) is fatal() — a typoed fleet address must
+ * never silently shrink the fleet.
+ */
+std::vector<HostSpec> parseHostList(const std::string &spec);
+
+/**
+ * Connect to @p host with up to @p attempts tries, exponential
+ * backoff from 100 ms. Returns the connected fd, or -1 with @p err
+ * filled. The fd is left in blocking mode; callers flip O_NONBLOCK.
+ */
+int connectHost(const HostSpec &host, std::string &err,
+                int attempts = 5);
+
+/** Write all of @p data, riding out EINTR/EAGAIN; false on error. */
+bool sendAll(int fd, std::string_view data);
+
+} // namespace minnoc::dist
+
+#endif // MINNOC_DIST_REMOTE_HPP

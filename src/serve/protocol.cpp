@@ -32,6 +32,8 @@ cmdName(Cmd cmd)
       case Cmd::Design: return "design";
       case Cmd::Explore: return "explore";
       case Cmd::Phases: return "phases";
+      case Cmd::DseJob: return "dse_job";
+      case Cmd::PhaseJob: return "phase_job";
     }
     return "ping";
 }
@@ -137,13 +139,19 @@ parseRequest(const std::string &line, RequestError &error)
         req.cmd = Cmd::Explore;
     else if (name == "phases")
         req.cmd = Cmd::Phases;
+    else if (name == "dse_job")
+        req.cmd = Cmd::DseJob;
+    else if (name == "phase_job")
+        req.cmd = Cmd::PhaseJob;
     else
         return fail(error, ErrorCode::ValidationError,
                     "unknown cmd '" + name + "'");
 
     const bool compute = req.cmd == Cmd::Design ||
                          req.cmd == Cmd::Explore ||
-                         req.cmd == Cmd::Phases;
+                         req.cmd == Cmd::Phases ||
+                         req.cmd == Cmd::DseJob ||
+                         req.cmd == Cmd::PhaseJob;
 
     // Strict field set: every key must be known AND applicable to the
     // command — a typoed or misplaced parameter is an error, not a
@@ -167,8 +175,21 @@ parseRequest(const std::string &line, RequestError &error)
             (key == "window" || key == "threshold" ||
              key == "min_phase_windows" || key == "reconfig_cost" ||
              key == "max_degree" || key == "restarts" || key == "seed");
+        const bool jobCommon =
+            (req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) &&
+            (key == "attempt" || key == "job_index" || key == "sig" ||
+             key == "max_degree" || key == "restarts" || key == "seed" ||
+             key == "reconfig_cost" || key == "threshold" ||
+             key == "min_phase_windows" || key == "matrix_weight");
+        const bool dseJobKey =
+            req.cmd == Cmd::DseJob &&
+            (key == "unidirectional" || key == "vcs" ||
+             key == "vc_depth" || key == "phase_window");
+        const bool phaseJobKey =
+            req.cmd == Cmd::PhaseJob &&
+            (key == "window" || key == "expected_phases");
         if (!common && !computeCommon && !designKey && !exploreKey &&
-            !phasesKey)
+            !phasesKey && !jobCommon && !dseJobKey && !phaseJobKey)
             return fail(error, ErrorCode::ValidationError,
                         "unknown field '" + key + "' for cmd '" + name +
                             "'");
@@ -197,7 +218,8 @@ parseRequest(const std::string &line, RequestError &error)
                     std::string("'") + field + "' " + what);
     };
 
-    if (req.cmd == Cmd::Design || req.cmd == Cmd::Phases) {
+    if (req.cmd == Cmd::Design || req.cmd == Cmd::Phases ||
+        req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) {
         if (const auto *v = root->find("max_degree")) {
             if (!asUint(*v, 64, u) || u < 1)
                 return badField("max_degree",
@@ -315,6 +337,96 @@ parseRequest(const std::string &line, RequestError &error)
                 return badField("reconfig_cost",
                                 "must be an integer in [0, 1e9]");
             req.reconfigCost = static_cast<std::int64_t>(u);
+        }
+    }
+
+    if (req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) {
+        if (const auto *v = root->find("attempt")) {
+            if (!asUint(*v, 2, u) || u < 1)
+                return badField("attempt",
+                                "must be an integer in [1, 2]");
+            req.attempt = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("job_index")) {
+            if (!asUint(*v, 4294967295ull, u))
+                return badField("job_index",
+                                "must be an integer in [0, 2^32)");
+            req.jobIndex = static_cast<std::uint32_t>(u);
+        }
+        // The signature is the drift guard between coordinator and
+        // backend; a job without one cannot be checked, so require it.
+        const auto *sig = root->find("sig");
+        if (!sig || !sig->isString() || sig->asString().empty() ||
+            sig->asString().size() > 1024)
+            return fail(error, ErrorCode::ValidationError,
+                        "'sig' must be a non-empty string of at most "
+                        "1024 bytes");
+        req.sig = sig->asString();
+        if (const auto *v = root->find("reconfig_cost")) {
+            if (!asUint(*v, 1'000'000'000, u))
+                return badField("reconfig_cost",
+                                "must be an integer in [0, 1e9]");
+            req.reconfigCost = static_cast<std::int64_t>(u);
+        }
+        if (const auto *v = root->find("threshold")) {
+            if (!v->isNumber() || !(v->asNumber() >= 0.0) ||
+                !(v->asNumber() <= 1e6))
+                return badField("threshold",
+                                "must be a number in [0, 1e6]");
+            req.threshold = v->asNumber();
+        }
+        if (const auto *v = root->find("min_phase_windows")) {
+            if (!asUint(*v, 1'000'000, u) || u < 1)
+                return badField("min_phase_windows",
+                                "must be an integer in [1, 1e6]");
+            req.minPhaseWindows = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("matrix_weight")) {
+            if (!v->isNumber() || !(v->asNumber() >= 0.0) ||
+                !(v->asNumber() <= 1.0))
+                return badField("matrix_weight",
+                                "must be a number in [0, 1]");
+            req.matrixWeight = v->asNumber();
+        }
+    }
+
+    if (req.cmd == Cmd::DseJob) {
+        if (const auto *v = root->find("unidirectional")) {
+            if (!asUint(*v, 1, u))
+                return badField("unidirectional", "must be 0 or 1");
+            req.unidirectional = u != 0;
+        }
+        if (const auto *v = root->find("vcs")) {
+            if (!asUint(*v, 32, u) || u < 1)
+                return badField("vcs", "must be an integer in [1, 32]");
+            req.vcs = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("vc_depth")) {
+            if (!asUint(*v, 64, u) || u < 1)
+                return badField("vc_depth",
+                                "must be an integer in [1, 64]");
+            req.vcDepth = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("phase_window")) {
+            if (!asUint(*v, 1'000'000, u))
+                return badField("phase_window",
+                                "must be an integer in [0, 1e6]");
+            req.phaseWindow = static_cast<std::uint32_t>(u);
+        }
+    }
+
+    if (req.cmd == Cmd::PhaseJob) {
+        if (const auto *v = root->find("window")) {
+            if (!asUint(*v, 1'000'000'000, u) || u < 1)
+                return badField("window",
+                                "must be an integer in [1, 1e9]");
+            req.window = static_cast<std::uint32_t>(u);
+        }
+        if (const auto *v = root->find("expected_phases")) {
+            if (!asUint(*v, 1'000'000, u))
+                return badField("expected_phases",
+                                "must be an integer in [0, 1e6]");
+            req.expectedPhases = static_cast<std::uint32_t>(u);
         }
     }
 

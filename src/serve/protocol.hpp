@@ -73,6 +73,8 @@ enum class Cmd : std::uint8_t {
     Design,  ///< full methodology run -> design file bytes
     Explore, ///< DSE grid sweep -> explore report JSON
     Phases,  ///< phase segmentation + evaluation -> phases report JSON
+    DseJob,  ///< one explore grid point -> job-wire result document
+    PhaseJob, ///< one phase standalone row -> job-wire result document
 };
 
 /** Stable wire name of @p cmd (`"design"`, ...). */
@@ -106,6 +108,22 @@ struct Request
     std::uint32_t window = phase::PhaseConfig{}.windowMessages;
     double threshold = phase::PhaseConfig{}.mergeThreshold;
     std::uint32_t minPhaseWindows = phase::PhaseConfig{}.minPhaseWindows;
+
+    // dse_job / phase_job scalars — the multi-host coordinator's
+    // per-job dispatch (defaults = JobParams / segmenter defaults).
+    /** Coordinator's dispatch attempt for this job (2 on requeue). */
+    std::uint32_t attempt = 1;
+    /** Grid index / phase index, echoed in the result document. */
+    std::uint32_t jobIndex = 0;
+    /** Coordinator's expected parameter signature (drift guard). */
+    std::string sig;
+    bool unidirectional = false;
+    std::uint32_t vcs = 3;
+    std::uint32_t vcDepth = 4;
+    std::uint32_t phaseWindow = 0;
+    double matrixWeight = phase::PhaseConfig{}.matrixWeight;
+    /** phase_job segmentation cross-check (phases the caller saw). */
+    std::uint32_t expectedPhases = 0;
 };
 
 /** A (code, message) pair — the payload of every error response. */

@@ -1,8 +1,10 @@
 #include "server.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -18,7 +20,10 @@
 #include "core/methodology.hpp"
 #include "dse/cache.hpp"
 #include "dse/explorer.hpp"
+#include "jobwire.hpp"
 #include "phase/evaluator.hpp"
+#include "phase/multi_design.hpp"
+#include "phase/segmenter.hpp"
 #include "trace/analyzer.hpp"
 #include "trace/trace.hpp"
 #include "util/json.hpp"
@@ -64,12 +69,56 @@ requestKey(const Request &req)
             << "|rc=" << req.reconfigCost << "|d=" << req.maxDegree
             << "|r=" << req.restarts << "|s=" << req.seed;
         break;
+      case Cmd::DseJob:
+        sig << "|j=" << req.jobIndex << "|sig=" << req.sig
+            << "|d=" << req.maxDegree << "|r=" << req.restarts
+            << "|s=" << req.seed << "|u=" << req.unidirectional
+            << "|v=" << req.vcs << "|vcd=" << req.vcDepth
+            << "|pw=" << req.phaseWindow << "|rc=" << req.reconfigCost;
+        break;
+      case Cmd::PhaseJob:
+        sig << "|j=" << req.jobIndex << "|sig=" << req.sig
+            << "|w=" << req.window << "|ep=" << req.expectedPhases;
+        break;
       case Cmd::Ping:
       case Cmd::Status:
         break;
     }
     const auto h = dse::fnv1a64(sig.str());
     return dse::fnv1a64(req.traceText, h);
+}
+
+/** Jobs this daemon has completed — arms the chaos hooks below. */
+std::atomic<std::uint64_t> gJobsCompleted{0};
+
+/**
+ * True when the dist test hook @p env is set to "serve" (the
+ * daemon-side spelling; pipe workers use their numeric slot), this is
+ * the job's first dispatch attempt, and at least one job has already
+ * completed — mirroring the pipe worker's after-first-result timing.
+ */
+bool
+serveHookFires(const char *env, std::uint32_t attempt)
+{
+    if (attempt != 1 ||
+        gJobsCompleted.load(std::memory_order_relaxed) == 0)
+        return false;
+    const char *v = std::getenv(env);
+    return v && std::string(v) == "serve";
+}
+
+/** Simulated daemon crash / stalled socket, for the chaos tests. */
+void
+maybeInjectServeFault(std::uint32_t attempt)
+{
+    if (serveHookFires("MINNOC_DIST_TEST_CRASH", attempt))
+        ::_exit(42);
+    if (serveHookFires("MINNOC_DIST_TEST_HANG", attempt)) {
+        // Stop responding; only the coordinator's activity timeout
+        // (or killing the daemon) ends this.
+        for (;;)
+            ::usleep(50'000);
+    }
 }
 
 /** Best-effort id extraction for error responses to invalid lines. */
@@ -544,6 +593,38 @@ Server::handleJob(Job &job, const std::uint32_t worker)
 {
     const auto &req = job.req;
 
+    // Coordinator job dispatch bypasses the response LRU and the
+    // single-flight tier: the `cached` flag inside the result document
+    // must tell the truth about this daemon's disk cache, and the
+    // shared disk cache already dedups identical jobs across requests.
+    if (req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) {
+        (void)worker;
+        if (job.token->cancelled()) {
+            const auto [code, message] =
+                cancelError(job.token->reason());
+            respondError(job.conn, req.id, code, message);
+        } else {
+            try {
+                const auto payload = compute(job);
+                _metrics.counter("serve/responses_ok").add();
+                respond(job.conn,
+                        okResponse(req.id, req.cmd, payload));
+            } catch (const CancelledError &) {
+                const auto [code, message] =
+                    cancelError(job.token->reason());
+                respondError(job.conn, req.id, code, message);
+            } catch (const FatalError &e) {
+                respondError(job.conn, req.id,
+                             ErrorCode::ValidationError, e.what());
+            } catch (const std::exception &e) {
+                respondError(job.conn, req.id, ErrorCode::Internal,
+                             e.what());
+            }
+        }
+        recordLatency(job);
+        return;
+    }
+
     for (;;) {
         if (job.token->cancelled()) {
             const auto [code, message] =
@@ -781,6 +862,112 @@ Server::compute(const Job &job)
         cfg.threads = 1;
         return phase::evaluatePhases(tr, cfg).toJson();
       }
+      case Cmd::DseJob: {
+        maybeInjectServeFault(req.attempt);
+        dse::ExploreConfig cfg;
+        cfg.threads = 1;
+        // Always the daemon's OWN disk cache, never a client path —
+        // the socket is the trust boundary.
+        cfg.cacheDir = _config.cacheDir;
+        cfg.useCache = _config.useCache;
+        cfg.phaseSegmenter.mergeThreshold = req.threshold;
+        cfg.phaseSegmenter.minPhaseWindows = req.minPhaseWindows;
+        cfg.phaseSegmenter.matrixWeight = req.matrixWeight;
+        cfg.phaseReconfigCost =
+            static_cast<sim::Cycle>(req.reconfigCost);
+        cfg.cancel = job.token.get();
+
+        dse::JobParams params;
+        params.maxDegree = req.maxDegree;
+        params.restarts = req.restarts;
+        params.seed = req.seed;
+        params.unidirectional = req.unidirectional;
+        params.numVcs = req.vcs;
+        params.vcDepth = req.vcDepth;
+        params.phaseWindow = req.phaseWindow;
+
+        const auto sig = dse::jobSignature(params, cfg);
+        if (sig != req.sig)
+            throw FatalError(
+                "job signature drift: coordinator expects '" +
+                req.sig + "', daemon computes '" + sig + "'");
+
+        // Re-serialize so the cache key matches the coordinator's
+        // (save∘load round-trips bit-exactly).
+        std::ostringstream patternStream;
+        tr.save(patternStream);
+        const auto key = dse::jobKey(patternStream.str(), sig);
+
+        auto cliques = trace::analyzeByCall(tr);
+        cliques.prepareCaches();
+        const dse::ResultCache cache(cfg.cacheDir, cfg.useCache);
+
+        const std::int64_t t0 = CancelToken::nowUs();
+        dse::JobMetrics metrics;
+        bool cached = false;
+        if (auto hit = cache.load(key, sig)) {
+            metrics = *hit;
+            cached = true;
+            _metrics.counter("serve/job_cache_hits").add();
+        } else {
+            metrics = dse::evaluateJob(tr, cliques, params, cfg);
+            cache.store(key, sig, metrics);
+            _metrics.counter("serve/job_cache_misses").add();
+        }
+        const std::int64_t wallUs = CancelToken::nowUs() - t0;
+        _metrics.counter("serve/dse_jobs").add();
+        gJobsCompleted.fetch_add(1, std::memory_order_relaxed);
+        return encodeResult(req.jobIndex, cached, wallUs, metrics);
+      }
+      case Cmd::PhaseJob: {
+        maybeInjectServeFault(req.attempt);
+        phase::PhaseEvalConfig cfg;
+        cfg.segmenter.windowMessages = req.window;
+        cfg.segmenter.mergeThreshold = req.threshold;
+        cfg.segmenter.minPhaseWindows = req.minPhaseWindows;
+        cfg.segmenter.matrixWeight = req.matrixWeight;
+        cfg.methodology.partitioner.constraints.maxDegree =
+            req.maxDegree;
+        cfg.methodology.partitioner.seed =
+            static_cast<std::uint32_t>(req.seed);
+        cfg.methodology.restarts = req.restarts;
+        cfg.methodology.threads = 1;
+        cfg.methodology.cancel = job.token.get();
+        cfg.sim.cancel = job.token.get();
+        cfg.reconfigCost =
+            static_cast<sim::Cycle>(req.reconfigCost);
+        cfg.threads = 1;
+
+        const auto sig = phasesSignature(cfg);
+        if (sig != req.sig)
+            throw FatalError(
+                "phases signature drift: coordinator expects '" +
+                req.sig + "', daemon computes '" + sig + "'");
+
+        const phase::Segmentation seg =
+            phase::segmentTrace(tr, cfg.segmenter);
+        if (seg.phases.size() != req.expectedPhases)
+            throw FatalError(
+                "segmentation drift: coordinator detected " +
+                std::to_string(req.expectedPhases) +
+                " phases, daemon detected " +
+                std::to_string(seg.phases.size()));
+        if (req.jobIndex >= seg.phases.size())
+            throw FatalError("job references phase " +
+                             std::to_string(req.jobIndex) + " of " +
+                             std::to_string(seg.phases.size()));
+        const phase::PhaseCliques cliques =
+            phase::buildPhaseCliques(tr, seg);
+
+        const std::int64_t t0 = CancelToken::nowUs();
+        const auto row = phase::evalPhaseStandalone(
+            tr, seg, cliques.standalone[req.jobIndex], req.jobIndex,
+            cfg);
+        const std::int64_t wallUs = CancelToken::nowUs() - t0;
+        _metrics.counter("serve/phase_jobs").add();
+        gJobsCompleted.fetch_add(1, std::memory_order_relaxed);
+        return encodePhaseResult(req.jobIndex, wallUs, row);
+      }
       case Cmd::Ping:
       case Cmd::Status:
         break;
@@ -908,6 +1095,11 @@ Server::statusJson()
         os << (i ? ", " : "") << '"' << errorCodeName(kCodes[i])
            << "\": " << errorCounter(kCodes[i]);
     os << "}, \"computations\": " << counter("serve/computations")
+       << ", \"dse_jobs\": " << counter("serve/dse_jobs")
+       << ", \"phase_jobs\": " << counter("serve/phase_jobs")
+       << ", \"job_cache_hits\": " << counter("serve/job_cache_hits")
+       << ", \"job_cache_misses\": "
+       << counter("serve/job_cache_misses")
        << ", \"dedup_joins\": " << counter("serve/dedup_joins")
        << ", \"lru_hits\": " << lruHits
        << ", \"lru_lookups\": " << lruLookups

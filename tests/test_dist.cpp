@@ -15,72 +15,21 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <filesystem>
-
 #include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
+#include "dist_test_harness.hpp"
 #include "dse/explorer.hpp"
 #include "phase/evaluator.hpp"
-#include "trace/nas_generators.hpp"
 #include "trace/scale_patterns.hpp"
 #include "trace/synthetic.hpp"
 #include "util/cancel.hpp"
 
 using namespace minnoc;
 using namespace minnoc::dist;
-
-namespace {
-
-std::string
-tempCacheDir(const char *leaf)
-{
-    const auto dir =
-        std::filesystem::path(::testing::TempDir()) / leaf;
-    std::filesystem::remove_all(dir);
-    return dir.string();
-}
-
-/** 2 x 2 = 4-job grid on CG-8, mirroring test_dse's smallConfig. */
-dse::ExploreConfig
-smallConfig(const std::string &cacheDir, bool useCache)
-{
-    dse::ExploreConfig cfg;
-    cfg.grid.maxDegrees = {4, 5};
-    cfg.grid.restarts = {2};
-    cfg.grid.seeds = {1};
-    cfg.grid.unidirectional = {0};
-    cfg.grid.vcs = {2, 3};
-    cfg.threads = 1;
-    cfg.cacheDir = cacheDir;
-    cfg.useCache = useCache;
-    return cfg;
-}
-
-trace::Trace
-cgTrace()
-{
-    trace::NasConfig ncfg;
-    ncfg.ranks = 8;
-    ncfg.iterations = 1;
-    return trace::generateCG(ncfg);
-}
-
-/** RAII guard for the worker fault-injection environment hooks. */
-class EnvGuard
-{
-  public:
-    EnvGuard(const char *name, const char *value) : _name(name)
-    {
-        ::setenv(name, value, 1);
-    }
-    ~EnvGuard() { ::unsetenv(_name); }
-
-  private:
-    const char *_name;
-};
-
-} // namespace
+using disttest::cgTrace;
+using disttest::EnvGuard;
+using disttest::smallConfig;
+using disttest::tempCacheDir;
 
 TEST(DistFraming, RoundTripsThroughFrameBuffer)
 {
@@ -356,7 +305,11 @@ TEST(DistStatsJson, ReportsPerWorkerRowsAndFailures)
     stats.jobs = {3, 1};
     stats.cacheHits = {1, 0};
     stats.wallUsSum = {1000, 2000};
-    stats.failures.push_back(WorkerFailure{1, "signal 9", {5, 6}});
+    WorkerFailure local;
+    local.worker = 1;
+    local.reason = "signal 9";
+    local.requeuedJobs = {5, 6};
+    stats.failures.push_back(local);
 
     const auto json = stats.toJson("explore");
     EXPECT_NE(json.find("\"report\": \"minnoc-dist-status\""),
@@ -365,4 +318,31 @@ TEST(DistStatsJson, ReportsPerWorkerRowsAndFailures)
     EXPECT_NE(json.find("\"per_worker\""), std::string::npos);
     EXPECT_NE(json.find("\"worker_failed\""), std::string::npos);
     EXPECT_NE(json.find("signal 9"), std::string::npos);
+    // A local failure must never surface in the host_failed array.
+    EXPECT_NE(json.find("\"host_failed\": []"), std::string::npos);
+
+    stats.workers = 3;
+    stats.jobs.push_back(2);
+    stats.cacheHits.push_back(0);
+    stats.wallUsSum.push_back(500);
+    stats.hostOf = {"", "", "127.0.0.1:9999"};
+    WorkerFailure remote;
+    remote.worker = 2;
+    remote.host = "127.0.0.1:9999";
+    remote.reason = "connection closed";
+    stats.failures.push_back(remote);
+
+    const auto both = stats.toJson("explore");
+    EXPECT_NE(both.find("\"host\": \"127.0.0.1:9999\""),
+              std::string::npos);
+    EXPECT_NE(both.find("\"host_failed\": [{"), std::string::npos);
+    EXPECT_NE(both.find("connection closed"), std::string::npos);
+    // And the split is exclusive: the local failure stays in
+    // worker_failed, the remote one in host_failed.
+    const auto wf = both.find("\"worker_failed\"");
+    const auto hf = both.find("\"host_failed\"");
+    ASSERT_NE(wf, std::string::npos);
+    ASSERT_NE(hf, std::string::npos);
+    EXPECT_EQ(both.find("signal 9", wf) < hf, true);
+    EXPECT_EQ(both.find("connection closed", wf) > hf, true);
 }

@@ -362,5 +362,143 @@ TEST(ServeFuzz, HostileParameterRangesAreValidationErrors)
     }
 }
 
+// ------------------------------------------------- dse_job request fuzz
+
+namespace {
+
+/** A well-formed coordinator-style dse_job line to mutate. */
+std::string
+validDseJobLine()
+{
+    trace::NasConfig cfg;
+    cfg.ranks = 8;
+    cfg.iterations = 1;
+    const auto tr = trace::generateCG(cfg);
+    std::ostringstream traceOs;
+    tr.save(traceOs);
+    std::ostringstream os;
+    os << "{\"id\": \"3\", \"cmd\": \"dse_job\", \"attempt\": 1,"
+          " \"job_index\": 3, \"sig\": \"d=4;r=2;s=1\","
+          " \"max_degree\": 4, \"restarts\": 2, \"seed\": 1,"
+          " \"unidirectional\": 0, \"vcs\": 2, \"vc_depth\": 4,"
+          " \"phase_window\": 0, \"reconfig_cost\": 0,"
+          " \"threshold\": 0.35, \"min_phase_windows\": 2,"
+          " \"matrix_weight\": 0.5, \"deadline_ms\": 10000,"
+          " \"trace\": \""
+       << serve::jsonEscape(traceOs.str()) << "\"}";
+    return os.str();
+}
+
+} // namespace
+
+TEST(ServeFuzz, WellFormedDseJobParses)
+{
+    serve::RequestError error;
+    const auto req = serve::parseRequest(validDseJobLine(), error);
+    ASSERT_TRUE(req.has_value()) << error.message;
+    EXPECT_EQ(req->cmd, serve::Cmd::DseJob);
+    EXPECT_EQ(req->attempt, 1u);
+    EXPECT_EQ(req->jobIndex, 3u);
+    EXPECT_EQ(req->sig, "d=4;r=2;s=1");
+    EXPECT_EQ(req->maxDegree, 4u);
+    EXPECT_EQ(req->vcs, 2u);
+    EXPECT_EQ(req->deadlineMs, 10'000);
+}
+
+TEST_P(FuzzSeeds, MutatedDseJobsNeverCrashTheParser)
+{
+    const auto full = validDseJobLine();
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 7);
+    for (int round = 0; round < 100; ++round) {
+        std::string line = full;
+        const auto flips = 1 + rng.below(8);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            line[rng.below(line.size())] =
+                static_cast<char>(rng.below(256));
+        expectTotal(line);
+    }
+}
+
+TEST(ServeFuzz, TruncatedDseJobsAlwaysParseError)
+{
+    const auto full = validDseJobLine();
+    for (std::size_t len = 0; len < full.size();
+         len += (len + 64 < full.size() ? 37 : 1)) {
+        serve::RequestError e;
+        const auto req = serve::parseRequest(full.substr(0, len), e);
+        EXPECT_FALSE(req.has_value())
+            << "truncated dse_job prefix of " << len << " bytes parsed";
+        EXPECT_FALSE(e.message.empty());
+    }
+}
+
+TEST(ServeFuzz, HostileDseJobFieldsAreValidationErrors)
+{
+    const std::string head =
+        "{\"id\": \"j\", \"cmd\": \"dse_job\", \"trace\": \"t\","
+        " \"sig\": \"s\"";
+    const char *tails[] = {
+        // Missing sig entirely (strip it by overriding cmd only).
+        nullptr, // placeholder; handled separately below
+        // Unknown / misplaced fields from sibling commands.
+        ", \"degrees\": [4]}",       // explore-only key
+        ", \"window\": 8}",          // phase_job-only key
+        ", \"expected_phases\": 3}", // phase_job-only key
+        ", \"bogus\": 1}",
+        // Out-of-range scalars.
+        ", \"attempt\": 0}",
+        ", \"attempt\": 3}",
+        ", \"vcs\": 0}",
+        ", \"vcs\": 33}",
+        ", \"vc_depth\": 65}",
+        ", \"max_degree\": 65}",
+        ", \"matrix_weight\": 1.5}",
+        ", \"reconfig_cost\": -1}",
+        ", \"seed\": 18446744073709551616}",
+        // Wrong types.
+        ", \"job_index\": \"three\"}",
+        ", \"unidirectional\": [0]}",
+    };
+    for (const auto *tail : tails) {
+        if (!tail)
+            continue;
+        serve::RequestError error;
+        const std::string line = head + tail;
+        EXPECT_FALSE(serve::parseRequest(line, error).has_value())
+            << line;
+        EXPECT_EQ(error.code, serve::ErrorCode::ValidationError)
+            << line;
+    }
+
+    // sig is mandatory and bounded: absent, empty and oversized all
+    // fail closed.
+    const char *sigLines[] = {
+        "{\"id\": \"j\", \"cmd\": \"dse_job\", \"trace\": \"t\"}",
+        "{\"id\": \"j\", \"cmd\": \"dse_job\", \"trace\": \"t\","
+        " \"sig\": \"\"}",
+    };
+    for (const auto *line : sigLines) {
+        serve::RequestError error;
+        EXPECT_FALSE(serve::parseRequest(line, error).has_value())
+            << line;
+        EXPECT_EQ(error.code, serve::ErrorCode::ValidationError);
+    }
+    serve::RequestError error;
+    const std::string fat =
+        "{\"id\": \"j\", \"cmd\": \"dse_job\", \"trace\": \"t\","
+        " \"sig\": \"" +
+        std::string(2000, 'x') + "\"}";
+    EXPECT_FALSE(serve::parseRequest(fat, error).has_value());
+    EXPECT_EQ(error.code, serve::ErrorCode::ValidationError);
+
+    // phase_job has its own allowlist: dse_job-only keys are rejected.
+    const std::string pj =
+        "{\"id\": \"p\", \"cmd\": \"phase_job\", \"trace\": \"t\","
+        " \"sig\": \"s\", \"window\": 8, \"unidirectional\": 0}";
+    serve::RequestError pe;
+    EXPECT_FALSE(serve::parseRequest(pj, pe).has_value());
+    EXPECT_EQ(pe.code, serve::ErrorCode::ValidationError);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Range(1, 13));

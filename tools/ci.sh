@@ -41,6 +41,14 @@
 #     worker failures, and the lax_sync bench must hold its
 #     exactness/byte-identity gates; both JSON artifacts land in the
 #     build dir.
+# 10. Multi-host explore over `minnoc serve` (ASan): two loopback
+#     daemons drive `explore --hosts`; the cold run must be
+#     byte-identical to the in-process reference, a warm rerun must
+#     hit every job on the daemon-side caches, and a third sweep with
+#     one daemon SIGKILLed mid-run (wedged via the serve hang hook so
+#     the kill is guaranteed to land mid-sweep) must still converge
+#     byte-identical with the failure recorded in `host_failed` only;
+#     the dist status artifacts land in the build dir.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -255,3 +263,88 @@ grep -q '"benchmark": "lax_sync"' "$build/lax_sync.json" ||
     { echo "FAIL: lax_sync bench produced no report"; exit 1; }
 echo "dist status artifact: $build/dist_status.json"
 echo "lax sync artifact: $build/lax_sync.json"
+
+echo "=== phase 10: multi-host explore over minnoc serve (ASan) ==="
+# Wait until a daemon accepts TCP on its port (or die with its log).
+await_port() { # pid port log
+    for _ in $(seq 100); do
+        kill -0 "$1" 2>/dev/null ||
+            { echo "FAIL: serve daemon on port $2 died on boot"; cat "$3"; exit 1; }
+        (exec 3<>"/dev/tcp/127.0.0.1/$2") 2>/dev/null &&
+            { exec 3>&- 3<&-; return 0; }
+        sleep 0.1
+    done
+    echo "FAIL: serve daemon never bound port $2"; cat "$3"; exit 1
+}
+port_a=18871; port_b=18872; port_c=18873
+rm -rf "$build"/ci-hosts-cache-*
+"$build/tools/minnoc" serve --port $port_a --workers 1 \
+    --max-deadline-ms 600000 --cache-dir "$build/ci-hosts-cache-a" \
+    2>"$build/ci-hosts-a.log" &
+host_a_pid=$!
+"$build/tools/minnoc" serve --port $port_b --workers 1 \
+    --max-deadline-ms 600000 --cache-dir "$build/ci-hosts-cache-b" \
+    2>"$build/ci-hosts-b.log" &
+host_b_pid=$!
+await_port "$host_a_pid" "$port_a" "$build/ci-hosts-a.log"
+await_port "$host_b_pid" "$port_b" "$build/ci-hosts-b.log"
+# Cold sweep over both daemons: byte-identical to phase 9's in-process
+# reference, no failures of either kind.
+"$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    --degrees 4,5 --vcs 2,3 --restarts 2 --cache 0 \
+    --hosts "127.0.0.1:$port_a,127.0.0.1:$port_b" \
+    --dist-report "$build/hosts_status_cold.json" \
+    --out "$build/hosts_frontier_cold.json"
+cmp "$build/dist_frontier_ref.json" "$build/hosts_frontier_cold.json" ||
+    { echo "FAIL: --hosts frontier differs from in-process"; exit 1; }
+grep -q '"worker_failed": \[\]' "$build/hosts_status_cold.json" ||
+    { echo "FAIL: clean --hosts run reports worker failures"; exit 1; }
+grep -q '"host_failed": \[\]' "$build/hosts_status_cold.json" ||
+    { echo "FAIL: clean --hosts run reports host failures"; exit 1; }
+# Warm rerun: every job must hit the caches the daemons populated.
+hosts_warm="$("$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    --degrees 4,5 --vcs 2,3 --restarts 2 --cache 0 \
+    --hosts "127.0.0.1:$port_a,127.0.0.1:$port_b" \
+    --out "$build/hosts_frontier_warm.json")"
+echo "$hosts_warm"
+echo "$hosts_warm" | grep -q "100.0% hit rate" ||
+    { echo "FAIL: warm --hosts rerun below 100% cache hits"; exit 1; }
+cmp "$build/hosts_frontier_cold.json" "$build/hosts_frontier_warm.json" ||
+    { echo "FAIL: warm --hosts frontier differs from cold"; exit 1; }
+# Kill one daemon mid-sweep. The victim is armed with the serve hang
+# hook, so after its first job it wedges and the sweep provably cannot
+# finish until the SIGKILL lands — the kill always hits mid-run. The
+# coordinator must requeue onto the survivor and converge with
+# identical bytes and the death recorded in host_failed only.
+MINNOC_DIST_TEST_HANG=serve "$build/tools/minnoc" serve \
+    --port $port_c --workers 1 --max-deadline-ms 600000 \
+    --cache-dir "$build/ci-hosts-cache-c" \
+    2>"$build/ci-hosts-c.log" &
+host_c_pid=$!
+await_port "$host_c_pid" "$port_c" "$build/ci-hosts-c.log"
+( sleep 2; kill -KILL "$host_c_pid" 2>/dev/null ) &
+killer_pid=$!
+"$build/tools/minnoc" explore "$build/ci-dist.trace" \
+    --degrees 4,5 --vcs 2,3 --restarts 2 --cache 0 \
+    --hosts "127.0.0.1:$port_c,127.0.0.1:$port_b" \
+    --worker-timeout-ms 60000 \
+    --dist-report "$build/hosts_status_kill.json" \
+    --out "$build/hosts_frontier_kill.json"
+wait "$killer_pid" 2>/dev/null || true
+cmp "$build/dist_frontier_ref.json" "$build/hosts_frontier_kill.json" ||
+    { echo "FAIL: frontier changed after mid-sweep SIGKILL"; exit 1; }
+grep -q '"host_failed": \[{' "$build/hosts_status_kill.json" ||
+    { echo "FAIL: SIGKILLed daemon not recorded in host_failed"; exit 1; }
+grep -q "\"requeued_jobs\": \[" "$build/hosts_status_kill.json" ||
+    { echo "FAIL: no jobs requeued off the killed daemon"; exit 1; }
+grep -q '"worker_failed": \[\]' "$build/hosts_status_kill.json" ||
+    { echo "FAIL: remote death leaked into worker_failed"; exit 1; }
+# The daemons that were not killed must still drain cleanly.
+kill -TERM "$host_a_pid" "$host_b_pid"
+wait "$host_a_pid" ||
+    { echo "FAIL: daemon A exited nonzero on SIGTERM"; exit 1; }
+wait "$host_b_pid" ||
+    { echo "FAIL: daemon B exited nonzero on SIGTERM"; exit 1; }
+wait "$host_c_pid" 2>/dev/null || true
+echo "multi-host status artifacts: $build/hosts_status_cold.json," \
+     "$build/hosts_status_kill.json"

@@ -149,17 +149,29 @@ reportDistRun(const Args &args, const dist::DistStats &stats,
         std::fprintf(human, "wrote %s\n", out.c_str());
     }
     for (std::uint32_t w = 0; w < stats.workers; ++w) {
+        const bool isHost =
+            w < stats.hostOf.size() && !stats.hostOf[w].empty();
         std::fprintf(
-            human, "worker %u: %llu job(s), %llu cache hit(s), %.1f ms "
-                   "busy\n",
-            w, static_cast<unsigned long long>(stats.jobs[w]),
+            human,
+            "%s %s: %llu job(s), %llu cache hit(s), %.1f ms busy\n",
+            isHost ? "host" : "worker",
+            isHost ? stats.hostOf[w].c_str()
+                   : std::to_string(w).c_str(),
+            static_cast<unsigned long long>(stats.jobs[w]),
             static_cast<unsigned long long>(stats.cacheHits[w]),
             static_cast<double>(stats.wallUsSum[w]) / 1000.0);
     }
     for (const auto &f : stats.failures) {
-        std::fprintf(human,
-                     "worker %u FAILED (%s), %zu job(s) requeued\n",
-                     f.worker, f.reason.c_str(), f.requeuedJobs.size());
+        if (f.host.empty())
+            std::fprintf(human,
+                         "worker %u FAILED (%s), %zu job(s) requeued\n",
+                         f.worker, f.reason.c_str(),
+                         f.requeuedJobs.size());
+        else
+            std::fprintf(human,
+                         "host %s FAILED (%s), %zu job(s) requeued\n",
+                         f.host.c_str(), f.reason.c_str(),
+                         f.requeuedJobs.size());
     }
 }
 
@@ -520,14 +532,18 @@ cmdExplore(const Args &args)
     cfg.cancel = &gCliToken;
 
     // --workers N forks N worker processes sharing the disk cache;
-    // the merged report is byte-identical to the in-process sweep.
+    // --hosts adds remote `minnoc serve` daemons as extra lanes. Any
+    // mix yields a report byte-identical to the in-process sweep.
     const std::uint32_t workers = args.getU32("workers", 0);
+    const auto hosts = dist::parseHostList(args.get("hosts"));
+    const bool distributed = workers > 0 || !hosts.empty();
     dist::DistStats distStats;
     dse::ExploreReport report;
     try {
-        if (workers > 0) {
+        if (distributed) {
             dist::DistOptions dopt;
             dopt.workers = workers;
+            dopt.hosts = hosts;
             dopt.workerTimeoutMs = static_cast<std::int64_t>(
                 args.getU64("worker-timeout-ms", 600'000));
             report = dist::exploreDistributed(tr, cfg, dopt, &distStats);
@@ -569,7 +585,7 @@ cmdExplore(const Args &args)
                  total ? 100.0 * static_cast<double>(report.cacheHits) /
                              static_cast<double>(total)
                        : 0.0);
-    if (workers > 0)
+    if (distributed)
         reportDistRun(args, distStats, "explore", human);
     return 0;
 }
@@ -609,15 +625,19 @@ cmdPhases(const Args &args)
     cfg.sim.cancel = &gCliToken;
 
     // --workers N farms the per-phase standalone syntheses out to
-    // forked workers; the merged report is byte-identical to the
+    // forked workers; --hosts adds remote `minnoc serve` daemons as
+    // extra lanes. The merged report is byte-identical to the
     // in-process evaluation.
     const std::uint32_t workers = args.getU32("workers", 0);
+    const auto hosts = dist::parseHostList(args.get("hosts"));
+    const bool distributed = workers > 0 || !hosts.empty();
     dist::DistStats distStats;
     phase::PhaseReport report;
     try {
-        if (workers > 0) {
+        if (distributed) {
             dist::DistOptions dopt;
             dopt.workers = workers;
+            dopt.hosts = hosts;
             dopt.workerTimeoutMs = static_cast<std::int64_t>(
                 args.getU64("worker-timeout-ms", 600'000));
             report =
@@ -647,7 +667,7 @@ cmdPhases(const Args &args)
     std::fprintf(human, "phases %s-%u:\n", report.pattern.c_str(),
                  report.ranks);
     std::fputs(report.summaryTable().c_str(), human);
-    if (workers > 0)
+    if (distributed)
         reportDistRun(args, distStats, "phases", human);
     std::size_t unionViolations = 0;
     for (const auto v : report.unionPhaseViolations)
@@ -755,25 +775,27 @@ usage()
         "           [--reconfig-cost C] [--threads N] [--cache-dir DIR]\n"
         "           [--cache 0|1] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
-        "           [--workers N] [--worker-timeout-ms MS]\n"
-        "           [--dist-report FILE]\n"
+        "           [--workers N] [--hosts HOST:PORT,...]\n"
+        "           [--worker-timeout-ms MS] [--dist-report FILE]\n"
         "           (design-space sweep -> Pareto frontier JSON;\n"
         "           results are content-cached and byte-identical at\n"
         "           any --threads value; phase-windows 0 = classic\n"
         "           pipeline, N = time-multiplexed phase networks;\n"
         "           workers N forks N processes sharing the disk\n"
-        "           cache -- same bytes as --workers 0)\n"
+        "           cache -- same bytes as --workers 0; hosts adds\n"
+        "           remote `minnoc serve` daemons as job backends,\n"
+        "           same bytes at any host/worker mix)\n"
         "  phases   TRACE [--window N] [--threshold T]\n"
         "           [--min-phase-windows W] [--reconfig-cost C]\n"
         "           [--max-degree D] [--restarts R] [--seed S]\n"
         "           [--threads N] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
-        "           [--workers N] [--worker-timeout-ms MS]\n"
-        "           [--dist-report FILE]\n"
+        "           [--workers N] [--hosts HOST:PORT,...]\n"
+        "           [--worker-timeout-ms MS] [--dist-report FILE]\n"
         "           (segment the trace into temporal phases and compare\n"
         "           monolithic vs union vs time-multiplexed designs;\n"
         "           the JSON report is byte-identical at any --threads\n"
-        "           and at any --workers)\n"
+        "           and at any --workers/--hosts mix)\n"
         "  serve    --socket PATH | --port N   (0 = ephemeral port)\n"
         "           [--workers W] [--queue Q] [--deadline-ms D]\n"
         "           [--max-deadline-ms M] [--drain-ms MS]\n"
@@ -805,11 +827,12 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
      {"degrees", "restarts", "seeds", "vcs", "unidirectional",
       "vc-depth", "phase-windows", "reconfig-cost", "threads",
       "cache-dir", "cache", "out", "metrics-out", "chrome-trace",
-      "workers", "worker-timeout-ms", "dist-report"}},
+      "workers", "hosts", "worker-timeout-ms", "dist-report"}},
     {"phases",
      {"window", "threshold", "min-phase-windows", "reconfig-cost",
       "max-degree", "restarts", "seed", "threads", "out", "metrics-out",
-      "chrome-trace", "workers", "worker-timeout-ms", "dist-report"}},
+      "chrome-trace", "workers", "hosts", "worker-timeout-ms",
+      "dist-report"}},
     {"serve",
      {"socket", "port", "workers", "queue", "deadline-ms",
       "max-deadline-ms", "drain-ms", "idle-timeout-ms", "lru",
