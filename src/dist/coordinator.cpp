@@ -722,6 +722,7 @@ exploreDistributed(const trace::Trace &trace,
                 req.minPhaseWindows =
                     config.phaseSegmenter.minPhaseWindows;
                 req.matrixWeight = config.phaseSegmenter.matrixWeight;
+                req.power = topo::powerModelKindName(config.power.kind);
                 return encodeShardRequest(req);
             };
         // Remote lanes dispatch one `dse_job` per grid point; the
@@ -753,6 +754,12 @@ exploreDistributed(const trace::Trace &trace,
                    std::to_string(config.phaseSegmenter.minPhaseWindows);
             out += ", \"matrix_weight\": " +
                    fmtDouble(config.phaseSegmenter.matrixWeight);
+            // Only off the default tier: static requests stay
+            // byte-identical to what pre-power daemons accept.
+            if (config.power.kind != topo::PowerModelKind::Static)
+                out += std::string(", \"power\": \"") +
+                       topo::powerModelKindName(config.power.kind) +
+                       "\"";
             out += ", \"deadline_ms\": " +
                    std::to_string(std::max<std::int64_t>(
                        options.workerTimeoutMs, 1));
@@ -860,6 +867,7 @@ evaluatePhasesDistributed(const trace::Trace &trace,
                 req.seed = config.methodology.partitioner.seed;
                 req.reconfigCost = config.reconfigCost;
                 req.expectedPhases = nPhases;
+                req.power = topo::powerModelKindName(config.power.kind);
                 return encodeShardRequest(req);
             };
         const auto makeJob = [&](std::uint32_t job,
@@ -887,6 +895,10 @@ evaluatePhasesDistributed(const trace::Trace &trace,
             out += ", \"reconfig_cost\": " +
                    std::to_string(config.reconfigCost);
             out += ", \"expected_phases\": " + std::to_string(nPhases);
+            if (config.power.kind != topo::PowerModelKind::Static)
+                out += std::string(", \"power\": \"") +
+                       topo::powerModelKindName(config.power.kind) +
+                       "\"";
             out += ", \"deadline_ms\": " +
                    std::to_string(std::max<std::int64_t>(
                        options.workerTimeoutMs, 1));

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "serve/protocol.hpp"
+#include "topo/power.hpp"
 #include "util/json.hpp"
 
 namespace minnoc::dist {
@@ -172,6 +173,7 @@ encodeShardRequest(const ShardRequest &req)
         out += "\"" + serve::jsonEscape(req.sigs[i]) + "\"";
     }
     out += "]";
+    out += ", \"power\": \"" + serve::jsonEscape(req.power) + "\"";
     if (req.cmd == "explore_shard") {
         out += ", ";
         appendList(out, "degrees", req.grid.maxDegrees);
@@ -241,6 +243,12 @@ parseShardRequest(const std::string &text, std::string &err)
     }
     if (req.sigs.size() != req.jobs.size()) {
         err = "'sigs' and 'jobs' length mismatch";
+        return std::nullopt;
+    }
+    if (!getString(*doc, "power", req.power, err))
+        return std::nullopt;
+    if (!topo::powerModelKindFromName(req.power)) {
+        err = "'power' must be 'static' or 'activity'";
         return std::nullopt;
     }
     if (req.cmd == "explore_shard") {

@@ -103,6 +103,9 @@ struct ShardRequest
     /** Per assigned job, the coordinator's expected signature. */
     std::vector<std::string> sigs;
 
+    /** Energy accounting tier ("static" / "activity"), both kinds. */
+    std::string power = "static";
+
     // explore_shard: the full grid (jobs index into its expansion).
     dse::ExploreGrid grid;
     std::int64_t reconfigCost = 500;

@@ -72,6 +72,7 @@ runExploreShard(const ShardRequest &req, int resultFd)
     cfg.phaseSegmenter.minPhaseWindows = req.minPhaseWindows;
     cfg.phaseSegmenter.matrixWeight = req.matrixWeight;
     cfg.phaseReconfigCost = req.reconfigCost;
+    cfg.power.kind = *topo::powerModelKindFromName(req.power);
     cfg.cancel = &gWorkerToken;
 
     // Re-serialize: save∘load round-trips bit-exactly (the serve
@@ -145,6 +146,7 @@ runPhasesShard(const ShardRequest &req, int resultFd)
     cfg.methodology.cancel = &gWorkerToken;
     cfg.sim.cancel = &gWorkerToken;
     cfg.reconfigCost = req.reconfigCost;
+    cfg.power.kind = *topo::powerModelKindFromName(req.power);
     cfg.threads = 1;
 
     const auto sig = phasesSignature(cfg);

@@ -171,8 +171,9 @@ evaluateJob(const trace::Trace &trace, const core::CliqueSet &cliques,
     t = tick();
     const auto res = sim::runTrace(trace, *net.topo, *net.routing, scfg);
     span("simulate", t);
-    const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
-                                            res.execTime, config.power);
+    const auto energy =
+        topo::computeEnergy(*net.topo, res.linkFlits, res.execTime,
+                            res.activity, config.power);
 
     JobMetrics m;
     m.switches = outcome.design.numSwitches;

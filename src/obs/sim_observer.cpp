@@ -81,6 +81,10 @@ SimObserver::exportTo(MetricsRegistry &registry) const
         .add(_final.packetsDelivered);
     registry.counter("sim/packets_dropped").add(_final.packetsDropped);
     registry.counter("sim/flit_hops").add(_final.flitHops);
+    registry.counter("sim/buffer_writes").add(_final.bufferWrites);
+    registry.counter("sim/buffer_reads").add(_final.bufferReads);
+    registry.counter("sim/resident_flit_cycles")
+        .add(_final.residentFlitCycles);
     registry.counter("sim/retransmissions").add(_final.retransmissions);
     registry.counter("sim/corrupted_flits").add(_final.corruptedFlits);
     registry.counter("sim/deadlock_recoveries")

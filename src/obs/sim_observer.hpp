@@ -69,6 +69,9 @@ class SimObserver
         std::uint64_t packetsDelivered = 0;
         std::uint64_t packetsDropped = 0;
         std::uint64_t flitHops = 0;
+        std::uint64_t bufferWrites = 0;
+        std::uint64_t bufferReads = 0;
+        std::uint64_t residentFlitCycles = 0;
         std::uint64_t retransmissions = 0;
         std::uint64_t corruptedFlits = 0;
         std::uint32_t deadlockRecoveries = 0;

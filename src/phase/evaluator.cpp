@@ -39,8 +39,9 @@ evalDesign(const core::FinalizedDesign &design, std::size_t violations,
     const auto plan = topo::planFloor(design, config.floorplan);
     e.net = topo::buildFromDesign(design, plan);
     e.sim = sim::runTrace(tr, *e.net.topo, *e.net.routing, config.sim);
-    const auto energy = topo::computeEnergy(
-        *e.net.topo, e.sim.linkFlits, e.sim.execTime, config.power);
+    const auto energy =
+        topo::computeEnergy(*e.net.topo, e.sim.linkFlits,
+                            e.sim.execTime, e.sim.activity, config.power);
 
     e.result.switches = design.numSwitches;
     e.result.links = design.totalLinks();
@@ -331,8 +332,9 @@ evaluateTimeMultiplexed(const trace::Trace &trace,
         const trace::Trace sub = phaseSubTrace(trace, seg, p);
         const auto res =
             sim::runTrace(sub, *net.topo, *net.routing, config.sim);
-        const auto energy = topo::computeEnergy(
-            *net.topo, res.linkFlits, res.execTime, config.power);
+        const auto energy =
+            topo::computeEnergy(*net.topo, res.linkFlits, res.execTime,
+                                res.activity, config.power);
 
         s.switches = std::max(s.switches, outcome.design.numSwitches);
         s.links = std::max(s.links, outcome.design.totalLinks());

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "topo/power.hpp"
 #include "util/json.hpp"
 
 namespace minnoc::serve {
@@ -169,18 +170,20 @@ parseRequest(const std::string &line, RequestError &error)
             (key == "degrees" || key == "restarts" || key == "seeds" ||
              key == "vcs" || key == "unidirectional" ||
              key == "vc_depth" || key == "phase_windows" ||
-             key == "reconfig_cost");
+             key == "reconfig_cost" || key == "power");
         const bool phasesKey =
             req.cmd == Cmd::Phases &&
             (key == "window" || key == "threshold" ||
              key == "min_phase_windows" || key == "reconfig_cost" ||
-             key == "max_degree" || key == "restarts" || key == "seed");
+             key == "max_degree" || key == "restarts" ||
+             key == "seed" || key == "power");
         const bool jobCommon =
             (req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) &&
             (key == "attempt" || key == "job_index" || key == "sig" ||
              key == "max_degree" || key == "restarts" || key == "seed" ||
              key == "reconfig_cost" || key == "threshold" ||
-             key == "min_phase_windows" || key == "matrix_weight");
+             key == "min_phase_windows" || key == "matrix_weight" ||
+             key == "power");
         const bool dseJobKey =
             req.cmd == Cmd::DseJob &&
             (key == "unidirectional" || key == "vcs" ||
@@ -236,6 +239,19 @@ parseRequest(const std::string &line, RequestError &error)
             if (!asUint(*v, static_cast<std::uint64_t>(kMaxExactInt), u))
                 return badField("seed", "must be a non-negative integer");
             req.seed = u;
+        }
+    }
+
+    // Energy accounting tier: applies to every command that prices a
+    // simulated run (design emits no energy numbers).
+    if (req.cmd == Cmd::Explore || req.cmd == Cmd::Phases ||
+        req.cmd == Cmd::DseJob || req.cmd == Cmd::PhaseJob) {
+        if (const auto *v = root->find("power")) {
+            if (!v->isString() ||
+                !topo::powerModelKindFromName(v->asString()))
+                return badField("power",
+                                "must be 'static' or 'activity'");
+            req.power = v->asString();
         }
     }
 

@@ -104,6 +104,9 @@ struct Request
     dse::ExploreGrid grid;
     std::int64_t reconfigCost = 500;
 
+    /** Energy accounting tier ("static" / "activity"), CLI default. */
+    std::string power = "static";
+
     // phases knobs (defaults = PhaseConfig / CLI defaults).
     std::uint32_t window = phase::PhaseConfig{}.windowMessages;
     double threshold = phase::PhaseConfig{}.mergeThreshold;

@@ -84,6 +84,11 @@ requestKey(const Request &req)
       case Cmd::Status:
         break;
     }
+    // Appended only off the default tier so historical keys for
+    // static-power requests are unchanged (same discipline as
+    // PowerModel::signature()).
+    if (req.power != "static")
+        sig << "|pm=" << req.power;
     const auto h = dse::fnv1a64(sig.str());
     return dse::fnv1a64(req.traceText, h);
 }
@@ -837,6 +842,7 @@ Server::compute(const Job &job)
         cfg.threads = 1;
         cfg.cacheDir = _config.cacheDir;
         cfg.useCache = _config.useCache;
+        cfg.power.kind = *topo::powerModelKindFromName(req.power);
         cfg.cancel = job.token.get();
         const auto report = dse::explore(tr, cfg);
         _metrics.counter("serve/disk_cache_hits")
@@ -859,6 +865,7 @@ Server::compute(const Job &job)
             static_cast<std::uint32_t>(req.seed);
         cfg.methodology.cancel = job.token.get();
         cfg.sim.cancel = job.token.get();
+        cfg.power.kind = *topo::powerModelKindFromName(req.power);
         cfg.threads = 1;
         return phase::evaluatePhases(tr, cfg).toJson();
       }
@@ -875,6 +882,7 @@ Server::compute(const Job &job)
         cfg.phaseSegmenter.matrixWeight = req.matrixWeight;
         cfg.phaseReconfigCost =
             static_cast<sim::Cycle>(req.reconfigCost);
+        cfg.power.kind = *topo::powerModelKindFromName(req.power);
         cfg.cancel = job.token.get();
 
         dse::JobParams params;
@@ -936,6 +944,7 @@ Server::compute(const Job &job)
         cfg.sim.cancel = job.token.get();
         cfg.reconfigCost =
             static_cast<sim::Cycle>(req.reconfigCost);
+        cfg.power.kind = *topo::powerModelKindFromName(req.power);
         cfg.threads = 1;
 
         const auto sig = phasesSignature(cfg);

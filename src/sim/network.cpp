@@ -154,6 +154,11 @@ Network::step(Cycle now)
         scanForDeadlocks(now);
     }
 
+    // Occupancy integral for the activity power model's retention
+    // term. The trace driver fast-forwards the clock only while the
+    // network is empty, so unstepped cycles contribute exactly zero.
+    _stats.residentFlitCycles += _flitsInNetwork;
+
     if constexpr (obs::kEnabled) {
         if (_observer)
             _observer->onStep(now, _flitsInNetwork, _stats.linkFlits);
@@ -209,6 +214,7 @@ Network::arriveFlits(Cycle now)
                 if (vc.owner != in.flit.packet)
                     panic("Network: flit arrival on foreign VC");
                 vc.buffer.push_back(in.flit);
+                ++_stats.bufferWrites;
                 _packets[in.flit.packet].lastProgress = now;
             }
         }
@@ -298,6 +304,7 @@ Network::forwardFlit(topo::LinkId inLink, std::uint32_t inVc, VcState &vc,
 {
     const FlitRef flit = vc.buffer.front();
     vc.buffer.pop_front();
+    ++_stats.bufferReads;
     auto &out = _outputs[vc.outLink];
 
     if (out.credits[vc.outVc] == 0)

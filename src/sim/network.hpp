@@ -45,6 +45,13 @@ struct NetworkStats
     std::uint64_t flitHops = 0;
     std::uint32_t deadlockRecoveries = 0;
 
+    /** Flits written into switch input-VC buffers (activity power). */
+    std::uint64_t bufferWrites = 0;
+    /** Flits read back out of input-VC buffers (crossbar traversals). */
+    std::uint64_t bufferReads = 0;
+    /** Occupancy integral: flits resident in the fabric, per cycle. */
+    std::uint64_t residentFlitCycles = 0;
+
     /** Source retransmissions (corruption NACKs + fault-event purges). */
     std::uint64_t retransmissions = 0;
     /** Flit corruption events on link traversals. */

@@ -245,6 +245,9 @@ runTrace(const trace::Trace &trace, Network &network)
     result.maxLinkUtilization = ns.maxLinkUtilization(result.execTime);
     result.meanLinkUtilization = ns.meanLinkUtilization(result.execTime);
     result.linkFlits = ns.linkFlits;
+    result.activity.bufferWrites = ns.bufferWrites;
+    result.activity.bufferReads = ns.bufferReads;
+    result.activity.residentFlitCycles = ns.residentFlitCycles;
 
     if constexpr (obs::kEnabled) {
         if (auto *observer = network.observer()) {
@@ -253,6 +256,9 @@ runTrace(const trace::Trace &trace, Network &network)
             fc.packetsDelivered = ns.packetsDelivered;
             fc.packetsDropped = ns.packetsDropped;
             fc.flitHops = ns.flitHops;
+            fc.bufferWrites = ns.bufferWrites;
+            fc.bufferReads = ns.bufferReads;
+            fc.residentFlitCycles = ns.residentFlitCycles;
             fc.retransmissions = ns.retransmissions;
             fc.corruptedFlits = ns.corruptedFlits;
             fc.deadlockRecoveries = ns.deadlockRecoveries;

@@ -19,6 +19,7 @@
 
 #include "fault.hpp"
 #include "network.hpp"
+#include "topo/power.hpp"
 #include "trace/trace.hpp"
 
 namespace minnoc::sim {
@@ -62,6 +63,9 @@ struct SimResult
     double meanLinkUtilization = 0.0;
     /** Flits each link carried (for power/utilization analysis). */
     std::vector<std::uint64_t> linkFlits;
+
+    /** Microarchitectural event counts for the activity power model. */
+    topo::ActivityCounters activity;
 
     /** Mean of commTime over ranks. */
     double commTimeMean() const;

@@ -6,6 +6,29 @@
 
 namespace minnoc::topo {
 
+const char *
+powerModelKindName(PowerModelKind kind)
+{
+    switch (kind) {
+    case PowerModelKind::Static:
+        return "static";
+    case PowerModelKind::Activity:
+        return "activity";
+    }
+    panic("powerModelKindName: bad kind ",
+          static_cast<unsigned>(kind));
+}
+
+std::optional<PowerModelKind>
+powerModelKindFromName(std::string_view name)
+{
+    if (name == "static")
+        return PowerModelKind::Static;
+    if (name == "activity")
+        return PowerModelKind::Activity;
+    return std::nullopt;
+}
+
 std::string
 PowerModel::signature() const
 {
@@ -15,6 +38,16 @@ PowerModel::signature() const
         << ";ewire=" << wireEnergyPerFlitTile
         << ";lsw=" << switchLeakagePerCycle
         << ";lwire=" << wireLeakagePerTileCycle;
+    // Appended only when the activity tier is selected: static-model
+    // signatures keep their historical bytes, so DSE cache entries and
+    // golden designs made before this tier existed stay addressable.
+    if (kind == PowerModelKind::Activity) {
+        oss << ";act=1;ebw=" << bufferWriteEnergyPerFlit
+            << ";ebr=" << bufferReadEnergyPerFlit
+            << ";exb=" << xbarEnergyPerFlit
+            << ";etg=" << linkToggleEnergyPerFlitTile
+            << ";lbuf=" << bufferRetentionPerFlitCycle;
+    }
     return oss.str();
 }
 
@@ -23,15 +56,18 @@ EnergyReport::toString() const
 {
     std::ostringstream oss;
     oss << "energy total=" << total() << " (dynamic " << dynamic()
-        << ": switch " << switchDynamic << " + wire " << wireDynamic
-        << "; leakage " << leakage() << ")";
+        << ": switch " << switchDynamic << " + wire " << wireDynamic;
+    if (bufferDynamic != 0.0)
+        oss << " + buffer " << bufferDynamic;
+    oss << "; leakage " << leakage() << ")";
     return oss.str();
 }
 
 EnergyReport
 computeEnergy(const Topology &topo,
               const std::vector<std::uint64_t> &link_flits,
-              std::int64_t cycles, const PowerModel &model)
+              std::int64_t cycles, const ActivityCounters &activity,
+              const PowerModel &model)
 {
     if (link_flits.size() != topo.numLinks())
         panic("computeEnergy: flit counts for ", link_flits.size(),
@@ -39,15 +75,35 @@ computeEnergy(const Topology &topo,
 
     EnergyReport report;
     std::uint64_t totalWire = 0;
+    const bool act = model.kind == PowerModelKind::Activity;
     for (LinkId l = 0; l < topo.numLinks(); ++l) {
         const auto &link = topo.link(l);
         const auto flits = static_cast<double>(link_flits[l]);
-        // Every flit crossing a link is absorbed by a switch or NI
-        // stage at the far end: charge one switch traversal per hop.
-        report.switchDynamic += flits * model.switchEnergyPerFlit;
-        report.wireDynamic += flits * model.wireEnergyPerFlitTile *
-                              static_cast<double>(link.length);
+        if (act) {
+            report.wireDynamic += flits *
+                                  model.linkToggleEnergyPerFlitTile *
+                                  static_cast<double>(link.length);
+        } else {
+            // Every flit crossing a link is absorbed by a switch or NI
+            // stage at the far end: charge one switch traversal per hop.
+            report.switchDynamic += flits * model.switchEnergyPerFlit;
+            report.wireDynamic += flits * model.wireEnergyPerFlitTile *
+                                  static_cast<double>(link.length);
+        }
         totalWire += link.length;
+    }
+    if (act) {
+        report.switchDynamic =
+            static_cast<double>(activity.bufferReads) *
+            model.xbarEnergyPerFlit;
+        report.bufferDynamic =
+            static_cast<double>(activity.bufferWrites) *
+                model.bufferWriteEnergyPerFlit +
+            static_cast<double>(activity.bufferReads) *
+                model.bufferReadEnergyPerFlit;
+        report.bufferLeakage =
+            static_cast<double>(activity.residentFlitCycles) *
+            model.bufferRetentionPerFlitCycle;
     }
     const auto horizon = static_cast<double>(cycles);
     report.switchLeakage = horizon * model.switchLeakagePerCycle *
@@ -55,6 +111,15 @@ computeEnergy(const Topology &topo,
     report.wireLeakage = horizon * model.wireLeakagePerTileCycle *
                          static_cast<double>(totalWire);
     return report;
+}
+
+EnergyReport
+computeEnergy(const Topology &topo,
+              const std::vector<std::uint64_t> &link_flits,
+              std::int64_t cycles, const PowerModel &model)
+{
+    return computeEnergy(topo, link_flits, cycles, ActivityCounters{},
+                         model);
 }
 
 } // namespace minnoc::topo

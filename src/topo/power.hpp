@@ -6,31 +6,76 @@
  * the immediate extension of the methodology ("this work can be
  * extended to include other important optimization criteria such as
  * power"). This module provides the energy accounting that extension
- * needs: a simple, widely used activity-based model in the spirit of
- * the Orion/bit-energy models —
+ * needs, in two fidelity tiers selected by PowerModel::kind:
  *
- *   dynamic  = sum over links of flits(l) * (E_switch + E_wire * len(l))
- *   leakage  = cycles * (P_switch * switches + P_wire * total wire)
+ *  - Static (the historical default): a per-hop bit-energy model in
+ *    the spirit of Orion —
+ *
+ *      dynamic  = sum over links of flits(l) * (E_switch + E_wire * len(l))
+ *      leakage  = cycles * (P_switch * switches + P_wire * total wire)
+ *
+ *  - Activity (McPAT-flavored): per-event accounting driven by the
+ *    simulator's microarchitectural counters — every input-buffer
+ *    write and read, every crossbar traversal, every link toggle
+ *    weighted by wire length, plus a buffer-retention term integrated
+ *    over flit residency. Same traffic on the same topology can now
+ *    price differently depending on how much of it actually queued,
+ *    which is exactly what coherence-style bursty traffic stresses.
  *
  * Units are arbitrary ("energy units"); only the relative comparison
  * between topologies matters here. Defaults make one tile of wire cost
- * roughly half a switch traversal, a common on-chip ratio.
+ * roughly half a switch traversal, a common on-chip ratio. The static
+ * model's signature bytes are unchanged from its single-model days, so
+ * content-addressed caches and golden artifacts produced before the
+ * activity tier existed remain valid.
  */
 
 #ifndef MINNOC_TOPO_POWER_HPP
 #define MINNOC_TOPO_POWER_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "topology.hpp"
 
 namespace minnoc::topo {
 
+/** Which energy accounting tier to run. */
+enum class PowerModelKind : std::uint8_t {
+    Static,   ///< per-hop bit-energy (historical default)
+    Activity, ///< per-event buffer/crossbar/link-toggle accounting
+};
+
+/** Stable name of @p kind (`"static"` / `"activity"`). */
+const char *powerModelKindName(PowerModelKind kind);
+
+/** Parse a kind name; nullopt when @p name is neither spelling. */
+std::optional<PowerModelKind> powerModelKindFromName(std::string_view name);
+
+/**
+ * Microarchitectural event counts of one simulated run — the activity
+ * model's input, produced by sim::NetworkStats. Lives here (not in
+ * sim/) because topo/ must not depend on the simulator.
+ */
+struct ActivityCounters
+{
+    /** Flits written into switch input-VC buffers. */
+    std::uint64_t bufferWrites = 0;
+    /** Flits read back out of input-VC buffers (crossbar traversals). */
+    std::uint64_t bufferReads = 0;
+    /** Occupancy integral: flits resident in the fabric, per cycle. */
+    std::uint64_t residentFlitCycles = 0;
+};
+
 /** Energy/power coefficients. */
 struct PowerModel
 {
+    /** Accounting tier; Static preserves the historical numbers. */
+    PowerModelKind kind = PowerModelKind::Static;
+
     /** Dynamic energy per flit through a switch stage (buffer+xbar). */
     double switchEnergyPerFlit = 1.0;
 
@@ -43,9 +88,25 @@ struct PowerModel
     /** Leakage power per tile of wire per cycle. */
     double wireLeakagePerTileCycle = 0.0002;
 
+    // Activity-tier coefficients (ignored under Static). Defaults are
+    // sized so that one clean, unqueued switch stage costs about the
+    // same as the static model's E_switch: write + read + xbar ~ 1.2.
+    /** Energy per flit written into an input-VC buffer. */
+    double bufferWriteEnergyPerFlit = 0.35;
+    /** Energy per flit read out of an input-VC buffer. */
+    double bufferReadEnergyPerFlit = 0.25;
+    /** Energy per flit through a crossbar. */
+    double xbarEnergyPerFlit = 0.6;
+    /** Link-toggle energy per flit per tile of wire length. */
+    double linkToggleEnergyPerFlitTile = 0.45;
+    /** Retention power per resident flit per cycle (clocked buffers). */
+    double bufferRetentionPerFlitCycle = 0.0001;
+
     /**
      * Canonical coefficient string for content-addressed caching:
      * energy numbers computed under equal signatures are comparable.
+     * The activity block is appended only when kind == Activity, so
+     * static-model signatures are byte-identical to historical ones.
      */
     std::string signature() const;
 };
@@ -55,11 +116,21 @@ struct EnergyReport
 {
     double switchDynamic = 0.0;
     double wireDynamic = 0.0;
+    /** Input-buffer write+read energy (activity model only). */
+    double bufferDynamic = 0.0;
     double switchLeakage = 0.0;
     double wireLeakage = 0.0;
+    /** Buffer retention over flit residency (activity model only). */
+    double bufferLeakage = 0.0;
 
-    double dynamic() const { return switchDynamic + wireDynamic; }
-    double leakage() const { return switchLeakage + wireLeakage; }
+    double dynamic() const
+    {
+        return switchDynamic + wireDynamic + bufferDynamic;
+    }
+    double leakage() const
+    {
+        return switchLeakage + wireLeakage + bufferLeakage;
+    }
     double total() const { return dynamic() + leakage(); }
 
     /** One-line summary. */
@@ -72,7 +143,21 @@ struct EnergyReport
  * @param topo the simulated topology
  * @param link_flits flits each link carried (SimResult::linkFlits)
  * @param cycles total execution time in cycles (leakage horizon)
- * @param model coefficients
+ * @param activity microarchitectural event counts (SimResult::activity);
+ *        consumed only by the Activity tier
+ * @param model coefficients + tier selection
+ */
+EnergyReport computeEnergy(const Topology &topo,
+                           const std::vector<std::uint64_t> &link_flits,
+                           std::int64_t cycles,
+                           const ActivityCounters &activity,
+                           const PowerModel &model);
+
+/**
+ * Zero-activity convenience: exact historical behavior under the
+ * Static tier; under Activity it prices an idle fabric (leakage plus
+ * whatever link_flits alone imply), which is what reconfiguration
+ * idle-energy call sites want.
  */
 EnergyReport computeEnergy(const Topology &topo,
                            const std::vector<std::uint64_t> &link_flits,

@@ -238,10 +238,16 @@ makeDesignRouting(const Topology &topo, const core::FinalizedDesign &design)
 
     // Fallback for pairs the design never saw (cross-pattern runs):
     // BFS-shortest switch paths, round-robin over parallel links.
+    // Pipes may be one-directional (linksFwd xor linksBwd), so only
+    // directions with at least one physical link enter the graph.
     graph::Digraph sg(design.numSwitches);
     for (const auto &pipe : design.pipes) {
-        sg.addEdge(pipe.key.a, pipe.key.b);
-        sg.addEdge(pipe.key.b, pipe.key.a);
+        if (!topo.findLinks(topo.switchNode(pipe.key.a),
+                            topo.switchNode(pipe.key.b)).empty())
+            sg.addEdge(pipe.key.a, pipe.key.b);
+        if (!topo.findLinks(topo.switchNode(pipe.key.b),
+                            topo.switchNode(pipe.key.a)).empty())
+            sg.addEdge(pipe.key.b, pipe.key.a);
     }
     std::map<std::pair<core::SwitchId, core::SwitchId>, std::uint32_t> rr;
     for (core::ProcId s = 0; s < topo.numProcs(); ++s) {

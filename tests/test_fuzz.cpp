@@ -16,8 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "coh/coherence.hpp"
 #include "core/methodology.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/digraph.hpp"
@@ -383,8 +385,8 @@ validDseJobLine()
           " \"unidirectional\": 0, \"vcs\": 2, \"vc_depth\": 4,"
           " \"phase_window\": 0, \"reconfig_cost\": 0,"
           " \"threshold\": 0.35, \"min_phase_windows\": 2,"
-          " \"matrix_weight\": 0.5, \"deadline_ms\": 10000,"
-          " \"trace\": \""
+          " \"matrix_weight\": 0.5, \"power\": \"activity\","
+          " \"deadline_ms\": 10000, \"trace\": \""
        << serve::jsonEscape(traceOs.str()) << "\"}";
     return os.str();
 }
@@ -403,6 +405,7 @@ TEST(ServeFuzz, WellFormedDseJobParses)
     EXPECT_EQ(req->maxDegree, 4u);
     EXPECT_EQ(req->vcs, 2u);
     EXPECT_EQ(req->deadlineMs, 10'000);
+    EXPECT_EQ(req->power, "activity");
 }
 
 TEST_P(FuzzSeeds, MutatedDseJobsNeverCrashTheParser)
@@ -458,6 +461,11 @@ TEST(ServeFuzz, HostileDseJobFieldsAreValidationErrors)
         // Wrong types.
         ", \"job_index\": \"three\"}",
         ", \"unidirectional\": [0]}",
+        // Power tier: only the two model names are valid.
+        ", \"power\": \"nuclear\"}",
+        ", \"power\": \"\"}",
+        ", \"power\": 1}",
+        ", \"power\": [\"static\"]}",
     };
     for (const auto *tail : tails) {
         if (!tail)
@@ -498,6 +506,79 @@ TEST(ServeFuzz, HostileDseJobFieldsAreValidationErrors)
     serve::RequestError pe;
     EXPECT_FALSE(serve::parseRequest(pj, pe).has_value());
     EXPECT_EQ(pe.code, serve::ErrorCode::ValidationError);
+}
+
+// ------------------------------------------------- coherence mix fuzz
+
+namespace {
+
+/**
+ * parseMix totality: any string maps to a mix or to nullopt with a
+ * non-empty error. Never throws or aborts. A returned mix is always
+ * finite, non-negative, and not all-zero.
+ */
+void
+expectMixTotal(const std::string &text)
+{
+    std::string error;
+    std::optional<coh::SharingMix> mix;
+    ASSERT_NO_THROW(mix = coh::parseMix(text, error))
+        << "parseMix threw on " << text.size() << "-byte input";
+    if (!mix.has_value()) {
+        EXPECT_FALSE(error.empty());
+        return;
+    }
+    double sum = 0.0;
+    for (const double w : mix->weights) {
+        EXPECT_TRUE(std::isfinite(w));
+        EXPECT_GE(w, 0.0);
+        sum += w;
+    }
+    EXPECT_GT(sum, 0.0);
+}
+
+} // namespace
+
+TEST_P(FuzzSeeds, ParseMixIsTotalOnGarbageBytes)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 2417 + 5);
+    for (int round = 0; round < 200; ++round) {
+        std::string text(rng.below(96), '\0');
+        for (auto &c : text)
+            c = static_cast<char>(rng.below(256));
+        expectMixTotal(text);
+    }
+    // Mix-shaped garbage: valid tokens in hostile arrangements.
+    const char *shards[] = {"private",  "read_shared",
+                            "migratory", "producer_consumer",
+                            ":",         ",",
+                            "0.5",       "-1",
+                            "1e999",     "nan",
+                            "inf",       "0x10",
+                            "",          " "};
+    for (int round = 0; round < 200; ++round) {
+        std::string text;
+        const auto parts = 1 + rng.below(12);
+        for (std::uint64_t i = 0; i < parts; ++i)
+            text += shards[rng.below(std::size(shards))];
+        expectMixTotal(text);
+    }
+}
+
+TEST_P(FuzzSeeds, MutatedValidMixesNeverCrashTheParser)
+{
+    const std::string full =
+        "private:0.4,read_shared:0.3,migratory:0.2,"
+        "producer_consumer:0.1";
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 6701 + 9);
+    for (int round = 0; round < 200; ++round) {
+        std::string text = full;
+        const auto flips = 1 + rng.below(6);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            text[rng.below(text.size())] =
+                static_cast<char>(rng.below(256));
+        expectMixTotal(text);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

@@ -106,6 +106,42 @@ TEST(Unidirectional, DirectedConnectivityHolds)
     }
 }
 
+TEST(Unidirectional, FallbackRoutingSkipsMissingDirections)
+{
+    // Regression: the cross-pattern fallback router used to put both
+    // directions of every pipe into its BFS graph, then divide by the
+    // physical-link count of whichever direction BFS picked — zero for
+    // the missing side of a one-way pipe (SIGFPE, hit by exploring
+    // coherence traces whose designs provision asymmetric pipes).
+    FinalizedDesign d;
+    d.numProcs = 3;
+    d.numSwitches = 3;
+    d.switchProcs = {{0}, {1}, {2}};
+    d.procHome = {0, 1, 2};
+    d.comms.emplace_back(0, 1);
+    d.routes.push_back({0, 1});
+    FinalizedPipe ab; // one-way: channels 0 -> 1 only
+    ab.key = PipeKey(0, 1);
+    ab.links = 1;
+    ab.linksFwd = 1;
+    ab.fwdLink[0] = 0;
+    FinalizedPipe ac;
+    ac.key = PipeKey(0, 2);
+    ac.links = ac.linksFwd = ac.linksBwd = 1;
+    FinalizedPipe bc;
+    bc.key = PipeKey(1, 2);
+    bc.links = bc.linksFwd = bc.linksBwd = 1;
+    d.pipes = {ab, ac, bc};
+    d.unidirectional = true;
+
+    // Fallback pairs like proc1 -> proc0 must detour via switch 2
+    // instead of walking the nonexistent 1 -> 0 channel.
+    const auto plan = topo::planFloor(d);
+    const auto net = topo::buildFromDesign(d, plan);
+    EXPECT_NO_FATAL_FAILURE(
+        topo::validateRouting(*net.topo, *net.routing));
+}
+
 TEST(Unidirectional, BenchmarkDesignsStayContentionFree)
 {
     trace::NasConfig cfg;

@@ -3,7 +3,7 @@
 #
 # Usage: tools/ci.sh [build-dir]
 #
-# Eight phases:
+# Eleven phases:
 #  1. ASan + UBSan build tree running the full ctest suite.
 #  2. TSan build tree running the concurrency-sensitive tests (thread
 #     pool, parallel-restart determinism, Fast_Color cache under the
@@ -49,6 +49,11 @@
 #     the kill is guaranteed to land mid-sweep) must still converge
 #     byte-identical with the failure recorded in `host_failed` only;
 #     the dist status artifacts land in the build dir.
+# 11. Coherence stress smoke: the MSI traffic generator and per-phase
+#     synthesis pipeline under ASan at small N within a wall-time
+#     budget; the JSON must be byte-identical across thread counts,
+#     every design Theorem-1-verified, the replay deadlock-free; the
+#     artifact lands in the build dir.
 #
 # Any sanitizer report fails the run (halt_on_error / abort on UB).
 
@@ -348,3 +353,29 @@ wait "$host_b_pid" ||
 wait "$host_c_pid" 2>/dev/null || true
 echo "multi-host status artifacts: $build/hosts_status_cold.json," \
      "$build/hosts_status_kill.json"
+
+echo "=== phase 11: coherence stress (ASan) ==="
+cmake --build "$build" -j "$jobs" --target coherence_stress
+# Small N under ASan inside a wall-time budget: the generator, the
+# per-phase synthesis pipeline, and both power tiers end-to-end. The
+# JSON must be byte-identical across reruns and thread counts, every
+# synthesized design Theorem-1-verified, and the replay deadlock-free.
+coh_budget=420
+start_s=$SECONDS
+"$build/bench/coherence_stress" --ranks 12 --blocks 48 --rounds 4 \
+    --ops 12 --threads 1 --out "$build/coherence_stress.json" ||
+    { echo "FAIL: coherence_stress exited nonzero"; exit 1; }
+"$build/bench/coherence_stress" --ranks 12 --blocks 48 --rounds 4 \
+    --ops 12 --threads 3 --out "$build/coherence_stress_t3.json" ||
+    { echo "FAIL: coherence_stress (threaded) exited nonzero"; exit 1; }
+elapsed=$((SECONDS - start_s))
+echo "coherence_stress wall time: ${elapsed}s (budget ${coh_budget}s)"
+[ "$elapsed" -le "$coh_budget" ] ||
+    { echo "FAIL: coherence_stress exceeded ${coh_budget}s budget"; exit 1; }
+cmp "$build/coherence_stress.json" "$build/coherence_stress_t3.json" ||
+    { echo "FAIL: coherence_stress JSON differs across thread counts"; exit 1; }
+grep -q '"verified": false' "$build/coherence_stress.json" &&
+    { echo "FAIL: coherence_stress JSON contains unverified designs"; exit 1; }
+grep -q '"deadlock_recoveries": 0' "$build/coherence_stress.json" ||
+    { echo "FAIL: coherence replay hit deadlock recovery"; exit 1; }
+echo "coherence stress artifact: $build/coherence_stress.json"

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "coh/coherence.hpp"
 #include "core/design_io.hpp"
 #include "dist/coordinator.hpp"
 #include "dse/explorer.hpp"
@@ -189,9 +190,72 @@ parsePatternList(const std::string &spec)
     return patterns;
 }
 
+/** The selected `--power` accounting tier (default: static). */
+topo::PowerModel
+powerFromArgs(const Args &args)
+{
+    topo::PowerModel model;
+    const auto name = args.get("power", "static");
+    const auto kind = topo::powerModelKindFromName(name);
+    if (!kind)
+        fatal("flag --power: expected 'static' or 'activity', got '",
+              name, "'");
+    model.kind = *kind;
+    return model;
+}
+
+trace::Trace
+genCoherence(const Args &args)
+{
+    coh::CoherenceConfig cfg;
+    cfg.ranks = args.getU32("ranks", cfg.ranks);
+    cfg.blocks = args.getU32("blocks", cfg.blocks);
+    cfg.maxSharers = args.getU32("sharers", cfg.maxSharers);
+    cfg.rounds = args.getU32("iterations", cfg.rounds);
+    cfg.opsPerRankPerRound =
+        args.getU32("ops", cfg.opsPerRankPerRound);
+    cfg.blockBytes = args.getU64("bytes", cfg.blockBytes);
+    cfg.seed = args.getU64("seed", cfg.seed);
+    cfg.computeCycles = static_cast<std::int64_t>(args.getU64(
+        "compute", static_cast<std::uint64_t>(cfg.computeCycles)));
+    const auto home = args.get("home");
+    if (!home.empty()) {
+        const auto map = coh::homeMapFromName(home);
+        if (!map)
+            fatal("flag --home: expected 'interleaved' or "
+                  "'first-touch', got '",
+                  home, "'");
+        cfg.homeMap = *map;
+    }
+    const auto mixText = args.get("mix");
+    if (!mixText.empty()) {
+        std::string error;
+        const auto mix = coh::parseMix(mixText, error);
+        if (!mix)
+            fatal("flag --mix: ", error);
+        cfg.mix = *mix;
+    }
+    return coh::coherenceTrace(cfg);
+}
+
 trace::Trace
 genTrace(const Args &args)
 {
+    // The three pattern families are mutually exclusive; silently
+    // preferring one over another hides a typoed invocation.
+    const bool wantScale = !args.get("scale-pattern").empty();
+    const bool wantPatterns = !args.get("patterns").empty();
+    const bool wantCoherence = args.getU32("coherence", 0) != 0;
+    if (static_cast<int>(wantScale) + static_cast<int>(wantPatterns) +
+            static_cast<int>(wantCoherence) >
+        1) {
+        fatal("gen: --patterns, --scale-pattern and --coherence are "
+              "mutually exclusive; pick one pattern family");
+    }
+    // --coherence switches to the directory-coherence traffic
+    // generator: seeded MSI protocol expansion over sharing classes.
+    if (wantCoherence)
+        return genCoherence(args);
     // --scale-pattern switches to the scale-curve pattern family
     // (ring/transpose/neighbor/rail plus the CommBench-style fan and
     // dense group-to-group generators), one bulk-synchronous epoch per
@@ -346,10 +410,11 @@ buildNamedNetwork(const std::string &name, std::uint32_t ranks)
 
 void
 printResult(const char *name, const topo::BuiltNetwork &net,
-            const sim::SimResult &res, bool faulty)
+            const sim::SimResult &res, bool faulty,
+            const topo::PowerModel &power = {})
 {
-    const auto energy = topo::computeEnergy(*net.topo, res.linkFlits,
-                                            res.execTime);
+    const auto energy = topo::computeEnergy(
+        *net.topo, res.linkFlits, res.execTime, res.activity, power);
     std::printf("%-10s exec=%lld comm=%.0f lat=%.1f hops=%.2f "
                 "util(max)=%.3f energy=%.0f deadlocks=%u\n",
                 name, static_cast<long long>(res.execTime),
@@ -375,10 +440,10 @@ printResult(const char *name, const topo::BuiltNetwork &net,
 
 void
 printRun(const char *name, const trace::Trace &tr,
-         const topo::BuiltNetwork &net)
+         const topo::BuiltNetwork &net, const topo::PowerModel &power)
 {
     printResult(name, net, sim::runTrace(tr, *net.topo, *net.routing),
-                false);
+                false, power);
 }
 
 /** Parse a comma-separated link-id list ("3,17,42"). */
@@ -445,7 +510,7 @@ cmdSimulate(const Args &args)
         observer.exportTrace(traceLog);
         exportObservability(args, metrics, traceLog);
     }
-    printResult(name.c_str(), net, res, faulty);
+    printResult(name.c_str(), net, res, faulty, powerFromArgs(args));
     return 0;
 }
 
@@ -485,10 +550,11 @@ cmdCompare(const Args &args)
     const auto plan = topo::planFloor(outcome.design);
     const auto generated = topo::buildFromDesign(outcome.design, plan);
 
-    printRun("crossbar", tr, topo::buildCrossbar(tr.numRanks()));
-    printRun("mesh", tr, topo::buildMesh(tr.numRanks()));
-    printRun("torus", tr, topo::buildTorus(tr.numRanks()));
-    printRun("generated", tr, generated);
+    const auto power = powerFromArgs(args);
+    printRun("crossbar", tr, topo::buildCrossbar(tr.numRanks()), power);
+    printRun("mesh", tr, topo::buildMesh(tr.numRanks()), power);
+    printRun("torus", tr, topo::buildTorus(tr.numRanks()), power);
+    printRun("generated", tr, generated, power);
     return 0;
 }
 
@@ -520,6 +586,7 @@ cmdExplore(const Args &args)
     cfg.threads = args.getU32("threads", 0);
     cfg.cacheDir = args.get("cache-dir");
     cfg.useCache = args.getU32("cache", 1) != 0;
+    cfg.power = powerFromArgs(args);
 
     obs::MetricsRegistry metrics;
     obs::TraceEventLog traceLog;
@@ -612,6 +679,7 @@ cmdPhases(const Args &args)
     cfg.methodology.restarts = args.getU32("restarts", 16);
     cfg.methodology.partitioner.seed = args.getU32("seed", 1);
     cfg.threads = args.getU32("threads", 0);
+    cfg.power = powerFromArgs(args);
 
     obs::MetricsRegistry metrics;
     obs::TraceEventLog traceLog;
@@ -749,6 +817,15 @@ usage()
         "           [--bytes B]\n"
         "           (CommBench-style single-pattern trace at scale;\n"
         "           fan/dense are group-to-group collectives)\n"
+        "           [--coherence 1] [--blocks B] [--sharers S]\n"
+        "           [--mix private:0.4,read_shared:0.3,...]\n"
+        "           [--home interleaved|first-touch] [--ops O]\n"
+        "           [--compute C]\n"
+        "           (--coherence generates sparse-directory MSI\n"
+        "           traffic instead: GetS/GetX, invalidation fan-out,\n"
+        "           acks and writebacks over seeded sharing classes;\n"
+        "           the three pattern families are mutually\n"
+        "           exclusive)\n"
         "  analyze  TRACE [--verbose 1]\n"
         "  design   TRACE [--max-degree D] [--restarts R] [--out FILE]\n"
         "           [--threads N]  (0 = hardware concurrency; any N\n"
@@ -763,17 +840,20 @@ usage()
         "           [--fail-at CYCLE] [--flit-error-rate P]\n"
         "           [--fault-seed S] [--max-retransmits R]\n"
         "           [--max-recoveries R] [--lax-sync SLACK]\n"
+        "           [--power static|activity]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           (metrics-out: deterministic JSON telemetry dump;\n"
         "           chrome-trace: Perfetto-loadable timeline;\n"
         "           lax-sync: bounded-slack credit sync, cycles of\n"
-        "           allowed credit lag; 0 = strict, the default)\n"
-        "  compare  TRACE [--max-degree D]\n"
+        "           allowed credit lag; 0 = strict, the default;\n"
+        "           power: static per-hop model or activity-based\n"
+        "           per-event accounting)\n"
+        "  compare  TRACE [--max-degree D] [--power static|activity]\n"
         "  explore  TRACE [--degrees 4,5,6] [--restarts 8]\n"
         "           [--seeds 1] [--vcs 2,3] [--unidirectional 0,1]\n"
         "           [--vc-depth D] [--phase-windows 0,64]\n"
         "           [--reconfig-cost C] [--threads N] [--cache-dir DIR]\n"
-        "           [--cache 0|1] [--out FILE]\n"
+        "           [--cache 0|1] [--power static|activity] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           [--workers N] [--hosts HOST:PORT,...]\n"
         "           [--worker-timeout-ms MS] [--dist-report FILE]\n"
@@ -788,7 +868,7 @@ usage()
         "  phases   TRACE [--window N] [--threshold T]\n"
         "           [--min-phase-windows W] [--reconfig-cost C]\n"
         "           [--max-degree D] [--restarts R] [--seed S]\n"
-        "           [--threads N] [--out FILE]\n"
+        "           [--threads N] [--power static|activity] [--out FILE]\n"
         "           [--metrics-out FILE] [--chrome-trace FILE]\n"
         "           [--workers N] [--hosts HOST:PORT,...]\n"
         "           [--worker-timeout-ms MS] [--dist-report FILE]\n"
@@ -812,7 +892,8 @@ usage()
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"gen",
      {"bench", "ranks", "iterations", "seed", "out", "patterns",
-      "scale-pattern", "group-size", "rails", "bytes"}},
+      "scale-pattern", "group-size", "rails", "bytes", "coherence",
+      "blocks", "sharers", "mix", "home", "ops", "compute"}},
     {"analyze", {"verbose"}},
     {"design",
      {"max-degree", "restarts", "seed", "out", "threads",
@@ -821,18 +902,20 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"simulate",
      {"network", "fail-links", "fail-link-ids", "fail-at",
       "flit-error-rate", "fault-seed", "max-retransmits",
-      "max-recoveries", "lax-sync", "metrics-out", "chrome-trace"}},
-    {"compare", {"max-degree", "threads"}},
+      "max-recoveries", "lax-sync", "power", "metrics-out",
+      "chrome-trace"}},
+    {"compare", {"max-degree", "threads", "power"}},
     {"explore",
      {"degrees", "restarts", "seeds", "vcs", "unidirectional",
       "vc-depth", "phase-windows", "reconfig-cost", "threads",
-      "cache-dir", "cache", "out", "metrics-out", "chrome-trace",
-      "workers", "hosts", "worker-timeout-ms", "dist-report"}},
-    {"phases",
-     {"window", "threshold", "min-phase-windows", "reconfig-cost",
-      "max-degree", "restarts", "seed", "threads", "out", "metrics-out",
+      "cache-dir", "cache", "power", "out", "metrics-out",
       "chrome-trace", "workers", "hosts", "worker-timeout-ms",
       "dist-report"}},
+    {"phases",
+     {"window", "threshold", "min-phase-windows", "reconfig-cost",
+      "max-degree", "restarts", "seed", "threads", "power", "out",
+      "metrics-out", "chrome-trace", "workers", "hosts",
+      "worker-timeout-ms", "dist-report"}},
     {"serve",
      {"socket", "port", "workers", "queue", "deadline-ms",
       "max-deadline-ms", "drain-ms", "idle-timeout-ms", "lru",
